@@ -1,0 +1,310 @@
+// Package beholder is a reproduction of "In the IP of the Beholder:
+// Strategies for Active IPv6 Topology Discovery" (Beverly, Durairajan,
+// Plonka, Rohrer — IMC 2018) as a reusable Go library.
+//
+// It provides Yarrp6 — the paper's stateless randomized high-speed IPv6
+// topology prober — together with every substrate the study needs: a
+// packet-level simulated IPv6 internetwork with RFC 4443 ICMPv6 rate
+// limiting (standing in for the live Internet and a native vantage
+// point), the seven seed-list sources and the three-step target
+// generation pipeline, the sequential and Doubletree baseline probers,
+// and the Section 6 subnet-inference algorithms.
+//
+// The top-level API wraps those pieces for application use; the
+// Experiments type regenerates every table and figure in the paper's
+// evaluation. See README.md for a tour and DESIGN.md for the system
+// inventory.
+package beholder
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"beholder/internal/core"
+	"beholder/internal/ipv6"
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/seeds"
+	"beholder/internal/subnet"
+	"beholder/internal/target"
+	"beholder/internal/trace"
+	"beholder/internal/wire"
+)
+
+// Internet is a deterministic simulated IPv6 internetwork: the study's
+// measurement substrate. All campaigns run against it in virtual time,
+// so a day-long probing campaign completes in seconds while exhibiting
+// the same rate-limiting dynamics.
+type Internet struct {
+	u    *netsim.Universe
+	seed int64
+}
+
+// NewInternet creates a campaign-scale internetwork (about 1200
+// autonomous systems).
+func NewInternet(seed int64) *Internet {
+	return &Internet{u: netsim.NewUniverse(netsim.DefaultConfig(seed)), seed: seed}
+}
+
+// NewSmallInternet creates a small internetwork suitable for tests and
+// quick demonstrations (about 120 autonomous systems).
+func NewSmallInternet(seed int64) *Internet {
+	return &Internet{u: netsim.NewUniverse(netsim.TestConfig(seed)), seed: seed}
+}
+
+// NumASes returns the autonomous system count.
+func (in *Internet) NumASes() int { return len(in.u.ASes()) }
+
+// NumPrefixes returns the advertised BGP prefix count.
+func (in *Internet) NumPrefixes() int { return in.u.Table().NumPrefixes() }
+
+// Reset restores pristine router state (token buckets, clock) while
+// keeping the topology, as between the paper's trial days.
+func (in *Internet) Reset() { in.u.ResetState() }
+
+// Universe exposes the underlying simulator for advanced use.
+func (in *Internet) Universe() *netsim.Universe { return in.u }
+
+// SeedLists generates every seed source at the given scale (1.0 is
+// campaign scale). The result maps the paper's list names (caida,
+// fiebig, fdns_any, dnsdb, cdn-k32, cdn-k256, 6gen, tum, random) to
+// their contents.
+func (in *Internet) SeedLists(scale float64) map[string]seeds.List {
+	lists, _ := seeds.All(in.u, in.seed, seeds.Scale(scale))
+	return lists
+}
+
+// TargetSet runs the three-step target generation pipeline for one seed
+// source: seeds → zn prefix transformation → IID synthesis. synth is one
+// of "lowbyte1", "fixediid", "randomiid", "known".
+func (in *Internet) TargetSet(seedName string, zn int, synth string, scale float64) ([]netip.Addr, error) {
+	lists := in.SeedLists(scale)
+	list, ok := lists[seedName]
+	if !ok {
+		return nil, fmt.Errorf("beholder: unknown seed list %q", seedName)
+	}
+	var method target.Synth
+	switch synth {
+	case "lowbyte1":
+		method = target.LowByte1
+	case "fixediid":
+		method = target.FixedIID
+	case "randomiid":
+		method = target.RandomIID
+	case "known":
+		method = target.Known
+	default:
+		return nil, fmt.Errorf("beholder: unknown synthesis %q", synth)
+	}
+	rng := rand.New(rand.NewSource(in.seed))
+	set := target.Build(list, target.Spec{SeedName: seedName, ZN: zn, Synth: method}, rng)
+	return set.Targets.Addrs(), nil
+}
+
+// GroundTruthSubnets exports the simulator's true subnet plan for up to
+// limit subnets per AS with prefix length at most maxBits — the
+// validation data Section 6 could only approximate on the real Internet.
+func (in *Internet) GroundTruthSubnets(maxBits, perASLimit int) []netip.Prefix {
+	var out []netip.Prefix
+	for _, as := range in.u.ASes() {
+		if as.Tier != 3 {
+			continue
+		}
+		out = append(out, in.u.TruthSubnets(as, maxBits, perASLimit)...)
+	}
+	return out
+}
+
+// Vantage is a measurement host inside the internetwork.
+type Vantage struct {
+	in *Internet
+	v  *netsim.Vantage
+}
+
+// NewVantage attaches a vantage by name. Names map deterministically to
+// host networks; the same name always lands in the same AS.
+func (in *Internet) NewVantage(name string) *Vantage {
+	return in.NewVantageAt(name, "university", 4)
+}
+
+// NewVantageAt attaches a vantage to an AS of the given kind
+// ("university", "hosting", "eyeball", "enterprise", "transit") with the
+// given on-premise access path length.
+func (in *Internet) NewVantageAt(name, kind string, chainLen int) *Vantage {
+	var k netsim.ASKind
+	switch kind {
+	case "university":
+		k = netsim.KindUniversity
+	case "hosting":
+		k = netsim.KindHosting
+	case "eyeball":
+		k = netsim.KindEyeballISP
+	case "enterprise":
+		k = netsim.KindEnterprise
+	default:
+		k = netsim.KindTransit
+	}
+	return &Vantage{in: in, v: in.u.NewVantage(netsim.VantageSpec{Name: name, Kind: k, ChainLen: chainLen})}
+}
+
+// Addr returns the vantage's probing source address.
+func (v *Vantage) Addr() netip.Addr { return v.v.LocalAddr() }
+
+// Conn exposes the vantage as a probe connection for direct prober use.
+func (v *Vantage) Conn() probe.Conn { return v.v }
+
+// YarrpOptions parameterizes a Yarrp6 campaign through the facade.
+type YarrpOptions struct {
+	Rate      float64 // packets per second (default 1000)
+	MaxTTL    int     // default 16
+	Transport string  // "icmp6" (default), "udp", "tcp"
+	Fill      bool    // enable fill mode
+	Key       uint64  // permutation key
+}
+
+func transportProto(name string) (uint8, error) {
+	switch name {
+	case "", "icmp6", "icmpv6":
+		return wire.ProtoICMPv6, nil
+	case "udp":
+		return wire.ProtoUDP, nil
+	case "tcp":
+		return wire.ProtoTCP, nil
+	}
+	return 0, fmt.Errorf("beholder: unknown transport %q", name)
+}
+
+// Result holds a campaign's outcome.
+type Result struct {
+	ProbesSent int64
+	Fills      int64
+	Replies    int64
+	Elapsed    time.Duration
+	Curve      []core.CurvePoint
+
+	store *probe.Store
+}
+
+// NumInterfaces returns the count of unique router interface addresses
+// discovered (sources of ICMPv6 Time Exceeded).
+func (r *Result) NumInterfaces() int { return r.store.NumInterfaces() }
+
+// Interfaces returns the discovered interface addresses.
+func (r *Result) Interfaces() []netip.Addr { return r.store.Interfaces() }
+
+// Path returns the traced path toward target as (ttl, address) hops in
+// TTL order.
+func (r *Result) Path(target netip.Addr) []probe.HopEntry {
+	t := r.store.Trace(target)
+	if t == nil {
+		return nil
+	}
+	return t.SortedHops()
+}
+
+// Reached reports whether the target itself responded.
+func (r *Result) Reached(target netip.Addr) bool {
+	t := r.store.Trace(target)
+	return t != nil && t.Reached
+}
+
+// Store exposes the underlying result store for analysis.
+func (r *Result) Store() *probe.Store { return r.store }
+
+// RunYarrp6 probes targets with the randomized stateless prober.
+func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, error) {
+	proto, err := transportProto(opt.Transport)
+	if err != nil {
+		return nil, err
+	}
+	store := probe.NewStore(true)
+	y := core.New(v.v, core.Config{
+		Targets: targets,
+		PPS:     opt.Rate,
+		MaxTTL:  uint8(opt.MaxTTL),
+		Proto:   proto,
+		Key:     opt.Key,
+		Fill:    opt.Fill,
+	})
+	stats, err := y.Run(store)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ProbesSent: stats.ProbesSent,
+		Fills:      stats.Fills,
+		Replies:    stats.Replies,
+		Elapsed:    stats.Elapsed,
+		Curve:      stats.Curve,
+		store:      store,
+	}, nil
+}
+
+// SequentialOptions parameterizes the scamper-like baseline.
+type SequentialOptions struct {
+	Rate   float64
+	MaxTTL int
+	Window int
+}
+
+// RunSequential probes targets with the stateful sequential baseline
+// (per-destination increasing TTL, ICMP-Paris semantics).
+func (v *Vantage) RunSequential(targets []netip.Addr, opt SequentialOptions) *Result {
+	store := probe.NewStore(true)
+	s := trace.NewSequential(v.v, trace.SequentialConfig{
+		Engine: trace.EngineConfig{PPS: opt.Rate, Window: opt.Window},
+		MaxTTL: uint8(opt.MaxTTL),
+	})
+	stats := s.Run(targets, store)
+	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store}
+}
+
+// DoubletreeOptions parameterizes the Doubletree baseline.
+type DoubletreeOptions struct {
+	Rate     float64
+	StartTTL int
+	MaxTTL   int
+	Window   int
+}
+
+// RunDoubletree probes targets with Doubletree's forward/backward
+// stop-set algorithm.
+func (v *Vantage) RunDoubletree(targets []netip.Addr, opt DoubletreeOptions) *Result {
+	store := probe.NewStore(true)
+	d := trace.NewDoubletree(v.v, trace.DoubletreeConfig{
+		Engine:   trace.EngineConfig{PPS: opt.Rate, Window: opt.Window},
+		StartTTL: uint8(opt.StartTTL),
+		MaxTTL:   uint8(opt.MaxTTL),
+	})
+	stats := d.Run(targets, store)
+	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store}
+}
+
+// Subnet is one inferred subnet candidate.
+type Subnet struct {
+	Prefix netip.Prefix
+	MinLen int
+	IAHack bool
+}
+
+// DiscoverSubnets runs Section 6's path-divergence inference plus the
+// /64 IA hack over a campaign's traces, returning candidates and the
+// count of traces pinned to exact /64s.
+func (v *Vantage) DiscoverSubnets(r *Result) ([]Subnet, int) {
+	res := subnet.Discover(r.store, v.in.u.Table(), v.v.AS().ASN, subnet.DefaultParams())
+	out := make([]Subnet, len(res.Candidates))
+	for i, c := range res.Candidates {
+		out[i] = Subnet{Prefix: c.Prefix, MinLen: c.MinLen, IAHack: c.IAHack}
+	}
+	return out, res.IAHackCount
+}
+
+// FixedIID is the paper's fixed pseudo-random interface identifier used
+// for target synthesis (Section 3.3).
+const FixedIID = target.FixedIIDValue
+
+// MustAddr parses an IPv6 address, panicking on error; a convenience for
+// examples and tests.
+func MustAddr(s string) netip.Addr { return ipv6.MustAddr(s) }

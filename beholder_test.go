@@ -1,0 +1,170 @@
+package beholder
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// smallExperiments returns a fast suite for tests.
+func smallExperiments() *Experiments {
+	return NewExperiments(ExpOptions{Seed: 7, Scale: 0.2, Small: true, Rate: 2000})
+}
+
+func TestFacadeQuickCampaign(t *testing.T) {
+	in := NewSmallInternet(3)
+	v := in.NewVantage("test-vantage")
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 2000, MaxTTL: 12, Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumInterfaces() == 0 {
+		t.Error("no interfaces discovered")
+	}
+	if res.ProbesSent != int64(len(targets))*12 {
+		t.Errorf("probes sent %d", res.ProbesSent)
+	}
+	// A path exists for at least one target.
+	found := false
+	for _, tgt := range targets {
+		if len(res.Path(tgt)) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no paths recorded")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	in := NewSmallInternet(3)
+	if _, err := in.TargetSet("nope", 64, "lowbyte1", 0.2); err == nil {
+		t.Error("unknown seed list accepted")
+	}
+	if _, err := in.TargetSet("caida", 64, "nope", 0.2); err == nil {
+		t.Error("unknown synthesis accepted")
+	}
+	v := in.NewVantage("x")
+	if _, err := v.RunYarrp6([]netip.Addr{}, YarrpOptions{}); err == nil {
+		t.Error("empty targets accepted")
+	}
+}
+
+func TestFacadeBaselinesAndSubnets(t *testing.T) {
+	in := NewSmallInternet(4)
+	v := in.NewVantageAt("base", "university", 3)
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) > 150 {
+		targets = targets[:150]
+	}
+	seq := v.RunSequential(targets, SequentialOptions{Rate: 500, MaxTTL: 12, Window: 32})
+	if seq.NumInterfaces() == 0 {
+		t.Error("sequential found nothing")
+	}
+	in.Reset()
+	v2 := in.NewVantageAt("base", "university", 3)
+	dt := v2.RunDoubletree(targets, DoubletreeOptions{Rate: 500, StartTTL: 5, MaxTTL: 12, Window: 32})
+	if dt.NumInterfaces() == 0 {
+		t.Error("doubletree found nothing")
+	}
+	in.Reset()
+	v3 := in.NewVantageAt("base", "university", 3)
+	res, err := v3.RunYarrp6(targets, YarrpOptions{Rate: 2000, MaxTTL: 16, Fill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subnets, ia := v3.DiscoverSubnets(res)
+	if len(subnets) == 0 && ia == 0 {
+		t.Log("no subnets inferred at this scale (acceptable for tiny target lists)")
+	}
+}
+
+func TestExperimentSeedTables(t *testing.T) {
+	e := smallExperiments()
+	t1 := e.Table1()
+	if len(t1.Rows) < 8 {
+		t.Errorf("Table1 rows = %d", len(t1.Rows))
+	}
+	if !strings.Contains(t1.Render(), "caida") {
+		t.Error("Table1 missing caida row")
+	}
+	t2 := e.Table2()
+	if len(t2.Rows) < 6 {
+		t.Errorf("Table2 rows = %d", len(t2.Rows))
+	}
+	t5 := e.Table5()
+	// 7 independents + tum + combined per zn, plus total.
+	if len(t5.Rows) != 2*9+1 {
+		t.Errorf("Table5 rows = %d want 19", len(t5.Rows))
+	}
+	f2 := e.Figure2()
+	if len(f2.Series) != 14 {
+		t.Errorf("Figure2 series = %d", len(f2.Series))
+	}
+	f3a, f3b := e.Figure3()
+	if len(f3a.Series) != 8 || len(f3b.Series) != 8 {
+		t.Errorf("Figure3 series = %d/%d", len(f3a.Series), len(f3b.Series))
+	}
+	// Combination can only shift DPL CDFs left-or-equal at each point
+	// (higher DPLs → lower cumulative fraction at small lengths).
+	for i := range f3a.Series {
+		for j := range f3a.Series[i].Y {
+			if f3b.Series[i].Y[j] > f3a.Series[i].Y[j]+1e-9 {
+				t.Fatalf("combined CDF above standalone for %s at x=%v",
+					f3a.Series[i].Name, f3a.Series[i].X[j])
+			}
+		}
+	}
+}
+
+func TestExperimentTuningTables(t *testing.T) {
+	e := smallExperiments()
+	t3 := e.Table3()
+	if len(t3.Rows) != 4 {
+		t.Fatalf("Table3 rows = %d", len(t3.Rows))
+	}
+	t4 := e.Table4()
+	if len(t4.Rows) != 6 {
+		t.Fatalf("Table4 rows = %d", len(t4.Rows))
+	}
+	t6 := e.Table6()
+	if len(t6.Rows) != 4 {
+		t.Fatalf("Table6 rows = %d", len(t6.Rows))
+	}
+}
+
+func TestExperimentCampaigns(t *testing.T) {
+	e := smallExperiments()
+	t7 := e.Table7()
+	// 4 aggregate rows + 16 EU-NET set rows.
+	if len(t7.Rows) != 4+16 {
+		t.Fatalf("Table7 rows = %d", len(t7.Rows))
+	}
+	f7 := e.Figure7()
+	if len(f7.Series) != 9 {
+		t.Errorf("Figure7 series = %d", len(f7.Series))
+	}
+	// Discovery curves are monotone nondecreasing.
+	for _, s := range f7.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("discovery curve %s decreased", s.Name)
+			}
+		}
+	}
+	f8a, f8b := e.Figure8()
+	if len(f8a.Series) != 8 || len(f8b.Series) != 9 {
+		t.Errorf("Figure8 series = %d/%d", len(f8a.Series), len(f8b.Series))
+	}
+}

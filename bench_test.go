@@ -1,0 +1,243 @@
+package beholder
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// iteration regenerates the artifact end to end on a fresh deterministic
+// suite (bench scale: small universe, reduced seed lists, fast virtual
+// clock), reporting the headline quantity as a custom metric so that
+// `go test -bench .` doubles as a full reproduction run.
+//
+// cmd/beholder regenerates the same artifacts at campaign scale.
+
+import (
+	"net/netip"
+	"testing"
+
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+func benchSuite(seed int64) *Experiments {
+	return NewExperiments(ExpOptions{Seed: seed, Scale: 0.2, Small: true, Rate: 4000})
+}
+
+func BenchmarkTable1SeedProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table1()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2TUMSubsets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table2()
+		if len(t.Rows) < 6 {
+			b.Fatal("missing subsets")
+		}
+	}
+}
+
+func BenchmarkTable3TransformGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table3()
+		if len(t.Rows) != 4 {
+			b.Fatal("want 4 transformation levels")
+		}
+	}
+}
+
+func BenchmarkTable4IIDChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table4()
+		if len(t.Rows) != 6 {
+			b.Fatal("want 6 type/code rows")
+		}
+	}
+}
+
+func BenchmarkTable5TargetSetProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table5()
+		if len(t.Rows) != 19 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkTable6FillMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table6()
+		if len(t.Rows) != 4 {
+			b.Fatal("want 4 MaxTTL rows")
+		}
+	}
+}
+
+func BenchmarkTable7Campaigns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.Table7()
+		if len(t.Rows) != 20 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure2TargetFeatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		f := e.Figure2()
+		if len(f.Series) != 14 {
+			b.Fatalf("series = %d", len(f.Series))
+		}
+	}
+}
+
+func BenchmarkFigure3DPL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		fa, fb := e.Figure3()
+		if len(fa.Series) != 8 || len(fb.Series) != 8 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkFigure4StateCodec measures the Yarrp6 probe state machinery
+// itself (Figure 4): building a probe with per-target-constant checksum
+// and recovering state from a full ICMPv6 quotation.
+func BenchmarkFigure4StateCodec(b *testing.B) {
+	in := NewSmallInternet(1)
+	v := in.NewVantage("codec")
+	codec := probe.NewCodec(v.Conn(), wire.ProtoICMPv6, 0)
+	target := MustAddr("2400:5:6:7::1")
+	router := MustAddr("2400:9::1")
+	pkt := make([]byte, 128)
+	errPkt := make([]byte, wire.MinMTU)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := codec.BuildProbe(pkt, target, uint8(i%16+1))
+		en := wire.BuildICMPv6Error(errPkt, wire.ICMPv6TimeExceeded, 0, router, v.Addr(), pkt[:n], 64)
+		r, ok := codec.ParseReply(errPkt[:en])
+		if !ok || !r.StateRecovered || r.Target != target {
+			b.Fatal("state recovery failed")
+		}
+	}
+}
+
+func BenchmarkFigure5RateLimiting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		fa, fb := e.Figure5()
+		if len(fa.Series) != 6 || len(fb.Series) != 6 {
+			b.Fatal("want 6 series per vantage (3 rates x 2 methods)")
+		}
+		// Report the headline: sequential vs randomized hop-1
+		// responsiveness at the highest rate.
+		seqHop1 := fa.Series[4].Y[0]
+		rndHop1 := fa.Series[5].Y[0]
+		b.ReportMetric(seqHop1*100, "seq-hop1-%")
+		b.ReportMetric(rndHop1*100, "rand-hop1-%")
+	}
+}
+
+func BenchmarkFigure6ResultFeatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		f := e.Figure6()
+		if len(f.Series) != 16 {
+			b.Fatalf("series = %d", len(f.Series))
+		}
+	}
+}
+
+func BenchmarkFigure7DiscoveryPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		f := e.Figure7()
+		if len(f.Series) != 9 {
+			b.Fatalf("series = %d", len(f.Series))
+		}
+	}
+}
+
+func BenchmarkFigure8SubnetDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		fa, fb := e.Figure8()
+		if len(fa.Series) != 8 || len(fb.Series) != 9 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+func BenchmarkProtocolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.ProtocolComparison()
+		if len(t.Rows) != 3 {
+			b.Fatal("want 3 transports")
+		}
+	}
+}
+
+func BenchmarkDoubletree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.DoubletreeStudy()
+		if len(t.Rows) != 4 {
+			b.Fatal("want 4 rows")
+		}
+	}
+}
+
+func BenchmarkValidationPlatforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.PlatformValidation()
+		if len(t.Rows) != 3 {
+			b.Fatal("want 3 platforms")
+		}
+	}
+}
+
+func BenchmarkSubnetValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.SubnetValidation()
+		if len(t.Rows) != 2 {
+			b.Fatal("want dense + stratified rows")
+		}
+	}
+}
+
+// BenchmarkYarrp6Throughput measures raw prober packet construction and
+// simulator forwarding: probes per wall-clock second over a campaign.
+func BenchmarkYarrp6Throughput(b *testing.B) {
+	in := NewSmallInternet(5)
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sent int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Reset()
+		v := in.NewVantage("throughput")
+		res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 10000, MaxTTL: 16, Key: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += res.ProbesSent
+	}
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
+	_ = netip.Addr{}
+}

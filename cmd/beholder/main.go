@@ -1,0 +1,53 @@
+// Command beholder regenerates every table and figure from the paper's
+// evaluation (Sections 3-6) against the simulated IPv6 internetwork and
+// writes them as text, suitable for diffing into EXPERIMENTS.md.
+//
+// Example:
+//
+//	beholder -scale 1.0 -rate 1000 > experiments.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beholder"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 2018, "determinism seed")
+		scale = flag.Float64("scale", 1.0, "seed-list scale (1.0 = campaign scale)")
+		small = flag.Bool("small", false, "use the small universe (quick look)")
+		rate  = flag.Float64("rate", 1000, "campaign probing rate (pps)")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	e := beholder.NewExperiments(beholder.ExpOptions{
+		Seed: *seed, Scale: *scale, Small: *small, Rate: *rate,
+	})
+	fmt.Fprintf(w, "beholder experiment suite — seed %d, scale %g, rate %gpps, universe ASes %d, BGP prefixes %d\n\n",
+		*seed, *scale, *rate, e.Internet().NumASes(), e.Internet().NumPrefixes())
+
+	start := time.Now()
+	for _, r := range e.All() {
+		fmt.Fprintln(w, r.Render())
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

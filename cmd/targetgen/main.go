@@ -1,0 +1,47 @@
+// Command targetgen runs the paper's three-step target generation
+// pipeline (seeds → prefix transformation → IID synthesis) and prints
+// the resulting probe targets, one per line.
+//
+// Example:
+//
+//	targetgen -seeds fdns_any -zn 48 -synth fixediid | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"beholder"
+)
+
+func main() {
+	var (
+		simSeed = flag.Int64("sim-seed", 2018, "simulated internetwork seed")
+		small   = flag.Bool("small", false, "use the small universe")
+		seeds   = flag.String("seeds", "caida", "seed list: caida|fiebig|fdns_any|dnsdb|cdn-k32|cdn-k256|6gen|tum|random")
+		zn      = flag.Int("zn", 64, "prefix transformation level (z48, z64, ...)")
+		synth   = flag.String("synth", "lowbyte1", "IID synthesis: lowbyte1|fixediid|randomiid|known")
+		scale   = flag.Float64("scale", 0.5, "seed list scale")
+	)
+	flag.Parse()
+
+	var in *beholder.Internet
+	if *small {
+		in = beholder.NewSmallInternet(*simSeed)
+	} else {
+		in = beholder.NewInternet(*simSeed)
+	}
+	targets, err := in.TargetSet(*seeds, *zn, *synth, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "targetgen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(os.Stderr, "targetgen: %s z%d %s → %d targets\n", *seeds, *zn, *synth, len(targets))
+	for _, t := range targets {
+		fmt.Fprintln(w, t)
+	}
+}

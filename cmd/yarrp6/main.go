@@ -1,0 +1,120 @@
+// Command yarrp6 runs a single Yarrp6 campaign against the simulated
+// IPv6 internetwork and emits discovery results, in the spirit of the
+// yarrp tool this library reproduces.
+//
+// Targets come either from -input (one IPv6 address per line) or from
+// the built-in target generation pipeline via -seeds/-zn/-synth.
+//
+// Example:
+//
+//	yarrp6 -seeds cdn-k32 -zn 64 -synth fixediid -rate 1000 -fill
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+
+	"beholder"
+)
+
+func main() {
+	var (
+		simSeed   = flag.Int64("sim-seed", 2018, "simulated internetwork seed")
+		small     = flag.Bool("small", false, "use the small universe")
+		input     = flag.String("input", "", "target file (one IPv6 address per line)")
+		seedsName = flag.String("seeds", "caida", "seed list for target generation")
+		zn        = flag.Int("zn", 64, "prefix transformation level")
+		synth     = flag.String("synth", "lowbyte1", "IID synthesis: lowbyte1|fixediid|randomiid|known")
+		scale     = flag.Float64("scale", 0.5, "seed list scale")
+		rate      = flag.Float64("rate", 1000, "probing rate (pps)")
+		maxTTL    = flag.Int("maxttl", 16, "maximum randomized TTL")
+		transport = flag.String("transport", "icmp6", "probe transport: icmp6|udp|tcp")
+		fill      = flag.Bool("fill", false, "enable fill mode")
+		key       = flag.Uint64("key", 0x6b657921, "permutation key")
+		vantage   = flag.String("vantage", "US-EDU-1", "vantage name")
+		hops      = flag.Bool("hops", false, "print per-target hop listings")
+	)
+	flag.Parse()
+
+	var in *beholder.Internet
+	if *small {
+		in = beholder.NewSmallInternet(*simSeed)
+	} else {
+		in = beholder.NewInternet(*simSeed)
+	}
+	v := in.NewVantage(*vantage)
+
+	var targets []netip.Addr
+	if *input != "" {
+		var err error
+		targets, err = readTargets(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		targets, err = in.TargetSet(*seedsName, *zn, *synth, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d\n",
+		len(targets), *vantage, v.Addr(), *rate, *maxTTL)
+
+	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
+		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yarrp6:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("probes %d fills %d replies %d interfaces %d elapsed %s\n",
+		res.ProbesSent, res.Fills, res.Replies, res.NumInterfaces(), res.Elapsed)
+	if *hops {
+		for _, t := range targets {
+			path := res.Path(t)
+			if len(path) == 0 {
+				continue
+			}
+			fmt.Printf("%s\n", t)
+			for _, h := range path {
+				fmt.Printf("  %2d  %s\n", h.TTL, h.Addr)
+			}
+		}
+	} else {
+		ifaces := res.Interfaces()
+		sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].Less(ifaces[j]) })
+		for _, a := range ifaces {
+			fmt.Println(a)
+		}
+	}
+}
+
+func readTargets(path string) ([]netip.Addr, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []netip.Addr
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		a, err := netip.ParseAddr(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad target %q: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	return out, sc.Err()
+}

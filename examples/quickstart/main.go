@@ -1,0 +1,62 @@
+// Quickstart: build a simulated IPv6 internetwork, generate probe
+// targets from BGP-derived seeds, run a Yarrp6 campaign, and print a
+// few discovered paths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beholder"
+)
+
+func main() {
+	// A small deterministic internetwork (~120 ASes) and a university
+	// vantage point.
+	in := beholder.NewSmallInternet(42)
+	vantage := in.NewVantage("quickstart")
+	fmt.Printf("internet: %d ASes, %d BGP prefixes; vantage at %s\n",
+		in.NumASes(), in.NumPrefixes(), vantage.Addr())
+
+	// Target generation, the paper's Section 3: CAIDA-style BGP seeds,
+	// z64 transformation, ::1 synthesis.
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("targets:  %d (caida z64 lowbyte1)\n", len(targets))
+
+	// A randomized stateless campaign at 1kpps with fill mode.
+	res, err := vantage.RunYarrp6(targets, beholder.YarrpOptions{
+		Rate:   1000,
+		MaxTTL: 16,
+		Fill:   true,
+		Key:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d probes (%d fills) in %s virtual time\n",
+		res.ProbesSent, res.Fills, res.Elapsed)
+	fmt.Printf("found:    %d unique router interface addresses\n\n", res.NumInterfaces())
+
+	// Show the first few traced paths.
+	shown := 0
+	for _, t := range targets {
+		path := res.Path(t)
+		if len(path) < 4 {
+			continue
+		}
+		fmt.Printf("path to %s:\n", t)
+		for _, hop := range path {
+			fmt.Printf("  %2d  %s\n", hop.TTL, hop.Addr)
+		}
+		if res.Reached(t) {
+			fmt.Println("  destination responded")
+		}
+		fmt.Println()
+		if shown++; shown == 3 {
+			break
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package addrclass classifies IPv6 interface identifiers the way the SI6
+// ipv6toolkit's addr6 does, reproducing the seed characterization of
+// Table 1 and the EUI-64 result analysis of Table 7.
+//
+// Classification inspects the low 64 bits (the IID) for recognizable
+// structure; anything without a discernible pattern is "randomized",
+// which for SLAAC privacy addresses is the expected answer.
+package addrclass
+
+import (
+	"net/netip"
+
+	"beholder/internal/ipv6"
+)
+
+// Class is an IID structural category.
+type Class int
+
+// Classes, ordered roughly by recognizability. Table 1 reports LowByte,
+// EUI64 and Random; the finer classes fold into Random ("no discernible
+// pattern" is addr6's catch-all) unless callers want them separately.
+const (
+	ClassRandom Class = iota // no discernible pattern
+	ClassLowByte             // zeros then a small terminal value (::1, ::a:2)
+	ClassEUI64               // modified EUI-64 with embedded MAC (ff:fe)
+	ClassEmbedIPv4           // dotted-quad IPv4 address embedded in the IID
+	ClassEmbedPort           // well-known service port embedded (::80, ::443)
+	ClassPattern             // repeating 16-bit words (::abcd:abcd:abcd:abcd)
+	NumClasses
+)
+
+// String returns the addr6-style label.
+func (c Class) String() string {
+	switch c {
+	case ClassRandom:
+		return "randomized"
+	case ClassLowByte:
+		return "lowbyte"
+	case ClassEUI64:
+		return "ieee-derived"
+	case ClassEmbedIPv4:
+		return "embedded-ipv4"
+	case ClassEmbedPort:
+		return "embedded-port"
+	case ClassPattern:
+		return "pattern-bytes"
+	}
+	return "unknown"
+}
+
+// wellKnownPorts are service ports addr6 treats as embedded-port evidence.
+var wellKnownPorts = map[uint64]bool{
+	21: true, 22: true, 25: true, 53: true, 80: true, 110: true,
+	143: true, 443: true, 587: true, 993: true, 995: true, 8080: true,
+}
+
+// Classify determines the structural class of a's interface identifier.
+func Classify(a netip.Addr) Class {
+	return ClassifyIID(ipv6.IID(a))
+}
+
+// ClassifyIID determines the structural class of a raw 64-bit IID.
+// The checks run from most to least specific, mirroring addr6.
+func ClassifyIID(iid uint64) Class {
+	if ipv6.IsEUI64IID(iid) {
+		return ClassEUI64
+	}
+	// Embedded IPv4: high 32 bits zero and the low 32 bits parse as a
+	// plausible dotted quad (first octet nonzero, not a tiny integer —
+	// tiny integers are lowbyte).
+	if iid>>32 == 0 && iid > 0xffff {
+		b0 := byte(iid >> 24)
+		if b0 != 0 {
+			return ClassEmbedIPv4
+		}
+	}
+	// Lowbyte: at most the bottom 16 bits set (addr6 additionally accepts
+	// a second low group, e.g. ::a:1; we accept bottom 20 bits).
+	if iid != 0 && iid < 1<<20 {
+		// Service ports embed in two spellings: the raw value (port 80
+		// stored as 80) and the visual form where the hex digits read as
+		// the decimal port ("::80" is 0x80 but reads as port 80).
+		if wellKnownPorts[iid] {
+			return ClassEmbedPort
+		}
+		if dec, ok := hexDigitsAsDecimal(iid); ok && wellKnownPorts[dec] {
+			return ClassEmbedPort
+		}
+		return ClassLowByte
+	}
+	// Port embedded behind zeros elsewhere, e.g. ::80:0 styles are rare;
+	// only the direct form is recognized above.
+	// Repeating 16-bit words.
+	w0 := uint16(iid >> 48)
+	w1 := uint16(iid >> 32)
+	w2 := uint16(iid >> 16)
+	w3 := uint16(iid)
+	if w0 == w1 && w1 == w2 && w2 == w3 && w0 != 0 {
+		return ClassPattern
+	}
+	// Two alternating words also count as patterned.
+	if w0 == w2 && w1 == w3 && w0 != w1 {
+		return ClassPattern
+	}
+	return ClassRandom
+}
+
+// hexDigitsAsDecimal reinterprets v's hex digits as a decimal number
+// (0x443 → 443). ok is false when any nibble exceeds 9.
+func hexDigitsAsDecimal(v uint64) (uint64, bool) {
+	var dec, mul uint64 = 0, 1
+	for x := v; x != 0; x >>= 4 {
+		nib := x & 0xf
+		if nib > 9 {
+			return 0, false
+		}
+		dec += nib * mul
+		mul *= 10
+	}
+	return dec, true
+}
+
+// Counts tallies classifications over a set of addresses.
+type Counts struct {
+	Total int
+	ByClass [NumClasses]int
+}
+
+// ClassifySet classifies every member of s.
+func ClassifySet(s *ipv6.Set) Counts {
+	var c Counts
+	c.Total = s.Len()
+	for _, a := range s.Addrs() {
+		c.ByClass[Classify(a)]++
+	}
+	return c
+}
+
+// Fraction returns the share of class cl, in [0,1]; zero for empty input.
+func (c Counts) Fraction(cl Class) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.ByClass[cl]) / float64(c.Total)
+}
+
+// RandomLike returns the count of addresses without recognized structure,
+// folding the finer pattern classes the way Table 1's "Random" column
+// does (addr6 labels anything unrecognized as randomized).
+func (c Counts) RandomLike() int {
+	return c.ByClass[ClassRandom] + c.ByClass[ClassPattern] + c.ByClass[ClassEmbedIPv4] + c.ByClass[ClassEmbedPort]
+}

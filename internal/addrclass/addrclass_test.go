@@ -1,0 +1,111 @@
+package addrclass
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"beholder/internal/ipv6"
+)
+
+func TestClassifyKnownForms(t *testing.T) {
+	cases := []struct {
+		addr string
+		want Class
+	}{
+		{"2001:db8::1", ClassLowByte},
+		{"2001:db8::2", ClassLowByte},
+		{"2001:db8::ff", ClassLowByte},
+		{"2001:db8::a:1", ClassLowByte}, // within low 20 bits
+		{"2001:db8::80", ClassEmbedPort},
+		{"2001:db8::443", ClassEmbedPort},
+		{"2001:db8::216:3eff:fe12:3456", ClassEUI64},
+		{"2001:db8::c0a8:101", ClassEmbedIPv4},  // 192.168.1.1
+		{"2001:db8::abcd:abcd:abcd:abcd", ClassPattern},
+		{"2001:db8::dead:beef:dead:beef", ClassPattern},
+		{"2001:db8:0:1:1234:5678:1234:5678", ClassPattern}, // the paper's fixed IID alternates
+		{"2001:db8::8a2e:370:7334", ClassRandom},
+		{"2001:db8:0:1:59c1:44ab:9c05:22ef", ClassRandom},
+	}
+	for _, c := range cases {
+		if got := Classify(ipv6.MustAddr(c.addr)); got != c.want {
+			t.Errorf("Classify(%s) = %s want %s", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestClassifyZeroIID(t *testing.T) {
+	// The subnet-router anycast address (IID zero) has no pattern class.
+	if got := Classify(ipv6.MustAddr("2001:db8::")); got != ClassRandom {
+		t.Errorf("zero IID = %s", got)
+	}
+}
+
+func TestEUI64TakesPrecedence(t *testing.T) {
+	// Build an EUI-64 IID and confirm it never lands in another class.
+	f := func(m0, m1, m2, m3, m4, m5 byte) bool {
+		iid := ipv6.EUI64IID([6]byte{m0, m1, m2, m3, m4, m5})
+		return ClassifyIID(iid) == ClassEUI64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomIIDsClassifyRandom(t *testing.T) {
+	// SLAAC privacy addresses: overwhelmingly "randomized". A 64-bit
+	// uniform draw has ~2^-16 odds of the ff:fe marker and similar for
+	// the other patterns; over 10k draws a few hits are acceptable.
+	rng := rand.New(rand.NewSource(1))
+	misses := 0
+	for i := 0; i < 10_000; i++ {
+		if ClassifyIID(rng.Uint64()) != ClassRandom {
+			misses++
+		}
+	}
+	if misses > 50 {
+		t.Errorf("%d of 10000 random IIDs classified as structured", misses)
+	}
+}
+
+func TestClassifySetAndFractions(t *testing.T) {
+	s := ipv6.NewSet([]netip.Addr{
+		ipv6.MustAddr("2001:db8::1"),
+		ipv6.MustAddr("2001:db8::2"),
+		ipv6.MustAddr("2001:db8::216:3eff:fe12:3456"),
+		ipv6.MustAddr("2001:db8::59c1:44ab"),
+	})
+	c := ClassifySet(s)
+	if c.Total != 4 {
+		t.Fatalf("total %d", c.Total)
+	}
+	if c.ByClass[ClassLowByte] != 2 || c.ByClass[ClassEUI64] != 1 {
+		t.Errorf("counts: %+v", c.ByClass)
+	}
+	if got := c.Fraction(ClassLowByte); got != 0.5 {
+		t.Errorf("lowbyte fraction %f", got)
+	}
+	if got := Counts.Fraction(Counts{}, ClassLowByte); got != 0 {
+		t.Errorf("empty fraction %f", got)
+	}
+}
+
+func TestRandomLikeFoldsUnstructured(t *testing.T) {
+	c := Counts{Total: 4}
+	c.ByClass[ClassRandom] = 1
+	c.ByClass[ClassPattern] = 1
+	c.ByClass[ClassEmbedIPv4] = 1
+	c.ByClass[ClassLowByte] = 1
+	if got := c.RandomLike(); got != 3 {
+		t.Errorf("RandomLike = %d want 3", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassRandom; c < NumClasses; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("class %d lacks a label", c)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"beholder/internal/bgp"
+	"beholder/internal/ipv6"
+	"beholder/internal/probe"
+)
+
+func te(store *probe.Store, target, from string, ttl uint8) {
+	store.Add(probe.Reply{
+		From: ipv6.MustAddr(from), Target: ipv6.MustAddr(target),
+		Kind: probe.KindTimeExceeded, TTL: ttl, StateRecovered: true,
+	})
+}
+
+func TestPerHopResponsiveness(t *testing.T) {
+	s := probe.NewStore(true)
+	te(s, "2400:1::1", "2400:a::1", 1)
+	te(s, "2400:1::1", "2400:b::1", 2)
+	te(s, "2400:2::1", "2400:a::1", 1)
+	got := PerHopResponsiveness(s, 3, 2)
+	if got[0] != 1.0 || got[1] != 0.5 || got[2] != 0 {
+		t.Errorf("responsiveness = %v", got)
+	}
+}
+
+func TestPathLengthsAndPercentile(t *testing.T) {
+	s := probe.NewStore(true)
+	te(s, "2400:1::1", "2400:a::1", 5)
+	te(s, "2400:2::1", "2400:a::1", 9)
+	te(s, "2400:3::1", "2400:a::1", 7)
+	pl := PathLengths(s)
+	if len(pl) != 3 || pl[0] != 5 || pl[2] != 9 {
+		t.Fatalf("paths = %v", pl)
+	}
+	if Percentile(pl, 50) != 7 {
+		t.Errorf("median = %d", Percentile(pl, 50))
+	}
+	if Percentile(pl, 100) != 9 || Percentile(pl, 0) != 5 {
+		t.Errorf("extremes wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Errorf("empty percentile")
+	}
+}
+
+func TestEUIOffsets(t *testing.T) {
+	s := probe.NewStore(true)
+	eui := ipv6.WithIID(ipv6.MustAddr("2400:9::"), ipv6.EUI64IID([6]byte{0, 0x1d, 0xd2, 1, 2, 3}))
+	te(s, "2400:1::1", "2400:a::1", 1)
+	s.Add(probe.Reply{From: eui, Target: ipv6.MustAddr("2400:1::1"), Kind: probe.KindTimeExceeded, TTL: 3, StateRecovered: true})
+	offs := EUIOffsets(s)
+	if len(offs) != 1 || offs[0] != 0 {
+		t.Errorf("offsets = %v (EUI hop is the last hop)", offs)
+	}
+	if CountEUIInterfaces(s) != 1 {
+		t.Errorf("EUI interfaces = %d", CountEUIInterfaces(s))
+	}
+}
+
+func TestReachedTargetASN(t *testing.T) {
+	table := bgp.NewTable()
+	table.Announce(ipv6.MustPrefix("2400:100::/32"), 100)
+	table.Announce(ipv6.MustPrefix("2400:200::/32"), 200)
+	s := probe.NewStore(true)
+	// Trace 1 reaches a hop in the target AS; trace 2 does not.
+	te(s, "2400:100::1", "2400:100::ff", 4)
+	te(s, "2400:200::1", "2400:100::fe", 3)
+	got := ReachedTargetASNFraction(s, table)
+	if got != 0.5 {
+		t.Errorf("reached fraction = %f", got)
+	}
+}
+
+func TestFeaturesAndExclusive(t *testing.T) {
+	table := bgp.NewTable()
+	table.Announce(ipv6.MustPrefix("2400:100::/32"), 100)
+	table.Announce(ipv6.MustPrefix("2400:200::/32"), 200)
+	setA := ipv6.NewSet([]netip.Addr{ipv6.MustAddr("2400:100::1"), ipv6.MustAddr("3fff::1")})
+	setB := ipv6.NewSet([]netip.Addr{ipv6.MustAddr("2400:100::2"), ipv6.MustAddr("2400:200::1")})
+	fa := FeaturesOf(setA, table)
+	fb := FeaturesOf(setB, table)
+	if fa.Routed != 1 || len(fa.Prefixes) != 1 || len(fa.ASNs) != 1 {
+		t.Errorf("features A: %+v", fa)
+	}
+	excl := ExclusiveKeys(map[string]map[uint32]struct{}{
+		"a": fa.ASNs, "b": fb.ASNs,
+	})
+	if excl["a"] != 0 || excl["b"] != 1 {
+		t.Errorf("exclusive ASNs: %v", excl)
+	}
+}
+
+func TestCount6to4(t *testing.T) {
+	s := ipv6.NewSet([]netip.Addr{
+		ipv6.MustAddr("2002:c000:204::1"),
+		ipv6.MustAddr("2400:1::1"),
+	})
+	if Count6to4(s) != 1 {
+		t.Errorf("6to4 count wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "Table X", Title: "demo", Headers: []string{"a", "bcd"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	for _, want := range []string{"Table X", "demo", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{ID: "Figure Y", Title: "demo", XLabel: "hop", YLabel: "frac",
+		Series: []Series{{Name: "s1", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}}}
+	out := fig.Render()
+	for _, want := range []string{"Figure Y", "s1", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package bgp models the routing-table view the study consumes: a RIB of
+// advertised IPv6 prefixes with origin ASNs, answering longest-prefix-match
+// and covering-prefix queries.
+//
+// Two augmentations from Section 6 of the paper are included because the
+// path-divergence subnet discovery depends on them: prefixes present in
+// Regional Internet Registry allocations but absent from the global BGP
+// table (networks need not advertise router infrastructure space), and
+// "equivalent ASN" groups capturing organizations that originate customer
+// and infrastructure prefixes from distinct ASNs (mergers, acquisitions,
+// sibling ASNs).
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"beholder/internal/ipv6"
+)
+
+// Route is one RIB entry.
+type Route struct {
+	Prefix netip.Prefix
+	Origin uint32
+}
+
+// Table is a BGP RIB with RIR and equivalent-ASN augmentation. The zero
+// value is empty and ready for use; methods are not safe for concurrent
+// mutation.
+type Table struct {
+	trie ipv6.Trie[uint32] // advertised prefixes → origin ASN
+	rir  ipv6.Trie[uint32] // registry-only allocations → holder ASN
+	dsu  map[uint32]uint32 // equivalent-ASN union-find parent
+	asns map[uint32]int    // advertised origin ASN → announcement count
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{dsu: make(map[uint32]uint32), asns: make(map[uint32]int)}
+}
+
+// Announce inserts an advertised prefix originated by asn.
+func (t *Table) Announce(p netip.Prefix, asn uint32) {
+	t.trie.Insert(p, asn)
+	t.asns[asn]++
+}
+
+// AddRIR records a registry allocation that is not globally advertised.
+func (t *Table) AddRIR(p netip.Prefix, asn uint32) {
+	t.rir.Insert(p, asn)
+}
+
+// AddEquivalent records that two ASNs belong to the same organization.
+func (t *Table) AddEquivalent(a, b uint32) {
+	ra, rb := t.find(a), t.find(b)
+	if ra != rb {
+		t.dsu[ra] = rb
+	}
+}
+
+func (t *Table) find(a uint32) uint32 {
+	r, ok := t.dsu[a]
+	if !ok || r == a {
+		return a
+	}
+	root := t.find(r)
+	t.dsu[a] = root
+	return root
+}
+
+// SameOrg reports whether two ASNs are equal or recorded as equivalent.
+func (t *Table) SameOrg(a, b uint32) bool {
+	if a == b {
+		return true
+	}
+	return t.find(a) == t.find(b)
+}
+
+// Lookup returns the longest advertised prefix covering a.
+func (t *Table) Lookup(a netip.Addr) (Route, bool) {
+	p, asn, ok := t.trie.Lookup(a)
+	return Route{p, asn}, ok
+}
+
+// LookupAny behaves like Lookup but falls back to RIR allocations when no
+// advertised prefix covers a. The boolean result distinguishes a BGP hit
+// (true) from an RIR-only hit.
+func (t *Table) LookupAny(a netip.Addr) (r Route, bgpHit, ok bool) {
+	if route, found := t.Lookup(a); found {
+		return route, true, true
+	}
+	p, asn, found := t.rir.Lookup(a)
+	return Route{p, asn}, false, found
+}
+
+// Routed reports whether a is covered by any advertised prefix.
+func (t *Table) Routed(a netip.Addr) bool {
+	_, _, ok := t.trie.Lookup(a)
+	return ok
+}
+
+// Origin returns the origin ASN of the longest advertised prefix covering
+// a, or 0 when a is unrouted.
+func (t *Table) Origin(a netip.Addr) uint32 {
+	_, asn, ok := t.trie.Lookup(a)
+	if !ok {
+		return 0
+	}
+	return asn
+}
+
+// OriginAny returns the origin of the covering advertised prefix, falling
+// back to RIR allocations.
+func (t *Table) OriginAny(a netip.Addr) uint32 {
+	if asn := t.Origin(a); asn != 0 {
+		return asn
+	}
+	_, asn, _ := t.rir.Lookup(a)
+	return asn
+}
+
+// NumPrefixes returns the number of advertised prefixes.
+func (t *Table) NumPrefixes() int { return t.trie.Len() }
+
+// NumASNs returns the number of distinct origin ASNs.
+func (t *Table) NumASNs() int { return len(t.asns) }
+
+// Prefixes returns all advertised routes in address order.
+func (t *Table) Prefixes() []Route {
+	out := make([]Route, 0, t.trie.Len())
+	t.trie.Walk(func(p netip.Prefix, asn uint32) bool {
+		out = append(out, Route{p, asn})
+		return true
+	})
+	return out
+}
+
+// Coverage summarizes how a set of addresses maps onto the RIB: how many
+// are routed, and how many distinct covering BGP prefixes and origin ASNs
+// they represent. These are the "Routed Targets", "BGP Prefixes", and
+// "ASNs" columns of Table 5 and the interface-address feature counts of
+// Table 7.
+type Coverage struct {
+	Total    int
+	Routed   int
+	Prefixes *ipv6.PrefixSet
+	ASNs     []uint32 // sorted, distinct
+}
+
+// Cover computes Coverage for the given addresses.
+func (t *Table) Cover(addrs []netip.Addr) Coverage {
+	cv := Coverage{Total: len(addrs)}
+	var pfx []netip.Prefix
+	asnSet := make(map[uint32]struct{})
+	for _, a := range addrs {
+		r, ok := t.Lookup(a)
+		if !ok {
+			continue
+		}
+		cv.Routed++
+		pfx = append(pfx, r.Prefix)
+		asnSet[r.Origin] = struct{}{}
+	}
+	cv.Prefixes = ipv6.NewPrefixSet(pfx)
+	cv.ASNs = make([]uint32, 0, len(asnSet))
+	for asn := range asnSet {
+		cv.ASNs = append(cv.ASNs, asn)
+	}
+	sort.Slice(cv.ASNs, func(i, j int) bool { return cv.ASNs[i] < cv.ASNs[j] })
+	return cv
+}

@@ -1,0 +1,114 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"beholder/internal/ipv6"
+)
+
+func build() *Table {
+	t := NewTable()
+	t.Announce(ipv6.MustPrefix("2001:db8::/32"), 100)
+	t.Announce(ipv6.MustPrefix("2001:db8:1::/48"), 200)
+	t.Announce(ipv6.MustPrefix("2620:1::/48"), 300)
+	t.AddRIR(ipv6.MustPrefix("2a00:ffff::/32"), 100)
+	return t
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	tbl := build()
+	r, ok := tbl.Lookup(ipv6.MustAddr("2001:db8:1::5"))
+	if !ok || r.Origin != 200 || r.Prefix != ipv6.MustPrefix("2001:db8:1::/48") {
+		t.Errorf("lookup: %+v ok=%v", r, ok)
+	}
+	r, ok = tbl.Lookup(ipv6.MustAddr("2001:db8:2::5"))
+	if !ok || r.Origin != 100 {
+		t.Errorf("covering /32: %+v", r)
+	}
+	if _, ok := tbl.Lookup(ipv6.MustAddr("3000::1")); ok {
+		t.Error("unrouted address matched")
+	}
+}
+
+func TestRoutedAndOrigin(t *testing.T) {
+	tbl := build()
+	if !tbl.Routed(ipv6.MustAddr("2620:1::1")) {
+		t.Error("routed address not detected")
+	}
+	if tbl.Routed(ipv6.MustAddr("2a00:ffff::1")) {
+		t.Error("RIR-only space must not count as BGP-routed")
+	}
+	if got := tbl.Origin(ipv6.MustAddr("2620:1::1")); got != 300 {
+		t.Errorf("origin = %d", got)
+	}
+	if got := tbl.Origin(ipv6.MustAddr("3000::1")); got != 0 {
+		t.Errorf("unrouted origin = %d", got)
+	}
+}
+
+func TestLookupAnyRIRFallback(t *testing.T) {
+	tbl := build()
+	r, bgpHit, ok := tbl.LookupAny(ipv6.MustAddr("2a00:ffff::1"))
+	if !ok || bgpHit || r.Origin != 100 {
+		t.Errorf("RIR fallback: %+v bgp=%v ok=%v", r, bgpHit, ok)
+	}
+	_, bgpHit, ok = tbl.LookupAny(ipv6.MustAddr("2001:db8::1"))
+	if !ok || !bgpHit {
+		t.Error("BGP hit not flagged")
+	}
+	if got := tbl.OriginAny(ipv6.MustAddr("2a00:ffff::1")); got != 100 {
+		t.Errorf("OriginAny = %d", got)
+	}
+}
+
+func TestEquivalentASNs(t *testing.T) {
+	tbl := build()
+	tbl.AddEquivalent(100, 7922)
+	tbl.AddEquivalent(7922, 7015) // transitive: Comcast-style sibling set
+	if !tbl.SameOrg(100, 7015) {
+		t.Error("transitive equivalence failed")
+	}
+	if !tbl.SameOrg(100, 100) {
+		t.Error("reflexive equivalence failed")
+	}
+	if tbl.SameOrg(100, 300) {
+		t.Error("unrelated ASNs equivalent")
+	}
+	if !tbl.SameOrg(7015, 7922) {
+		t.Error("symmetric equivalence failed")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tbl := build()
+	if tbl.NumPrefixes() != 3 {
+		t.Errorf("NumPrefixes = %d", tbl.NumPrefixes())
+	}
+	if tbl.NumASNs() != 3 {
+		t.Errorf("NumASNs = %d", tbl.NumASNs())
+	}
+	if got := len(tbl.Prefixes()); got != 3 {
+		t.Errorf("Prefixes len = %d", got)
+	}
+}
+
+func TestCover(t *testing.T) {
+	tbl := build()
+	addrs := []netip.Addr{
+		ipv6.MustAddr("2001:db8::1"),   // /32, AS100
+		ipv6.MustAddr("2001:db8:1::1"), // /48, AS200
+		ipv6.MustAddr("2001:db8:1::2"), // /48, AS200
+		ipv6.MustAddr("3000::1"),       // unrouted
+	}
+	cv := tbl.Cover(addrs)
+	if cv.Total != 4 || cv.Routed != 3 {
+		t.Errorf("total/routed = %d/%d", cv.Total, cv.Routed)
+	}
+	if cv.Prefixes.Len() != 2 {
+		t.Errorf("prefixes = %d", cv.Prefixes.Len())
+	}
+	if len(cv.ASNs) != 2 || cv.ASNs[0] != 100 || cv.ASNs[1] != 200 {
+		t.Errorf("asns = %v", cv.ASNs)
+	}
+}

@@ -1,0 +1,258 @@
+// Package core implements Yarrp6, the paper's primary contribution: a
+// stateless, randomized, high-speed IPv6 topology prober (Section 4).
+//
+// Yarrp6 walks the cross product of targets and TTLs in a keyed
+// pseudorandom permutation so that no router or path receives probe
+// bursts — the property that defeats mandated ICMPv6 rate limiting. All
+// per-probe state travels inside the probe itself (Figure 4; see
+// probe.Codec for the layout) and is recovered from the ICMPv6 error
+// quotation, so the prober retains no per-destination state: its memory
+// is O(max TTL), never O(targets), and a campaign can be resumed from a
+// permutation counter alone.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"beholder/internal/perm"
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+// Magic re-exports the probe payload magic for callers inspecting wire
+// traffic.
+const Magic = probe.Magic
+
+// PayloadLen re-exports the probe payload length (Figure 4).
+const PayloadLen = probe.PayloadLen
+
+// Config parameterizes a Yarrp6 campaign.
+type Config struct {
+	// Targets to probe. The slice is not retained beyond Run.
+	Targets []netip.Addr
+	// MinTTL and MaxTTL bound the randomized TTL range (inclusive).
+	// Defaults: 1 and 16 (the paper's tuned maximum, Table 6).
+	MinTTL, MaxTTL uint8
+	// PPS is the probing rate in packets per second. Default 1000 (the
+	// paper's campaign rate).
+	PPS float64
+	// Proto selects the probe transport: wire.ProtoICMPv6 (default),
+	// wire.ProtoUDP, or wire.ProtoTCP.
+	Proto uint8
+	// Instance distinguishes concurrent prober instances.
+	Instance uint8
+	// Key seeds the probe-order permutation; campaigns with equal keys
+	// and targets probe in identical order.
+	Key uint64
+	// Fill enables fill mode: a response from hop h >= MaxTTL triggers
+	// an immediate probe at h+1, up to FillLimit (Section 4.1).
+	Fill      bool
+	FillLimit uint8 // default 32
+	// NeighborhoodWindow, when nonzero, enables the local-neighborhood
+	// heuristic (Section 4.2): for TTLs at or below NeighborhoodTTL, if
+	// no new interface address has been discovered at that TTL within
+	// the window, further probes at that TTL are skipped.
+	NeighborhoodWindow time.Duration
+	NeighborhoodTTL    uint8
+	// DrainTimeout is how long to keep collecting replies after the last
+	// probe. Default 2s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) setDefaults() error {
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("yarrp6: no targets")
+	}
+	if c.MinTTL == 0 {
+		c.MinTTL = 1
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 16
+	}
+	if c.MinTTL > c.MaxTTL {
+		return fmt.Errorf("yarrp6: MinTTL %d > MaxTTL %d", c.MinTTL, c.MaxTTL)
+	}
+	if c.PPS <= 0 {
+		c.PPS = 1000
+	}
+	if c.Proto == 0 {
+		c.Proto = wire.ProtoICMPv6
+	}
+	if c.Proto != wire.ProtoICMPv6 && c.Proto != wire.ProtoUDP && c.Proto != wire.ProtoTCP {
+		return fmt.Errorf("yarrp6: unsupported transport %d", c.Proto)
+	}
+	if c.FillLimit == 0 {
+		c.FillLimit = 32
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.NeighborhoodWindow > 0 && c.NeighborhoodTTL == 0 {
+		c.NeighborhoodTTL = 3
+	}
+	return nil
+}
+
+// Stats reports a campaign's send-side and recovery counters.
+type Stats struct {
+	ProbesSent int64
+	Fills      int64
+	Skipped    int64 // suppressed by the neighborhood heuristic
+	Replies    int64
+	NotMine    int64 // replies failing authentication
+	Curve      []CurvePoint
+	Elapsed    time.Duration
+}
+
+// CurvePoint samples discovery progress (Figure 7): after Probes probes,
+// Interfaces unique interface addresses were known.
+type CurvePoint struct {
+	Probes     int64
+	Interfaces int
+}
+
+// Yarrp6 is a configured prober bound to a vantage connection.
+type Yarrp6 struct {
+	conn  probe.Conn
+	cfg   Config
+	codec *probe.Codec
+
+	pkt  []byte
+	rbuf []byte
+
+	stats Stats
+
+	// Neighborhood heuristic state: bounded by the TTL range, not by
+	// targets — the prober stays O(1) in destinations.
+	lastNew [256]time.Duration
+}
+
+// New creates a prober. The configuration is validated at Run.
+func New(conn probe.Conn, cfg Config) *Yarrp6 {
+	return &Yarrp6{
+		conn: conn,
+		cfg:  cfg,
+		pkt:  make([]byte, 128),
+		rbuf: make([]byte, wire.MinMTU),
+	}
+}
+
+// initCodec validates configuration and anchors the codec epoch at the
+// current time; Run calls it, and tests exercising probe construction
+// directly call it too.
+func (y *Yarrp6) initCodec() error {
+	if err := y.cfg.setDefaults(); err != nil {
+		return err
+	}
+	y.codec = probe.NewCodec(y.conn, y.cfg.Proto, y.cfg.Instance)
+	return nil
+}
+
+// buildProbe constructs the wire packet for (target, ttl) into buf.
+func (y *Yarrp6) buildProbe(buf []byte, target netip.Addr, ttl uint8) int {
+	return y.codec.BuildProbe(buf, target, ttl)
+}
+
+// Run executes the campaign, folding every recovered reply into store.
+func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
+	if err := y.initCodec(); err != nil {
+		return Stats{}, err
+	}
+	cfg := y.cfg
+	y.stats = Stats{}
+
+	nTTLs := uint64(cfg.MaxTTL-cfg.MinTTL) + 1
+	domain := uint64(len(cfg.Targets)) * nTTLs
+	p, err := perm.New(cfg.Key, domain)
+	if err != nil {
+		return Stats{}, fmt.Errorf("yarrp6: %w", err)
+	}
+	gap := time.Duration(float64(time.Second) / cfg.PPS)
+	curveStep := int64(domain/128) + 1
+
+	it := p.Iter()
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		target := cfg.Targets[v%uint64(len(cfg.Targets))]
+		ttl := cfg.MinTTL + uint8(v/uint64(len(cfg.Targets)))
+		if y.skipByNeighborhood(ttl) {
+			y.stats.Skipped++
+			continue
+		}
+		if err := y.sendProbe(target, ttl); err != nil {
+			return y.stats, err
+		}
+		y.conn.Sleep(gap)
+		y.drain(store)
+		if y.stats.ProbesSent%curveStep == 0 {
+			y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})
+		}
+	}
+	// Collect stragglers.
+	deadline := y.conn.Now() + cfg.DrainTimeout
+	for y.conn.Now() < deadline {
+		y.conn.Sleep(20 * time.Millisecond)
+		y.drain(store)
+	}
+	y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})
+	y.stats.Elapsed = y.conn.Now() - y.codec.Epoch()
+	y.stats.NotMine = y.codec.NotMine
+	return y.stats, nil
+}
+
+func (y *Yarrp6) skipByNeighborhood(ttl uint8) bool {
+	if y.cfg.NeighborhoodWindow == 0 || ttl > y.cfg.NeighborhoodTTL {
+		return false
+	}
+	last := y.lastNew[ttl]
+	return last != 0 && y.conn.Now()-last > y.cfg.NeighborhoodWindow
+}
+
+func (y *Yarrp6) sendProbe(target netip.Addr, ttl uint8) error {
+	n := y.buildProbe(y.pkt, target, ttl)
+	if err := y.conn.Send(y.pkt[:n]); err != nil {
+		return err
+	}
+	y.stats.ProbesSent++
+	return nil
+}
+
+// drain processes every deliverable reply.
+func (y *Yarrp6) drain(store *probe.Store) {
+	for {
+		n, ok := y.conn.Recv(y.rbuf)
+		if !ok {
+			return
+		}
+		y.handleReply(y.rbuf[:n], store)
+	}
+}
+
+// handleReply parses one reply, folds it into the store, and drives the
+// fill-mode and neighborhood mechanisms.
+func (y *Yarrp6) handleReply(b []byte, store *probe.Store) {
+	r, ok := y.codec.ParseReply(b)
+	if !ok {
+		return
+	}
+	y.stats.Replies++
+	newIface := store.Add(r)
+	if newIface && r.TTL != 0 && r.TTL <= y.cfg.NeighborhoodTTL {
+		y.lastNew[r.TTL] = y.conn.Now()
+	}
+	// Fill mode: a response from at or past the maximum randomized TTL
+	// extends the trace sequentially toward the destination. Fills are
+	// uncommon and land at path tails, where sequential probing has the
+	// least rate-limiting impact (Section 4.1).
+	if y.cfg.Fill && r.Kind == probe.KindTimeExceeded && r.StateRecovered &&
+		r.TTL >= y.cfg.MaxTTL && r.TTL < y.cfg.FillLimit && r.Target.IsValid() {
+		if err := y.sendProbe(r.Target, r.TTL+1); err == nil {
+			y.stats.Fills++
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ipv6
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestDPLsSimple(t *testing.T) {
+	// Three addresses: first two share 126 bits (differ at bit 127... i.e.
+	// DPL 127), third is far away.
+	s := NewSet(addrsOf("2001:db8::1", "2001:db8::2", "2001:db9::1"))
+	dpls := DPLs(s)
+	// Sorted order: 2001:db8::1, 2001:db8::2, 2001:db9::1.
+	// ::1 vs ::2 differ in low nibble: common prefix 126 → DPL 127.
+	if dpls[0] != 127 || dpls[1] != 127 {
+		t.Errorf("neighbor DPLs = %v want 127,127", dpls[:2])
+	}
+	// 2001:db9::1 vs 2001:db8::2: db8 vs db9 differ at bit 32 (0-based 31),
+	// common prefix 31 → DPL 32.
+	if dpls[2] != 32 {
+		t.Errorf("outlier DPL = %d want 32", dpls[2])
+	}
+}
+
+func TestDPLsDegenerate(t *testing.T) {
+	if got := DPLs(EmptySet()); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	one := NewSet(addrsOf("2001:db8::1"))
+	if got := DPLs(one); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton: %v", got)
+	}
+}
+
+func TestDPLMatchesPaperSemantics(t *testing.T) {
+	// "over 70% of the fiebig-z64 target addresses have DPL of 64, meaning
+	// the addresses share the top 63 bits": construct adjacent /64s and
+	// verify DPL 64.
+	s := NewSet(addrsOf("2001:db8:0:0::1", "2001:db8:0:1::1"))
+	dpls := DPLs(s)
+	if dpls[0] != 64 || dpls[1] != 64 {
+		t.Errorf("adjacent /64 DPLs = %v want 64,64", dpls)
+	}
+}
+
+func TestDPLsBruteForceQuick(t *testing.T) {
+	// The sorted-neighbor shortcut must agree with the O(n^2) definition:
+	// DPL(a) = 1 + max_{b≠a} CommonPrefixLen(a,b).
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		addrs := make([]netip.Addr, len(raw))
+		for i, v := range raw {
+			addrs[i] = U128{0x2001_0db8_0000_0000, uint64(v)}.Addr()
+		}
+		s := NewSet(addrs)
+		if s.Len() < 2 {
+			return true
+		}
+		got := DPLs(s)
+		for i := 0; i < s.Len(); i++ {
+			best := 0
+			for j := 0; j < s.Len(); j++ {
+				if i == j {
+					continue
+				}
+				if l := CommonPrefixLen(s.At(i), s.At(j)); l > best {
+					best = l
+				}
+			}
+			if got[i] != best+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPLHistogramAndCDF(t *testing.T) {
+	s := NewSet(addrsOf("2001:db8:0:0::1", "2001:db8:0:1::1", "2001:db9::1"))
+	h := DPLHistogram(s)
+	if h[64] != 2 {
+		t.Errorf("h[64] = %d want 2", h[64])
+	}
+	if h[32] != 1 {
+		t.Errorf("h[32] = %d want 1", h[32])
+	}
+	cdf := DPLCDF(s)
+	if cdf[128] != 1.0 {
+		t.Errorf("cdf[128] = %f want 1", cdf[128])
+	}
+	if cdf[31] != 0 {
+		t.Errorf("cdf[31] = %f want 0", cdf[31])
+	}
+	if got := cdf[32]; got < 0.33 || got > 0.34 {
+		t.Errorf("cdf[32] = %f want ~1/3", got)
+	}
+}
+
+func TestDPLCapsAt64ForZ64LowbyteTargets(t *testing.T) {
+	// All z64+lowbyte1 targets share an identical IID, so any two distinct
+	// targets differ inside the top 64 bits: DPL can never exceed 64. This
+	// is why Figure 3's x axis ends at 64.
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]netip.Addr, 500)
+	for i := range addrs {
+		addrs[i] = U128{rng.Uint64(), 1}.Addr()
+	}
+	for _, d := range DPLs(NewSet(addrs)) {
+		if d > 64 {
+			t.Fatalf("DPL %d > 64 for z64 lowbyte targets", d)
+		}
+	}
+}
+
+func TestPairDPL(t *testing.T) {
+	a, b := MustAddr("2001:db8::1"), MustAddr("2001:db8::2")
+	if got := PairDPL(a, b); got != 127 {
+		t.Errorf("PairDPL = %d want 127", got)
+	}
+	if got := PairDPL(a, a); got != 129 {
+		t.Errorf("identical PairDPL = %d want 129", got)
+	}
+}

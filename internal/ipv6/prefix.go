@@ -1,0 +1,116 @@
+package ipv6
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IID manipulation. Per RFC 4291 the low 64 bits of a unicast IPv6 address
+// form the interface identifier; the paper's target synthesis methods all
+// operate by replacing the IID beneath a 64-bit subnet prefix.
+
+// WithIID returns the address whose top 64 bits come from a and whose low
+// 64 bits are iid.
+func WithIID(a netip.Addr, iid uint64) netip.Addr {
+	u := FromAddr(a)
+	u.Lo = iid
+	return u.Addr()
+}
+
+// IID returns the low 64 bits (interface identifier) of a.
+func IID(a netip.Addr) uint64 { return FromAddr(a).Lo }
+
+// SubnetPrefix64 returns the covering /64 prefix of a.
+func SubnetPrefix64(a netip.Addr) netip.Prefix {
+	u := FromAddr(a)
+	u.Lo = 0
+	return netip.PrefixFrom(u.Addr(), 64)
+}
+
+// CanonicalPrefix returns p with its base address masked so that bits past
+// the prefix length are zero. netip.Prefix does not canonicalize on
+// construction; almost every set operation in this library wants masked
+// prefixes, so callers normalize through here.
+func CanonicalPrefix(p netip.Prefix) netip.Prefix {
+	u := FromAddr(p.Addr()).And(Mask(p.Bits()))
+	return netip.PrefixFrom(u.Addr(), p.Bits())
+}
+
+// PrefixBase returns the first address covered by p (the masked base).
+func PrefixBase(p netip.Prefix) netip.Addr {
+	return FromAddr(p.Addr()).And(Mask(p.Bits())).Addr()
+}
+
+// PrefixLast returns the last address covered by p.
+func PrefixLast(p netip.Prefix) netip.Addr {
+	return FromAddr(p.Addr()).Or(Mask(p.Bits()).Not()).Addr()
+}
+
+// NthSubprefix returns the i'th prefix of length newLen inside p
+// (i counts from zero in address order). It panics if newLen < p.Bits()
+// or the index is out of range for the available subprefixes.
+func NthSubprefix(p netip.Prefix, newLen int, i uint64) netip.Prefix {
+	if newLen < p.Bits() || newLen > 128 {
+		panic(fmt.Sprintf("ipv6: NthSubprefix length %d outside [%d,128]", newLen, p.Bits()))
+	}
+	width := newLen - p.Bits()
+	if width < 64 && width > 0 && i >= uint64(1)<<uint(width) {
+		panic(fmt.Sprintf("ipv6: NthSubprefix index %d out of range for %d spare bits", i, width))
+	}
+	u := FromAddr(PrefixBase(p))
+	off := U128{0, i}.Shl(uint(128 - newLen))
+	return netip.PrefixFrom(u.Or(off).Addr(), newLen)
+}
+
+// NthAddr returns the address at offset i within p.
+func NthAddr(p netip.Prefix, i uint64) netip.Addr {
+	u := FromAddr(PrefixBase(p))
+	return u.Add64(i).Addr()
+}
+
+// Extend widens (or narrows) p to exactly n bits as the paper's zn
+// transformation does: prefixes shorter than n are extended (base address
+// zero-filled past the original length), prefixes longer than n are
+// aggregated up to /n. Addresses are treated as /128 prefixes.
+func Extend(p netip.Prefix, n int) netip.Prefix {
+	base := FromAddr(p.Addr()).And(Mask(min(p.Bits(), n)))
+	return netip.PrefixFrom(base.Addr(), n)
+}
+
+// Is6to4 reports whether a falls inside 2002::/16, the 6to4 transition
+// space that Table 5 tallies separately.
+func Is6to4(a netip.Addr) bool {
+	u := FromAddr(a)
+	return uint16(u.Hi>>48) == 0x2002
+}
+
+// EUI64IID builds a modified EUI-64 interface identifier from a 48-bit MAC
+// address per RFC 4291 appendix A: the MAC is split around ff:fe and the
+// universal/local bit (bit 6 of the first octet) is inverted.
+func EUI64IID(mac [6]byte) uint64 {
+	return uint64(mac[0]^0x02)<<56 | uint64(mac[1])<<48 | uint64(mac[2])<<40 |
+		0xff_fe<<24 |
+		uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])
+}
+
+// IsEUI64IID reports whether iid has the modified EUI-64 ff:fe marker in
+// the middle two octets.
+func IsEUI64IID(iid uint64) bool {
+	return (iid>>24)&0xffff == 0xfffe
+}
+
+// MACFromEUI64 recovers the embedded MAC address from a modified EUI-64
+// IID. The second return value is false when iid lacks the ff:fe marker.
+func MACFromEUI64(iid uint64) ([6]byte, bool) {
+	if !IsEUI64IID(iid) {
+		return [6]byte{}, false
+	}
+	return [6]byte{
+		byte(iid>>56) ^ 0x02,
+		byte(iid >> 48),
+		byte(iid >> 40),
+		byte(iid >> 16),
+		byte(iid >> 8),
+		byte(iid),
+	}, true
+}

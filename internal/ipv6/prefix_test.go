@@ -1,0 +1,164 @@
+package ipv6
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestWithIID(t *testing.T) {
+	a := MustAddr("2001:db8:1:2:aaaa:bbbb:cccc:dddd")
+	got := WithIID(a, 1)
+	want := MustAddr("2001:db8:1:2::1")
+	if got != want {
+		t.Errorf("WithIID: got %s want %s", got, want)
+	}
+	if IID(got) != 1 {
+		t.Errorf("IID: got %d", IID(got))
+	}
+	fixed := uint64(0x1234_5678_1234_5678)
+	if got := IID(WithIID(a, fixed)); got != fixed {
+		t.Errorf("fixed IID round trip: %x", got)
+	}
+}
+
+func TestSubnetPrefix64(t *testing.T) {
+	a := MustAddr("2001:db8:1:2:aaaa:bbbb:cccc:dddd")
+	got := SubnetPrefix64(a)
+	want := MustPrefix("2001:db8:1:2::/64")
+	if got != want {
+		t.Errorf("SubnetPrefix64: got %s want %s", got, want)
+	}
+}
+
+func TestCanonicalPrefix(t *testing.T) {
+	p := netip.PrefixFrom(MustAddr("2001:db8::ffff"), 48)
+	got := CanonicalPrefix(p)
+	if got.Addr() != MustAddr("2001:db8::") || got.Bits() != 48 {
+		t.Errorf("CanonicalPrefix: got %s", got)
+	}
+}
+
+func TestPrefixBaseLast(t *testing.T) {
+	p := MustPrefix("2001:db8::/48")
+	if got := PrefixBase(p); got != MustAddr("2001:db8::") {
+		t.Errorf("base: %s", got)
+	}
+	if got := PrefixLast(p); got != MustAddr("2001:db8:0:ffff:ffff:ffff:ffff:ffff") {
+		t.Errorf("last: %s", got)
+	}
+}
+
+func TestNthSubprefix(t *testing.T) {
+	p := MustPrefix("2001:db8::/32")
+	if got := NthSubprefix(p, 48, 0); got != MustPrefix("2001:db8::/48") {
+		t.Errorf("i=0: %s", got)
+	}
+	if got := NthSubprefix(p, 48, 1); got != MustPrefix("2001:db8:1::/48") {
+		t.Errorf("i=1: %s", got)
+	}
+	if got := NthSubprefix(p, 48, 0xffff); got != MustPrefix("2001:db8:ffff::/48") {
+		t.Errorf("i=max: %s", got)
+	}
+}
+
+func TestNthSubprefixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	NthSubprefix(MustPrefix("2001:db8::/32"), 48, 1<<16)
+}
+
+func TestNthAddr(t *testing.T) {
+	p := MustPrefix("2001:db8::/64")
+	if got := NthAddr(p, 0); got != MustAddr("2001:db8::") {
+		t.Errorf("i=0: %s", got)
+	}
+	if got := NthAddr(p, 257); got != MustAddr("2001:db8::101") {
+		t.Errorf("i=257: %s", got)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"2001:db8::/32", 48, "2001:db8::/48"},         // widen
+		{"2001:db8:1:2::/64", 48, "2001:db8:1::/48"},   // aggregate
+		{"2001:db8:1::/48", 48, "2001:db8:1::/48"},     // unchanged
+		{"2001:db8::1/128", 64, "2001:db8::/64"},       // address → /64
+		{"2001:db8:ffff::/48", 40, "2001:db8:ff00::/40"},
+	}
+	for _, c := range cases {
+		got := Extend(MustPrefix(c.in), c.n)
+		if got != MustPrefix(c.want) {
+			t.Errorf("Extend(%s,%d) = %s want %s", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestExtendInvariantQuick(t *testing.T) {
+	// For any address and n, the extended prefix covers the masked address
+	// and has canonical (masked) form.
+	f := func(hi, lo uint64, nRaw uint8) bool {
+		n := int(nRaw%96) + 24 // prefix lengths 24..119
+		a := U128{hi, lo}.Addr()
+		p := Extend(netip.PrefixFrom(a, 128), n)
+		if p.Bits() != n {
+			return false
+		}
+		return p.Contains(a) && p == CanonicalPrefix(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIs6to4(t *testing.T) {
+	if !Is6to4(MustAddr("2002:c000:204::1")) {
+		t.Error("2002::/16 member not detected")
+	}
+	if Is6to4(MustAddr("2001:db8::1")) {
+		t.Error("false positive")
+	}
+}
+
+func TestEUI64RoundTrip(t *testing.T) {
+	mac := [6]byte{0x00, 0x16, 0x3e, 0x12, 0x34, 0x56}
+	iid := EUI64IID(mac)
+	if !IsEUI64IID(iid) {
+		t.Fatalf("EUI64IID(%x) = %x not recognized", mac, iid)
+	}
+	got, ok := MACFromEUI64(iid)
+	if !ok || got != mac {
+		t.Errorf("MAC round trip: got %x ok=%v want %x", got, ok, mac)
+	}
+	// The universal/local bit must be flipped: 00:16:3e → 02:16:3e.
+	if byte(iid>>56) != 0x02 {
+		t.Errorf("u/l bit not inverted: top octet %x", byte(iid>>56))
+	}
+}
+
+func TestEUI64QuickRoundTrip(t *testing.T) {
+	f := func(m0, m1, m2, m3, m4, m5 byte) bool {
+		mac := [6]byte{m0, m1, m2, m3, m4, m5}
+		got, ok := MACFromEUI64(EUI64IID(mac))
+		return ok && got == mac
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsEUI64IIDNegative(t *testing.T) {
+	if IsEUI64IID(0x0000_0000_0000_0001) {
+		t.Error("lowbyte IID misclassified as EUI-64")
+	}
+	if IsEUI64IID(0x1234_5678_1234_5678) {
+		t.Error("fixed IID misclassified as EUI-64")
+	}
+}

@@ -1,0 +1,149 @@
+package ipv6
+
+import "net/netip"
+
+// Trie is a binary radix trie mapping IPv6 prefixes to values of type V.
+// It backs the BGP RIB (longest-prefix match, covering-prefix queries) and
+// the subnet-discovery bookkeeping. One bit is consumed per level; with
+// realistic RIB sizes (tens of thousands of prefixes) lookups walk at most
+// 128 nodes, which profiles far below the cost of packet construction.
+//
+// The zero value is an empty trie ready for use.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Insert associates v with prefix p, replacing any existing value.
+func (t *Trie[V]) Insert(p netip.Prefix, v V) {
+	p = CanonicalPrefix(p)
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	u := FromAddr(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := u.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val = v
+	n.set = true
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Exact returns the value stored at exactly prefix p.
+func (t *Trie[V]) Exact(p netip.Prefix) (V, bool) {
+	var zero V
+	p = CanonicalPrefix(p)
+	n := t.root
+	u := FromAddr(p.Addr())
+	for i := 0; n != nil && i < p.Bits(); i++ {
+		n = n.child[u.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup returns the value of the longest stored prefix covering a, along
+// with that prefix. ok is false when no stored prefix covers a.
+func (t *Trie[V]) Lookup(a netip.Addr) (p netip.Prefix, v V, ok bool) {
+	u := FromAddr(a)
+	n := t.root
+	depth := 0
+	bestDepth := -1
+	var bestVal V
+	for n != nil {
+		if n.set {
+			bestDepth = depth
+			bestVal = n.val
+		}
+		if depth == 128 {
+			break
+		}
+		n = n.child[u.Bit(depth)]
+		depth++
+	}
+	if bestDepth < 0 {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	base := u.And(Mask(bestDepth))
+	return netip.PrefixFrom(base.Addr(), bestDepth), bestVal, true
+}
+
+// Covering returns every stored (prefix, value) pair that covers a, from
+// shortest to longest.
+func (t *Trie[V]) Covering(a netip.Addr) []TrieEntry[V] {
+	u := FromAddr(a)
+	n := t.root
+	depth := 0
+	var out []TrieEntry[V]
+	for n != nil {
+		if n.set {
+			base := u.And(Mask(depth))
+			out = append(out, TrieEntry[V]{netip.PrefixFrom(base.Addr(), depth), n.val})
+		}
+		if depth == 128 {
+			break
+		}
+		n = n.child[u.Bit(depth)]
+		depth++
+	}
+	return out
+}
+
+// TrieEntry pairs a stored prefix with its value.
+type TrieEntry[V any] struct {
+	Prefix netip.Prefix
+	Value  V
+}
+
+// Walk visits every stored (prefix, value) pair in address order. The walk
+// stops early if fn returns false.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	var rec func(n *trieNode[V], u U128, depth int) bool
+	rec = func(n *trieNode[V], u U128, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(netip.PrefixFrom(u.Addr(), depth), n.val) {
+				return false
+			}
+		}
+		if depth == 128 {
+			return true
+		}
+		if !rec(n.child[0], u, depth+1) {
+			return false
+		}
+		return rec(n.child[1], u.SetBit(depth, 1), depth+1)
+	}
+	rec(t.root, U128{}, 0)
+}
+
+// Entries returns all stored pairs in address order.
+func (t *Trie[V]) Entries() []TrieEntry[V] {
+	out := make([]TrieEntry[V], 0, t.size)
+	t.Walk(func(p netip.Prefix, v V) bool {
+		out = append(out, TrieEntry[V]{p, v})
+		return true
+	})
+	return out
+}

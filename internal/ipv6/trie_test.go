@@ -1,0 +1,194 @@
+package ipv6
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func TestTrieLookupLongestMatch(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustPrefix("2001:db8::/32"), 1)
+	tr.Insert(MustPrefix("2001:db8:1::/48"), 2)
+	tr.Insert(MustPrefix("2001:db8:1:1::/64"), 3)
+
+	cases := []struct {
+		addr string
+		want int
+		ok   bool
+	}{
+		{"2001:db8:1:1::5", 3, true},
+		{"2001:db8:1:2::5", 2, true},
+		{"2001:db8:2::5", 1, true},
+		{"2001:db9::1", 0, false},
+	}
+	for _, c := range cases {
+		p, v, ok := tr.Lookup(MustAddr(c.addr))
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("Lookup(%s) = (%s,%d,%v) want (%d,%v)", c.addr, p, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTrieLookupReturnsMatchedPrefix(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustPrefix("2001:db8::/32"), "a")
+	p, _, ok := tr.Lookup(MustAddr("2001:db8:ffff::1"))
+	if !ok || p != MustPrefix("2001:db8::/32") {
+		t.Errorf("matched prefix = %s ok=%v", p, ok)
+	}
+}
+
+func TestTrieExact(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustPrefix("2001:db8::/32"), 7)
+	if v, ok := tr.Exact(MustPrefix("2001:db8::/32")); !ok || v != 7 {
+		t.Errorf("exact = %d,%v", v, ok)
+	}
+	if _, ok := tr.Exact(MustPrefix("2001:db8::/33")); ok {
+		t.Error("phantom exact match")
+	}
+	// Re-insert replaces.
+	tr.Insert(MustPrefix("2001:db8::/32"), 9)
+	if v, _ := tr.Exact(MustPrefix("2001:db8::/32")); v != 9 {
+		t.Errorf("replace failed: %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d want 1", tr.Len())
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustPrefix("2001:db8::/32"), 1)
+	tr.Insert(MustPrefix("2001:db8:1::/48"), 2)
+	tr.Insert(MustPrefix("2001:db8:1:1::/64"), 3)
+	got := tr.Covering(MustAddr("2001:db8:1:1::9"))
+	if len(got) != 3 {
+		t.Fatalf("covering count = %d want 3: %v", len(got), got)
+	}
+	// Shortest to longest.
+	if got[0].Value != 1 || got[1].Value != 2 || got[2].Value != 3 {
+		t.Errorf("covering order: %v", got)
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustPrefix("::/0"), "default")
+	_, v, ok := tr.Lookup(MustAddr("2001:db8::1"))
+	if !ok || v != "default" {
+		t.Errorf("default route: %s %v", v, ok)
+	}
+}
+
+func TestTrieWalkOrderAndEntries(t *testing.T) {
+	var tr Trie[int]
+	prefixes := []string{"2001:db9::/32", "2001:db8::/32", "2001:db8:1::/48"}
+	for i, p := range prefixes {
+		tr.Insert(MustPrefix(p), i)
+	}
+	entries := tr.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Address order: db8/32 sorts before db8:1/48 (same base? No: db8::/32
+	// base equals db8:1::/48's base up to bit 32; walk emits shorter first
+	// along the same path), db9 last.
+	if entries[0].Prefix != MustPrefix("2001:db8::/32") {
+		t.Errorf("entry 0 = %s", entries[0].Prefix)
+	}
+	if entries[2].Prefix != MustPrefix("2001:db9::/32") {
+		t.Errorf("entry 2 = %s", entries[2].Prefix)
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustPrefix("2001:db8::/32"), 1)
+	tr.Insert(MustPrefix("2001:db9::/32"), 2)
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("walk visited %d want 1", n)
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	var tr Trie[int]
+	a := MustAddr("2001:db8::42")
+	tr.Insert(netip.PrefixFrom(a, 128), 5)
+	_, v, ok := tr.Lookup(a)
+	if !ok || v != 5 {
+		t.Errorf("host route: %d %v", v, ok)
+	}
+	if _, _, ok := tr.Lookup(MustAddr("2001:db8::43")); ok {
+		t.Error("host route leaked to sibling")
+	}
+}
+
+func TestTrieRandomizedAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tr Trie[int]
+	type ent struct {
+		p netip.Prefix
+		v int
+	}
+	var ents []ent
+	for i := 0; i < 300; i++ {
+		bits := 16 + rng.Intn(49) // /16../64
+		u := U128{0x2000_0000_0000_0000 | rng.Uint64()>>4, rng.Uint64()}
+		p := CanonicalPrefix(netip.PrefixFrom(u.Addr(), bits))
+		tr.Insert(p, i)
+		ents = append(ents, ent{p, i})
+	}
+	// Last insert wins for duplicate prefixes; build reference map.
+	ref := make(map[netip.Prefix]int)
+	for _, e := range ents {
+		ref[e.p] = e.v
+	}
+	for i := 0; i < 1000; i++ {
+		u := U128{0x2000_0000_0000_0000 | rng.Uint64()>>4, rng.Uint64()}
+		a := u.Addr()
+		// Linear-scan longest match.
+		bestLen := -1
+		bestVal := 0
+		for p, v := range ref {
+			if p.Contains(a) && p.Bits() > bestLen {
+				bestLen = p.Bits()
+				bestVal = v
+			}
+		}
+		p, v, ok := tr.Lookup(a)
+		if bestLen < 0 {
+			if ok {
+				t.Fatalf("phantom match %s for %s", p, a)
+			}
+			continue
+		}
+		if !ok || v != bestVal || p.Bits() != bestLen {
+			t.Fatalf("mismatch for %s: trie (%s,%d,%v) scan (/%d,%d)", a, p, v, ok, bestLen, bestVal)
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var tr Trie[int]
+	for i := 0; i < 50_000; i++ {
+		bits := 20 + rng.Intn(45)
+		u := U128{0x2000_0000_0000_0000 | rng.Uint64()>>4, 0}
+		tr.Insert(netip.PrefixFrom(u.Addr(), bits), i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = U128{0x2000_0000_0000_0000 | rng.Uint64()>>4, rng.Uint64()}.Addr()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%1024])
+	}
+}

@@ -1,0 +1,202 @@
+// Package ipv6 provides the address arithmetic that underpins the rest of
+// the library: 128-bit unsigned integers, prefix manipulation, address sets,
+// discriminating prefix lengths (DPL), and a longest-prefix-match trie.
+//
+// Addresses are represented with net/netip.Addr, which is comparable and
+// therefore usable as a map key; the conversions to and from U128 make bit
+// surgery (interface identifiers, prefix masks, permuted offsets) cheap and
+// allocation free.
+package ipv6
+
+import (
+	"math/bits"
+	"net/netip"
+)
+
+// U128 is an unsigned 128-bit integer, big-endian with respect to an IPv6
+// address: Hi holds the top 64 bits (the subnet prefix in common address
+// plans) and Lo the bottom 64 bits (the interface identifier).
+type U128 struct {
+	Hi uint64
+	Lo uint64
+}
+
+// FromAddr converts an address to its 128-bit integer value.
+// IPv4 addresses are converted via their IPv4-mapped IPv6 form.
+func FromAddr(a netip.Addr) U128 {
+	b := a.As16()
+	return U128{
+		Hi: beUint64(b[0:8]),
+		Lo: beUint64(b[8:16]),
+	}
+}
+
+// Addr converts the integer back to a netip.Addr (always 16-byte form).
+func (u U128) Addr() netip.Addr {
+	var b [16]byte
+	bePutUint64(b[0:8], u.Hi)
+	bePutUint64(b[8:16], u.Lo)
+	return netip.AddrFrom16(b)
+}
+
+func beUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func bePutUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// And returns u & v.
+func (u U128) And(v U128) U128 { return U128{u.Hi & v.Hi, u.Lo & v.Lo} }
+
+// Or returns u | v.
+func (u U128) Or(v U128) U128 { return U128{u.Hi | v.Hi, u.Lo | v.Lo} }
+
+// Xor returns u ^ v.
+func (u U128) Xor(v U128) U128 { return U128{u.Hi ^ v.Hi, u.Lo ^ v.Lo} }
+
+// Not returns ^u.
+func (u U128) Not() U128 { return U128{^u.Hi, ^u.Lo} }
+
+// Add returns u + v mod 2^128.
+func (u U128) Add(v U128) U128 {
+	lo, carry := bits.Add64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Add64(u.Hi, v.Hi, carry)
+	return U128{hi, lo}
+}
+
+// Add64 returns u + v mod 2^128 for a small addend.
+func (u U128) Add64(v uint64) U128 { return u.Add(U128{0, v}) }
+
+// Sub returns u - v mod 2^128.
+func (u U128) Sub(v U128) U128 {
+	lo, borrow := bits.Sub64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Sub64(u.Hi, v.Hi, borrow)
+	return U128{hi, lo}
+}
+
+// Shl returns u << n. Shifts of 128 or more yield zero.
+func (u U128) Shl(n uint) U128 {
+	switch {
+	case n == 0:
+		return u
+	case n < 64:
+		return U128{u.Hi<<n | u.Lo>>(64-n), u.Lo << n}
+	case n < 128:
+		return U128{u.Lo << (n - 64), 0}
+	default:
+		return U128{}
+	}
+}
+
+// Shr returns u >> n. Shifts of 128 or more yield zero.
+func (u U128) Shr(n uint) U128 {
+	switch {
+	case n == 0:
+		return u
+	case n < 64:
+		return U128{u.Hi >> n, u.Lo>>n | u.Hi<<(64-n)}
+	case n < 128:
+		return U128{0, u.Hi >> (n - 64)}
+	default:
+		return U128{}
+	}
+}
+
+// Cmp returns -1, 0, or +1 comparing u and v as unsigned integers.
+func (u U128) Cmp(v U128) int {
+	switch {
+	case u.Hi < v.Hi:
+		return -1
+	case u.Hi > v.Hi:
+		return 1
+	case u.Lo < v.Lo:
+		return -1
+	case u.Lo > v.Lo:
+		return 1
+	}
+	return 0
+}
+
+// IsZero reports whether u == 0.
+func (u U128) IsZero() bool { return u.Hi == 0 && u.Lo == 0 }
+
+// Bit returns the bit at position i where position 0 is the most significant
+// bit of the address (the leftmost bit, network order). i must be in [0,128).
+func (u U128) Bit(i int) uint {
+	if i < 64 {
+		return uint(u.Hi>>(63-i)) & 1
+	}
+	return uint(u.Lo>>(127-i)) & 1
+}
+
+// SetBit returns a copy of u with bit i (MSB-0 order) set to v (0 or 1).
+func (u U128) SetBit(i int, v uint) U128 {
+	if i < 64 {
+		mask := uint64(1) << (63 - i)
+		if v == 0 {
+			u.Hi &^= mask
+		} else {
+			u.Hi |= mask
+		}
+		return u
+	}
+	mask := uint64(1) << (127 - i)
+	if v == 0 {
+		u.Lo &^= mask
+	} else {
+		u.Lo |= mask
+	}
+	return u
+}
+
+// LeadingZeros returns the number of leading zero bits in u (0..128).
+func (u U128) LeadingZeros() int {
+	if u.Hi != 0 {
+		return bits.LeadingZeros64(u.Hi)
+	}
+	return 64 + bits.LeadingZeros64(u.Lo)
+}
+
+// Mask returns the netmask with the top n bits set (n in [0,128]).
+func Mask(n int) U128 {
+	switch {
+	case n <= 0:
+		return U128{}
+	case n >= 128:
+		return U128{^uint64(0), ^uint64(0)}
+	case n <= 64:
+		return U128{^uint64(0) << (64 - n), 0}
+	default:
+		return U128{^uint64(0), ^uint64(0) << (128 - n)}
+	}
+}
+
+// CommonPrefixLen returns the number of leading bits shared by a and b,
+// in [0,128].
+func CommonPrefixLen(a, b netip.Addr) int {
+	x := FromAddr(a).Xor(FromAddr(b))
+	return x.LeadingZeros()
+}
+
+// MustAddr parses s as an IPv6 address and panics on error. It is intended
+// for tests, tables of constants, and example programs.
+func MustAddr(s string) netip.Addr {
+	return netip.MustParseAddr(s)
+}
+
+// MustPrefix parses s as an IPv6 prefix and panics on error.
+func MustPrefix(s string) netip.Prefix {
+	return netip.MustParsePrefix(s)
+}

@@ -1,0 +1,206 @@
+package ipv6
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromAddrRoundTrip(t *testing.T) {
+	cases := []string{
+		"::",
+		"::1",
+		"2001:db8::1",
+		"fe80::1234:5678:9abc:def0",
+		"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+		"2002:c000:204::",
+	}
+	for _, s := range cases {
+		a := MustAddr(s)
+		if got := FromAddr(a).Addr(); got != a {
+			t.Errorf("round trip %s: got %s", s, got)
+		}
+	}
+}
+
+func TestU128RoundTripQuick(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := U128{hi, lo}
+		return FromAddr(u.Addr()) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU128AddSubInverse(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a := U128{ah, al}
+		b := U128{bh, bl}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU128AddCarry(t *testing.T) {
+	a := U128{0, ^uint64(0)}
+	got := a.Add64(1)
+	want := U128{1, 0}
+	if got != want {
+		t.Errorf("carry: got %+v want %+v", got, want)
+	}
+	// Wraparound at 2^128.
+	max := U128{^uint64(0), ^uint64(0)}
+	if got := max.Add64(1); !got.IsZero() {
+		t.Errorf("wrap: got %+v want zero", got)
+	}
+}
+
+func TestU128ShlShr(t *testing.T) {
+	u := U128{0, 1}
+	if got := u.Shl(64); got != (U128{1, 0}) {
+		t.Errorf("Shl(64): got %+v", got)
+	}
+	if got := u.Shl(127); got != (U128{1 << 63, 0}) {
+		t.Errorf("Shl(127): got %+v", got)
+	}
+	if got := u.Shl(128); !got.IsZero() {
+		t.Errorf("Shl(128): got %+v", got)
+	}
+	v := U128{1 << 63, 0}
+	if got := v.Shr(127); got != (U128{0, 1}) {
+		t.Errorf("Shr(127): got %+v", got)
+	}
+	if got := v.Shr(64); got != (U128{0, 1 << 63}) {
+		t.Errorf("Shr(64): got %+v", got)
+	}
+}
+
+func TestU128ShlShrInverseQuick(t *testing.T) {
+	f := func(hi, lo uint64, nRaw uint8) bool {
+		n := uint(nRaw % 128)
+		u := U128{hi, lo}
+		// Shifting left then right recovers the low bits that were not
+		// pushed off the top.
+		masked := u.And(Mask(128 - int(n)).Not()).Or(u.And(Mask(128 - int(n)).Not().Not()))
+		_ = masked
+		return u.Shl(n).Shr(n) == u.And(Mask(int(n)).Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU128BitSetBit(t *testing.T) {
+	var u U128
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		u = u.SetBit(i, 1)
+		if u.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	for _, i := range []int{0, 63, 64, 127} {
+		u = u.SetBit(i, 0)
+		if u.Bit(i) != 0 {
+			t.Errorf("bit %d not cleared", i)
+		}
+	}
+	if u.Bit(1) != 1 || u.Bit(65) != 1 {
+		t.Error("untouched bits lost")
+	}
+}
+
+func TestU128BitRoundTripQuick(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := U128{hi, lo}
+		var rebuilt U128
+		for i := 0; i < 128; i++ {
+			rebuilt = rebuilt.SetBit(i, u.Bit(i))
+		}
+		return rebuilt == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU128Cmp(t *testing.T) {
+	cases := []struct {
+		a, b U128
+		want int
+	}{
+		{U128{0, 0}, U128{0, 0}, 0},
+		{U128{0, 1}, U128{0, 2}, -1},
+		{U128{1, 0}, U128{0, ^uint64(0)}, 1},
+		{U128{5, 5}, U128{5, 5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%+v,%+v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if got := Mask(0); !got.IsZero() {
+		t.Errorf("Mask(0) = %+v", got)
+	}
+	if got := Mask(64); got != (U128{^uint64(0), 0}) {
+		t.Errorf("Mask(64) = %+v", got)
+	}
+	if got := Mask(128); got != (U128{^uint64(0), ^uint64(0)}) {
+		t.Errorf("Mask(128) = %+v", got)
+	}
+	if got := Mask(48); got != (U128{0xffff_ffff_ffff_0000, 0}) {
+		t.Errorf("Mask(48) = %+v", got)
+	}
+	if got := Mask(72); got != (U128{^uint64(0), 0xff00_0000_0000_0000}) {
+		t.Errorf("Mask(72) = %+v", got)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"2001:db8::1", "2001:db8::1", 128},
+		{"2001:db8::1", "2001:db8::2", 126},
+		{"2001:db8::", "2001:db9::", 31},
+		{"::", "8000::", 0},
+		{"2001:db8:0:1::", "2001:db8:0:2::", 62},
+	}
+	for _, c := range cases {
+		got := CommonPrefixLen(MustAddr(c.a), MustAddr(c.b))
+		if got != c.want {
+			t.Errorf("CommonPrefixLen(%s,%s) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	if got := (U128{}).LeadingZeros(); got != 128 {
+		t.Errorf("zero: %d", got)
+	}
+	if got := (U128{1, 0}).LeadingZeros(); got != 63 {
+		t.Errorf("hi=1: %d", got)
+	}
+	if got := (U128{0, 1}).LeadingZeros(); got != 127 {
+		t.Errorf("lo=1: %d", got)
+	}
+}
+
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = U128{rng.Uint64(), rng.Uint64()}.Addr()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CommonPrefixLen(addrs[i%1024], addrs[(i+1)%1024])
+	}
+}

@@ -1,0 +1,141 @@
+// Package kip implements kIP aggregation-based address anonymization after
+// Plonka & Berger (arXiv:1707.03900), the mechanism behind the paper's CDN
+// seed lists (cdn-k32, cdn-k256).
+//
+// WWW client /64 prefixes observed in a measurement window are replaced by
+// covering aggregates chosen so that each published aggregate covered at
+// least k simultaneously-active /64s in at least the p'th percentile of
+// observation intervals. Clients therefore hide in crowds of size >= k,
+// and regions with too few simultaneously-active clients are withheld
+// entirely — the property that later frustrates subnet validation in
+// Section 6 of the topology paper.
+package kip
+
+import (
+	"net/netip"
+
+	"beholder/internal/ipv6"
+)
+
+// Params are the kIP parameters as given in the paper's Section 3.1:
+// w=14 days, i=1 hour intervals, k simultaneously-assigned /64s, p=50th
+// percentile. The window and interval enter through the caller's interval
+// numbering of observations.
+type Params struct {
+	K          int // minimum simultaneously-active /64s per aggregate
+	Percentile int // percentile of intervals that must meet K (0-100]
+}
+
+// Observation records that a client /64 was active during an interval.
+type Observation struct {
+	LAN      netip.Prefix // a /64
+	Interval int          // interval index in [0, NumIntervals)
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// perInterval counts distinct active /64s beneath this node.
+	perInterval []uint32
+	depth       int
+}
+
+// Aggregate computes the anonymized aggregate set for the observations.
+// numIntervals is the total number of observation intervals in the window.
+// The result is the set of longest prefixes each of which satisfied the
+// k-anonymity condition; observed /64s not covered by any qualifying
+// aggregate are suppressed.
+func Aggregate(obs []Observation, numIntervals int, p Params) []netip.Prefix {
+	if len(obs) == 0 || numIntervals <= 0 {
+		return nil
+	}
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.Percentile <= 0 || p.Percentile > 100 {
+		p.Percentile = 50
+	}
+
+	// Deduplicate (LAN, interval) pairs.
+	type key struct {
+		hi       uint64
+		interval int
+	}
+	seen := make(map[key]struct{}, len(obs))
+	root := &trieNode{perInterval: make([]uint32, numIntervals)}
+	for _, o := range obs {
+		lan := ipv6.CanonicalPrefix(netip.PrefixFrom(o.LAN.Addr(), 64))
+		hi := ipv6.FromAddr(lan.Addr()).Hi
+		k := key{hi, o.Interval}
+		if _, dup := seen[k]; dup || o.Interval < 0 || o.Interval >= numIntervals {
+			continue
+		}
+		seen[k] = struct{}{}
+		// Insert the 64 high bits, incrementing per-interval counters along
+		// the path: each distinct active /64 contributes one to every
+		// ancestor's simultaneity count for that interval.
+		n := root
+		n.perInterval[o.Interval]++
+		for d := 0; d < 64; d++ {
+			b := (hi >> (63 - d)) & 1
+			if n.child[b] == nil {
+				n.child[b] = &trieNode{perInterval: make([]uint32, numIntervals), depth: d + 1}
+			}
+			n = n.child[b]
+			n.perInterval[o.Interval]++
+		}
+	}
+
+	// qualifies: at least p percent of the window's intervals saw K or
+	// more simultaneously-active /64s beneath the node (the "p'th
+	// percentile of intervals" condition of kIP).
+	need := (p.Percentile*numIntervals + 99) / 100 // ceil(p% of N), at least 1
+	if need < 1 {
+		need = 1
+	}
+	qualifies := func(n *trieNode) bool {
+		meeting := 0
+		for _, c := range n.perInterval {
+			if int(c) >= p.K {
+				meeting++
+			}
+		}
+		return meeting >= need
+	}
+
+	// Emit deepest qualifying nodes: walk down while a child qualifies.
+	var out []netip.Prefix
+	var walk func(n *trieNode, bits ipv6.U128)
+	walk = func(n *trieNode, bits ipv6.U128) {
+		anyChild := false
+		for b := 0; b < 2; b++ {
+			c := n.child[b]
+			if c != nil && qualifies(c) {
+				anyChild = true
+			}
+		}
+		if anyChild {
+			for b := 0; b < 2; b++ {
+				c := n.child[b]
+				if c == nil {
+					continue
+				}
+				childBits := bits
+				if b == 1 {
+					childBits = bits.SetBit(c.depth-1, 1)
+				}
+				if qualifies(c) {
+					walk(c, childBits)
+				}
+				// Non-qualifying siblings are suppressed: their clients
+				// lack a crowd of size K at this granularity.
+			}
+			return
+		}
+		// No child qualifies; this node is the longest qualifying prefix.
+		out = append(out, netip.PrefixFrom(bits.Addr(), n.depth))
+	}
+	if qualifies(root) {
+		walk(root, ipv6.U128{})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package kip
+
+import (
+	"net/netip"
+	"testing"
+
+	"beholder/internal/ipv6"
+)
+
+func lan(s string) netip.Prefix { return ipv6.MustPrefix(s) }
+
+func TestAggregateBasicCrowd(t *testing.T) {
+	// Four sibling /64s under one /62, all active in every interval, k=4:
+	// the /62 qualifies, nothing longer does.
+	var obs []Observation
+	for i := 0; i < 4; i++ {
+		p := ipv6.NthSubprefix(lan("2001:db8::/62"), 64, uint64(i))
+		for it := 0; it < 4; it++ {
+			obs = append(obs, Observation{LAN: p, Interval: it})
+		}
+	}
+	got := Aggregate(obs, 4, Params{K: 4, Percentile: 50})
+	if len(got) != 1 || got[0] != lan("2001:db8::/62") {
+		t.Fatalf("got %v want [2001:db8::/62]", got)
+	}
+}
+
+func TestAggregateK1YieldsLeaves(t *testing.T) {
+	obs := []Observation{
+		{LAN: lan("2001:db8:0:1::/64"), Interval: 0},
+		{LAN: lan("2001:db8:0:2::/64"), Interval: 0},
+	}
+	got := Aggregate(obs, 1, Params{K: 1, Percentile: 50})
+	if len(got) != 2 {
+		t.Fatalf("k=1 should emit both /64s, got %v", got)
+	}
+	for _, p := range got {
+		if p.Bits() != 64 {
+			t.Errorf("k=1 aggregate %s not a /64", p)
+		}
+	}
+}
+
+func TestAggregateSuppressesSparseRegions(t *testing.T) {
+	// A crowd of 8 under one /61 plus a single isolated /64 far away with
+	// k=8: the isolated client must be suppressed (not published at any
+	// length), reproducing the university case in the paper's Section 6.
+	var obs []Observation
+	for i := 0; i < 8; i++ {
+		p := ipv6.NthSubprefix(lan("2001:db8:aaaa::/61"), 64, uint64(i))
+		obs = append(obs, Observation{LAN: p, Interval: 0})
+	}
+	obs = append(obs, Observation{LAN: lan("2620:1:1:1::/64"), Interval: 0})
+	got := Aggregate(obs, 1, Params{K: 8, Percentile: 50})
+	if len(got) != 1 || got[0] != lan("2001:db8:aaaa::/61") {
+		t.Fatalf("got %v want only the /61 crowd", got)
+	}
+}
+
+func TestAggregatePercentile(t *testing.T) {
+	// Two /64s active together only in 1 of 4 intervals. With p=50 and
+	// k=2 the pair does not qualify at /63 (median simultaneity is below
+	// 2), so the whole region is suppressed... but with p=25 it publishes.
+	a, b := lan("2001:db8::/64"), lan("2001:db8:0:1::/64")
+	obs := []Observation{
+		{LAN: a, Interval: 0}, {LAN: b, Interval: 0},
+		{LAN: a, Interval: 1},
+		{LAN: a, Interval: 2},
+		{LAN: a, Interval: 3},
+	}
+	if got := Aggregate(obs, 4, Params{K: 2, Percentile: 50}); len(got) != 0 {
+		t.Errorf("p50: got %v want suppression", got)
+	}
+	got := Aggregate(obs, 4, Params{K: 2, Percentile: 25})
+	if len(got) != 1 || got[0].Bits() != 63 {
+		t.Errorf("p25: got %v want one /63", got)
+	}
+}
+
+func TestAggregateKAnonymityInvariant(t *testing.T) {
+	// Every published aggregate must cover at least K observed /64s
+	// (checking the k-anonymity guarantee end to end).
+	var obs []Observation
+	lans := []netip.Prefix{}
+	base := lan("2400:1000::/48")
+	for i := 0; i < 64; i++ {
+		p := ipv6.NthSubprefix(base, 64, uint64(i*3)) // spread through the /48
+		lans = append(lans, p)
+		for it := 0; it < 3; it++ {
+			obs = append(obs, Observation{LAN: p, Interval: it})
+		}
+	}
+	const K = 16
+	got := Aggregate(obs, 3, Params{K: K, Percentile: 50})
+	if len(got) == 0 {
+		t.Fatal("no aggregates")
+	}
+	for _, agg := range got {
+		n := 0
+		for _, l := range lans {
+			if agg.Contains(l.Addr()) {
+				n++
+			}
+		}
+		if n < K {
+			t.Errorf("aggregate %s covers only %d < %d active /64s", agg, n, K)
+		}
+	}
+}
+
+func TestAggregateEmptyAndDegenerate(t *testing.T) {
+	if got := Aggregate(nil, 4, Params{K: 4, Percentile: 50}); got != nil {
+		t.Errorf("nil obs: %v", got)
+	}
+	if got := Aggregate([]Observation{{LAN: lan("2001:db8::/64"), Interval: 0}}, 0, Params{K: 1}); got != nil {
+		t.Errorf("zero intervals: %v", got)
+	}
+	// Out-of-range interval ignored rather than panicking.
+	got := Aggregate([]Observation{
+		{LAN: lan("2001:db8::/64"), Interval: 99},
+		{LAN: lan("2001:db8::/64"), Interval: 0},
+	}, 2, Params{K: 1, Percentile: 50})
+	if len(got) != 1 {
+		t.Errorf("out-of-range interval handling: %v", got)
+	}
+}
+
+func TestAggregateDeduplicatesObservations(t *testing.T) {
+	// The same LAN observed twice in one interval counts once toward
+	// simultaneity: otherwise a single client could impersonate a crowd.
+	obs := []Observation{
+		{LAN: lan("2001:db8::/64"), Interval: 0},
+		{LAN: lan("2001:db8::/64"), Interval: 0},
+		{LAN: lan("2001:db8::/64"), Interval: 0},
+	}
+	if got := Aggregate(obs, 1, Params{K: 2, Percentile: 50}); len(got) != 0 {
+		t.Errorf("duplicate observations inflated the crowd: %v", got)
+	}
+}

@@ -1,0 +1,25 @@
+package netsim
+
+import "time"
+
+// Clock is the simulator's virtual clock. Probers advance it by sleeping
+// between packet departures (the pacing that converts a packets-per-second
+// rate into inter-departure gaps); every time-dependent mechanism in the
+// simulator — token-bucket refill, reply delivery, RTT timestamps — reads
+// the same clock. A campaign that would take a day of wall time on the
+// real Internet completes in however long the packet processing takes,
+// with identical rate-limiting dynamics.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time (duration since the epoch of the
+// universe).
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Sleep advances virtual time by d. Negative durations are ignored.
+func (c *Clock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}

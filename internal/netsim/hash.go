@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"beholder/internal/ipv6"
+)
+
+// All stochastic structure in the simulated Internet is derived from keyed
+// hashes of stable identifiers (universe seed, ASN, prefix, level) rather
+// than from a stream RNG. This makes every property of the universe — does
+// this /48 exist, what is this router's token-bucket rate, which backbone
+// path does this flow take — a pure function of the seed, independent of
+// the order in which the simulator is queried. Campaigns are therefore
+// reproducible regardless of prober interleaving.
+
+const (
+	sm64Gamma = 0x9e3779b97f4a7c15
+	mixMul1   = 0xbf58476d1ce4e5b9
+	mixMul2   = 0x94d049bb133111eb
+)
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// h hashes a sequence of words under seed.
+func h(seed uint64, parts ...uint64) uint64 {
+	acc := mix64(seed + sm64Gamma)
+	for _, p := range parts {
+		acc = mix64(acc ^ (p + sm64Gamma))
+	}
+	return acc
+}
+
+// hAddr folds an address into hash input words.
+func hAddr(seed uint64, a netip.Addr, parts ...uint64) uint64 {
+	u := ipv6.FromAddr(a)
+	acc := h(seed, u.Hi, u.Lo)
+	if len(parts) > 0 {
+		acc = h(acc, parts...)
+	}
+	return acc
+}
+
+// hPrefix folds a canonical prefix (base plus length) into hash input.
+func hPrefix(seed uint64, p netip.Prefix, parts ...uint64) uint64 {
+	u := ipv6.FromAddr(p.Addr())
+	acc := h(seed, u.Hi, u.Lo, uint64(p.Bits()))
+	if len(parts) > 0 {
+		acc = h(acc, parts...)
+	}
+	return acc
+}
+
+// chance returns true with probability num/den, decided by key.
+func chance(key uint64, num, den uint64) bool {
+	if num >= den {
+		return true
+	}
+	return key%den < num
+}
+
+// between maps key into [lo, hi] inclusive.
+func between(key, lo, hi uint64) uint64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + key%(hi-lo+1)
+}

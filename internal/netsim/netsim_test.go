@@ -1,0 +1,557 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/wire"
+)
+
+func testUniverse(t testing.TB) *Universe {
+	t.Helper()
+	return NewUniverse(TestConfig(42))
+}
+
+func TestUniverseDeterminism(t *testing.T) {
+	a := NewUniverse(TestConfig(7))
+	b := NewUniverse(TestConfig(7))
+	if len(a.ASes()) != len(b.ASes()) {
+		t.Fatal("AS counts differ for same seed")
+	}
+	for i := range a.ASes() {
+		x, y := a.ASes()[i], b.ASes()[i]
+		if x.ASN != y.ASN || x.Kind != y.Kind || len(x.Prefixes) != len(y.Prefixes) {
+			t.Fatalf("AS %d differs: %+v vs %+v", i, x, y)
+		}
+		for j := range x.Prefixes {
+			if x.Prefixes[j] != y.Prefixes[j] {
+				t.Fatalf("prefix differs at AS %d", i)
+			}
+		}
+	}
+	c := NewUniverse(TestConfig(8))
+	diff := false
+	for i := range a.ASes() {
+		if a.ASes()[i].Kind != c.ASes()[i].Kind {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical kind assignments")
+	}
+}
+
+func TestUniverseStructure(t *testing.T) {
+	u := testUniverse(t)
+	if got := u.Table().NumPrefixes(); got == 0 {
+		t.Fatal("no prefixes announced")
+	}
+	kinds := make(map[ASKind]int)
+	cpe := 0
+	for _, as := range u.ASes() {
+		kinds[as.Kind]++
+		if len(as.Neighbors) == 0 {
+			t.Errorf("AS %d isolated", as.ASN)
+		}
+		if as.Tier == 3 && len(as.Prefixes) == 0 {
+			t.Errorf("edge AS %d has no prefixes", as.ASN)
+		}
+		if as.CPEOUIIndex > 0 {
+			cpe++
+		}
+		for _, p := range as.Prefixes {
+			if p != ipv6.CanonicalPrefix(p) {
+				t.Errorf("non-canonical prefix %s", p)
+			}
+			// Global unicast space.
+			if b := p.Addr().As16(); b[0]>>5 != 1 {
+				t.Errorf("prefix %s outside 2000::/3", p)
+			}
+		}
+	}
+	for k := KindTransit; k < numASKinds; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("no ASes of kind %s", k)
+		}
+	}
+	if cpe != u.Config().CPEISPs {
+		t.Errorf("CPE ISPs = %d want %d", cpe, u.Config().CPEISPs)
+	}
+}
+
+func TestBFSTreeReachesAllASes(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "test", Kind: KindUniversity, ChainLen: 3})
+	for i := range u.ASes() {
+		if v.parent[i] == -2 {
+			t.Errorf("AS index %d unreachable from vantage", i)
+		}
+	}
+}
+
+func TestRandomLANIsProvisioned(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(1))
+	found := 0
+	for _, kind := range []ASKind{KindEyeballISP, KindHosting, KindEnterprise, KindUniversity} {
+		as := u.RandomAS(rng, kind)
+		if as == nil {
+			t.Fatalf("no AS of kind %s", kind)
+		}
+		for i := 0; i < 20; i++ {
+			lan, ok := u.RandomLAN(rng, as)
+			if !ok {
+				continue
+			}
+			found++
+			if lan.Bits() != 64 {
+				t.Fatalf("RandomLAN returned /%d", lan.Bits())
+			}
+			if !u.LANExists(lan.Addr()) {
+				t.Fatalf("sampled LAN %s not provisioned per LANExists", lan)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no LANs sampled at all")
+	}
+}
+
+func TestHostExistence(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(2))
+	as := u.RandomAS(rng, KindHosting)
+	var lan netip.Prefix
+	for {
+		var ok bool
+		lan, ok = u.RandomLAN(rng, as)
+		if ok && u.ServerCount(lan, as) >= 2 {
+			break
+		}
+	}
+	// Gateway and servers exist.
+	if !u.HostExists(u.GatewayAddr(lan, as)) {
+		t.Error("gateway does not exist")
+	}
+	if !u.HostExists(ipv6.WithIID(lan.Addr(), 2)) {
+		t.Error("server ::2 does not exist")
+	}
+	// A fixed pseudo-random IID does not.
+	if u.HostExists(ipv6.WithIID(lan.Addr(), 0x1234_5678_1234_5678)) {
+		t.Error("fixed IID host should not exist")
+	}
+	// EUI-64 hosts round-trip through the existence check.
+	easRng := rand.New(rand.NewSource(3))
+	eas := u.RandomAS(easRng, KindEnterprise)
+	for i := 0; i < 50; i++ {
+		elan, ok := u.RandomLAN(easRng, eas)
+		if !ok || u.EUIHostCount(elan, eas) == 0 {
+			continue
+		}
+		ha := u.EUIHostAddr(elan, eas, 0)
+		if !u.HostExists(ha) {
+			t.Errorf("EUI-64 host %s does not exist", ha)
+		}
+		return
+	}
+	t.Log("no EUI host found to verify (acceptable in small universes)")
+}
+
+func TestCPEGatewayUsesEUI64(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(4))
+	var cpeAS *AS
+	for _, as := range u.ASes() {
+		if as.CPEOUIIndex > 0 {
+			cpeAS = as
+			break
+		}
+	}
+	if cpeAS == nil {
+		t.Fatal("no CPE ISP")
+	}
+	lan, ok := u.RandomLAN(rng, cpeAS)
+	if !ok {
+		t.Fatal("no LAN in CPE ISP")
+	}
+	gw := u.GatewayAddr(lan, cpeAS)
+	if !ipv6.IsEUI64IID(ipv6.IID(gw)) {
+		t.Errorf("CPE gateway %s lacks EUI-64 IID", gw)
+	}
+	mac, _ := ipv6.MACFromEUI64(ipv6.IID(gw))
+	oui := cpeOUIs[cpeAS.CPEOUIIndex]
+	if mac[0] != oui[0] || mac[1] != oui[1] || mac[2] != oui[2] {
+		t.Errorf("gateway MAC %x does not carry OUI %x", mac, oui)
+	}
+	// Non-CPE AS gateways use ::1.
+	other := u.RandomAS(rng, KindHosting)
+	olan, ok := u.RandomLAN(rng, other)
+	if ok {
+		if got := u.GatewayAddr(olan, other); ipv6.IID(got) != 1 {
+			t.Errorf("non-CPE gateway IID = %x want 1", ipv6.IID(got))
+		}
+	}
+}
+
+// buildEchoProbe constructs an ICMPv6 echo-request probe.
+func buildEchoProbe(src, dst netip.Addr, ttl uint8) []byte {
+	buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+12)
+	hdr := wire.IPv6Header{HopLimit: ttl, Src: src, Dst: dst}
+	icmp := wire.ICMPv6Header{Type: wire.ICMPv6EchoRequest, ID: wire.AddrChecksum(dst), Seq: 80}
+	n := wire.BuildPacket(buf, &hdr, wire.ProtoICMPv6, nil, nil, &icmp, make([]byte, 12))
+	return buf[:n]
+}
+
+// traceOnce runs a simple synchronous traceroute against the vantage.
+func traceOnce(v *Vantage, dst netip.Addr, maxTTL int) map[int]netip.Addr {
+	hops := make(map[int]netip.Addr)
+	buf := make([]byte, wire.MinMTU)
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, uint8(ttl)))
+		v.Sleep(50 * time.Millisecond) // generous pacing: no rate limiting
+	}
+	v.Sleep(2 * time.Second)
+	var d wire.Decoded
+	for {
+		n, ok := v.Recv(buf)
+		if !ok {
+			break
+		}
+		if err := d.Decode(buf[:n]); err != nil {
+			continue
+		}
+		if d.ICMPv6.Type != wire.ICMPv6TimeExceeded {
+			continue
+		}
+		var q wire.Decoded
+		if err := q.Decode(d.Payload); err != nil {
+			continue
+		}
+		hops[int(q.IPv6.HopLimit)] = d.IPv6.Src
+	}
+	return hops
+}
+
+func TestTracerouteWalksPath(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "US-EDU-T", Kind: KindUniversity, ChainLen: 4})
+	rng := rand.New(rand.NewSource(5))
+	as := u.RandomAS(rng, KindHosting)
+	lan, ok := u.RandomLAN(rng, as)
+	if !ok {
+		t.Fatal("no LAN")
+	}
+	dst := u.GatewayAddr(lan, as)
+	hops := traceOnce(v, dst, 24)
+	if len(hops) < 5 {
+		t.Fatalf("discovered only %d hops: %v", len(hops), hops)
+	}
+	// Hop addresses must be globally scoped IPv6 and mostly contiguous.
+	for ttl, a := range hops {
+		if !a.Is6() {
+			t.Errorf("hop %d addr %s not IPv6", ttl, a)
+		}
+	}
+	// The first on-premise hop must belong to the vantage AS's space.
+	first, ok := hops[1]
+	if !ok {
+		t.Fatal("hop 1 missing at 20pps-equivalent pacing")
+	}
+	if got := u.Table().OriginAny(first); got != v.AS().ASN {
+		t.Errorf("hop 1 origin ASN = %d want %d", got, v.AS().ASN)
+	}
+}
+
+func TestTraceStableAcrossRepeats(t *testing.T) {
+	// Paris property: identical flow identity must traverse identical
+	// routers even through load-balanced ASes.
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "stable", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(6))
+	as := u.RandomAS(rng, KindEyeballISP)
+	lan, ok := u.RandomLAN(rng, as)
+	if !ok {
+		t.Fatal("no LAN")
+	}
+	dst := u.GatewayAddr(lan, as)
+	h1 := traceOnce(v, dst, 20)
+	h2 := traceOnce(v, dst, 20)
+	for ttl, a := range h1 {
+		if b, ok := h2[ttl]; ok && a != b {
+			t.Errorf("hop %d flapped: %s vs %s (flow identity constant)", ttl, a, b)
+		}
+	}
+}
+
+func TestEchoReplyFromExistingHost(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "echo", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(7))
+	// Find a hosting AS that does not filter echo.
+	var as *AS
+	for {
+		as = u.RandomAS(rng, KindHosting)
+		if !as.BlockEcho {
+			break
+		}
+	}
+	lan, ok := u.RandomLAN(rng, as)
+	if !ok {
+		t.Fatal("no LAN")
+	}
+	dst := u.GatewayAddr(lan, as)
+	_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 64))
+	v.Sleep(3 * time.Second)
+	buf := make([]byte, wire.MinMTU)
+	n, ok := v.Recv(buf)
+	if !ok {
+		t.Fatal("no reply to echo of existing host (could be loss; rerun with new seed)")
+	}
+	var d wire.Decoded
+	if err := d.Decode(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if d.ICMPv6.Type != wire.ICMPv6EchoReply {
+		t.Fatalf("reply type %d want echo reply", d.ICMPv6.Type)
+	}
+	if d.IPv6.Src != dst {
+		t.Errorf("echo reply source %s want %s", d.IPv6.Src, dst)
+	}
+}
+
+func TestUDPPortUnreachableFromHost(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "udp", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(8))
+	var as *AS
+	for {
+		as = u.RandomAS(rng, KindHosting)
+		if !as.BlockUDP {
+			break
+		}
+	}
+	lan, ok := u.RandomLAN(rng, as)
+	if !ok {
+		t.Fatal("no LAN")
+	}
+	dst := u.GatewayAddr(lan, as)
+	buf := make([]byte, 128)
+	hdr := wire.IPv6Header{HopLimit: 64, Src: v.LocalAddr(), Dst: dst}
+	udp := wire.UDPHeader{SrcPort: wire.AddrChecksum(dst), DstPort: 80}
+	n := wire.BuildPacket(buf, &hdr, wire.ProtoUDP, &udp, nil, nil, make([]byte, 12))
+	_ = v.Send(buf[:n])
+	v.Sleep(3 * time.Second)
+	rbuf := make([]byte, wire.MinMTU)
+	rn, ok := v.Recv(rbuf)
+	if !ok {
+		t.Fatal("no reply to UDP probe of existing host")
+	}
+	var d wire.Decoded
+	if err := d.Decode(rbuf[:rn]); err != nil {
+		t.Fatal(err)
+	}
+	if d.ICMPv6.Type != wire.ICMPv6DstUnreach || d.ICMPv6.Code != wire.CodePortUnreachable {
+		t.Fatalf("reply %d/%d want port unreachable", d.ICMPv6.Type, d.ICMPv6.Code)
+	}
+}
+
+func TestUnroutedTargetNoRoute(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "unrouted", Kind: KindUniversity, ChainLen: 3})
+	dst := ipv6.MustAddr("3fff::1") // never allocated by the generator
+	// Retry a few times: the border's answer is subject to loss.
+	for attempt := 0; attempt < 5; attempt++ {
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 64))
+		v.Sleep(2 * time.Second)
+		buf := make([]byte, wire.MinMTU)
+		n, ok := v.Recv(buf)
+		if !ok {
+			continue
+		}
+		var d wire.Decoded
+		if err := d.Decode(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if d.ICMPv6.Type != wire.ICMPv6DstUnreach || d.ICMPv6.Code != wire.CodeNoRoute {
+			t.Fatalf("reply %d/%d want no-route", d.ICMPv6.Type, d.ICMPv6.Code)
+		}
+		return
+	}
+	t.Fatal("no no-route response in 5 attempts")
+}
+
+func TestRateLimitingSuppressesBursts(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "burst", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(9))
+	as := u.RandomAS(rng, KindHosting)
+	lan, _ := u.RandomLAN(rng, as)
+	dst := u.GatewayAddr(lan, as)
+
+	// Hammer TTL=1 with no pacing: the access router's bucket must empty.
+	const probes = 3000
+	for i := 0; i < probes; i++ {
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 1))
+		v.Sleep(100 * time.Microsecond) // 10 kpps
+	}
+	if u.Stats.RateLimitDropped == 0 {
+		t.Fatal("no rate-limit suppression under 10kpps TTL=1 hammering")
+	}
+	got := u.Stats.TimeExceededSent
+	if got >= probes/2 {
+		t.Errorf("TE sent %d of %d; expected heavy suppression", got, probes)
+	}
+
+	// After a quiet period the bucket refills and slow probing succeeds.
+	v.Sleep(5 * time.Second)
+	before := u.Stats.TimeExceededSent
+	for i := 0; i < 20; i++ {
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 1))
+		v.Sleep(50 * time.Millisecond) // 20 pps
+	}
+	sent := u.Stats.TimeExceededSent - before
+	if sent < 15 {
+		t.Errorf("slow probing after refill: %d of 20 TE", sent)
+	}
+}
+
+func TestRandomizedOrderAvoidsRateLimiting(t *testing.T) {
+	// The paper's core claim in miniature: the same probe budget at the
+	// same aggregate rate elicits far more hop-1 responses when TTLs are
+	// interleaved than when TTL=1 probes arrive in one synchronized burst.
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(10))
+	as := u.RandomAS(rng, KindHosting)
+	var dsts []netip.Addr
+	for len(dsts) < 256 {
+		lan, ok := u.RandomLAN(rng, as)
+		if !ok {
+			continue
+		}
+		dsts = append(dsts, u.GatewayAddr(lan, as))
+	}
+	const maxTTL = 8
+	gap := time.Second / 2000 // 2 kpps
+
+	// Sequential: all TTL=1 first (synchronized trace rounds).
+	vSeq := u.NewVantage(VantageSpec{Name: "seq", Kind: KindUniversity, ChainLen: 3})
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		for _, d := range dsts {
+			_ = vSeq.Send(buildEchoProbe(vSeq.LocalAddr(), d, uint8(ttl)))
+			vSeq.Sleep(gap)
+		}
+	}
+	hop1Seq := countHop1(vSeq)
+
+	u.ResetState()
+	// Randomized: same probes, TTL-interleaved.
+	vRnd := u.NewVantage(VantageSpec{Name: "seq", Kind: KindUniversity, ChainLen: 3})
+	order := rng.Perm(len(dsts) * maxTTL)
+	for _, k := range order {
+		d := dsts[k%len(dsts)]
+		ttl := k/len(dsts) + 1
+		_ = vRnd.Send(buildEchoProbe(vRnd.LocalAddr(), d, uint8(ttl)))
+		vRnd.Sleep(gap)
+	}
+	hop1Rnd := countHop1(vRnd)
+
+	if hop1Rnd <= hop1Seq {
+		t.Errorf("randomized hop-1 responses %d not better than sequential %d", hop1Rnd, hop1Seq)
+	}
+	if float64(hop1Rnd) < 0.7*float64(len(dsts)) {
+		t.Errorf("randomized hop-1 responsiveness too low: %d/%d", hop1Rnd, len(dsts))
+	}
+}
+
+func countHop1(v *Vantage) int {
+	v.Sleep(3 * time.Second)
+	buf := make([]byte, wire.MinMTU)
+	var d, q wire.Decoded
+	n1 := 0
+	for {
+		n, ok := v.Recv(buf)
+		if !ok {
+			break
+		}
+		if d.Decode(buf[:n]) != nil || d.ICMPv6.Type != wire.ICMPv6TimeExceeded {
+			continue
+		}
+		if q.Decode(d.Payload) != nil {
+			continue
+		}
+		if q.IPv6.HopLimit == 1 {
+			n1++
+		}
+	}
+	return n1
+}
+
+func TestQuoteCarriesProbePayload(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "quote", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(11))
+	as := u.RandomAS(rng, KindHosting)
+	lan, _ := u.RandomLAN(rng, as)
+	dst := u.GatewayAddr(lan, as)
+	probe := buildEchoProbe(v.LocalAddr(), dst, 2)
+	for attempt := 0; attempt < 5; attempt++ {
+		_ = v.Send(probe)
+		v.Sleep(2 * time.Second)
+		buf := make([]byte, wire.MinMTU)
+		n, ok := v.Recv(buf)
+		if !ok {
+			continue
+		}
+		var d wire.Decoded
+		if err := d.Decode(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Payload) != len(probe) {
+			t.Fatalf("quotation %d bytes, probe %d", len(d.Payload), len(probe))
+		}
+		return
+	}
+	t.Fatal("no TE received in 5 attempts")
+}
+
+func TestResetState(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "reset", Kind: KindUniversity, ChainLen: 3})
+	_ = v.Send(buildEchoProbe(v.LocalAddr(), ipv6.MustAddr("3fff::1"), 1))
+	if u.Stats.PacketsRouted == 0 {
+		t.Fatal("no packets routed")
+	}
+	u.ResetState()
+	if u.Stats.PacketsRouted != 0 || u.Clock().Now() != 0 {
+		t.Error("ResetState did not clear state")
+	}
+}
+
+func TestTruthSubnetsAreProvisioned(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(12))
+	as := u.RandomAS(rng, KindEnterprise)
+	subs := u.TruthSubnets(as, 64, 500)
+	if len(subs) == 0 {
+		t.Fatal("no truth subnets")
+	}
+	for _, s := range subs {
+		if s.Bits() == 64 {
+			if !u.LANExists(s.Addr()) {
+				t.Errorf("truth /64 %s not provisioned", s)
+			}
+		}
+	}
+}
+
+func TestMalformedProbeRejected(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "bad", Kind: KindUniversity, ChainLen: 3})
+	if err := v.Send([]byte{1, 2, 3}); err == nil {
+		t.Error("malformed probe accepted")
+	}
+}

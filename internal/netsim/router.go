@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"beholder/internal/ipv6"
+)
+
+// Router identity. Routers are materialized lazily: a probe's path is
+// planned as a sequence of RouterKeys (pure hashing, no allocation), and
+// only the single router that must generate a response is instantiated,
+// so its token bucket persists across probes while untouched hops cost
+// nothing.
+
+// Router classes.
+const (
+	classAccess   = 1 // vantage-side access chain
+	classBackbone = 2 // intra-AS transit hops
+	classLevel    = 3 // subnet-hierarchy routers in the destination AS
+)
+
+// RouterKey identifies a router deterministically.
+type RouterKey struct {
+	ASN   uint32
+	Class uint8
+	K1    uint64 // access: vantage id; backbone: ingress/LB selector; level: subnet hi bits
+	K2    uint64 // access/backbone: hop index; level: subnet prefix length
+}
+
+// Router is a materialized packet forwarder with ICMPv6 generation state.
+type Router struct {
+	Key  RouterKey
+	Addr netip.Addr
+
+	// Token bucket for ICMPv6 origination (RFC 4443 §2.4(f)).
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Duration
+
+	unresponsive  bool // never originates ICMPv6
+	truncateQuote bool // quotes only IPv4-style 28+40 bytes, losing Yarrp6 state
+}
+
+// router returns (materializing if needed) the router for key. gwLAN and
+// gwAS carry the /64 gateway context for level routers at /64, whose
+// address depends on the CPE plan; they are ignored otherwise.
+func (u *Universe) router(key RouterKey, as *AS) *Router {
+	if r, ok := u.routers[key]; ok {
+		return r
+	}
+	r := &Router{Key: key, Addr: u.routerAddr(key, as)}
+	pk := h(u.seed, 21, uint64(key.ASN), uint64(key.Class), key.K1, key.K2)
+	cfg := u.cfg
+	span := cfg.RateLimitTokensMax - cfg.RateLimitTokensMin
+	r.rate = cfg.RateLimitTokensMin + float64(h(pk, 1)%1000)/1000*span
+	bspan := cfg.RateLimitBurstMax - cfg.RateLimitBurstMin
+	r.burst = cfg.RateLimitBurstMin + float64(h(pk, 2)%1000)/1000*bspan
+	// Campus access gear and carrier backbones run materially more
+	// generous ICMPv6 origination budgets than edge distribution and CPE
+	// equipment. The access band sits between randomized probing's
+	// per-TTL demand (rate/16) and sequential probing's synchronized
+	// per-TTL bursts (the full rate) at the paper's campaign speeds —
+	// the separation Figure 5 measures.
+	switch key.Class {
+	case classAccess:
+		r.rate = r.rate*0.6 + 150 // ~190..390 tokens/s
+		r.burst *= 1.2
+	case classBackbone:
+		r.rate *= 4
+		r.burst *= 2
+	}
+	if chance(h(pk, 3), uint64(cfg.AggressivePercent), 100) {
+		r.rate /= 10
+		r.burst /= 4
+		if r.burst < 2 {
+			r.burst = 2
+		}
+	}
+	r.unresponsive = chance(h(pk, 4), uint64(cfg.UnresponsivePercent), 100)
+	r.truncateQuote = chance(h(pk, 5), uint64(cfg.QuoteTruncPercent), 100)
+	r.tokens = r.burst
+	r.last = u.clock.Now()
+	u.routers[key] = r
+	return r
+}
+
+// routerAddr derives the ICMPv6 source address a router uses.
+func (u *Universe) routerAddr(key RouterKey, as *AS) netip.Addr {
+	switch key.Class {
+	case classAccess, classBackbone:
+		// Numbered from the AS's infrastructure block: a point-to-point
+		// /64 per router with a lowbyte or small-integer IID.
+		sub := h(u.seed, 22, uint64(key.ASN), uint64(key.Class), key.K1, key.K2)
+		base := ipv6.FromAddr(as.InfraPrefix.Addr())
+		base.Hi |= sub & ^ipv6.Mask(as.InfraPrefix.Bits()).Hi
+		iid := uint64(1)
+		if chance(h(sub, 9), 30, 100) { // some interfaces use ::2 or small ints
+			iid = between(h(sub, 10), 2, 9)
+		}
+		base.Lo = iid
+		return base.Addr()
+	case classLevel:
+		subnet := netip.PrefixFrom(ipv6.U128{Hi: key.K1, Lo: 0}.Addr(), int(key.K2))
+		if key.K2 == 64 {
+			return u.GatewayAddr(subnet, as)
+		}
+		if as.InfraRIR && key.K2 < 56 {
+			// Distribution routers numbered from unadvertised RIR space.
+			sub := hPrefix(u.seed, subnet, 23)
+			base := ipv6.FromAddr(as.InfraPrefix.Addr())
+			base.Hi |= sub & ^ipv6.Mask(as.InfraPrefix.Bits()).Hi
+			base.Lo = 1
+			return base.Addr()
+		}
+		return ipv6.WithIID(subnet.Addr(), 1)
+	}
+	panic("netsim: unknown router class")
+}
+
+// allowICMP consumes a token if available, refilling for elapsed virtual
+// time; a false result models RFC 4443 rate limiting suppressing the
+// ICMPv6 error.
+func (r *Router) allowICMP(now time.Duration) bool {
+	if now > r.last {
+		r.tokens += r.rate * (now - r.last).Seconds()
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		r.last = now
+	}
+	if r.tokens >= 1 {
+		r.tokens--
+		return true
+	}
+	return false
+}
+
+// TokenLevel exposes the current bucket level for tests.
+func (r *Router) TokenLevel() float64 { return r.tokens }

@@ -1,0 +1,453 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/wire"
+)
+
+// VantageSpec describes where a measurement vantage attaches.
+type VantageSpec struct {
+	Name     string
+	Kind     ASKind // kind of AS hosting the vantage
+	ChainLen int    // on-premise access path length (routers before the border)
+}
+
+// Vantage is a measurement host inside the simulated internetwork. It
+// implements the prober-side connection contract: Send consumes a
+// wire-format IPv6 packet, Recv yields wire-format replies, and
+// Now/Sleep expose the universe's virtual clock for pacing.
+type Vantage struct {
+	u    *Universe
+	spec VantageSpec
+	id   uint64
+	as   *AS
+	addr netip.Addr
+	rng  *rand.Rand
+
+	parent []int32 // BFS shortest-path tree over the AS graph, -1 at root
+
+	queue deliveryQueue
+	dec   wire.Decoded // scratch decoder reused across Send calls
+
+	stepKeys []RouterKey // scratch path plan
+	stepAS   []*AS
+
+	// Stats counts prober-visible events at this vantage.
+	Stats VantageStats
+}
+
+// VantageStats aggregates per-vantage counters.
+type VantageStats struct {
+	Sent     int64
+	Received int64
+}
+
+// NewVantage attaches a vantage to a deterministic AS of spec.Kind.
+func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
+	if spec.ChainLen <= 0 {
+		spec.ChainLen = 3
+	}
+	var nameKey uint64
+	for _, c := range spec.Name {
+		nameKey = nameKey*131 + uint64(c)
+	}
+	var pool []*AS
+	for _, as := range u.ases {
+		if as.Kind == spec.Kind && as.CPEOUIIndex == 0 {
+			pool = append(pool, as)
+		}
+	}
+	if len(pool) == 0 {
+		panic(fmt.Sprintf("netsim: no AS of kind %s for vantage %q", spec.Kind, spec.Name))
+	}
+	as := pool[h(u.seed, 31, nameKey)%uint64(len(pool))]
+	v := &Vantage{
+		u:    u,
+		spec: spec,
+		id:   nameKey,
+		as:   as,
+		addr: ipv6.WithIID(ipv6.NthSubprefix(as.Prefixes[0], 64, 0xbeef).Addr(), 0x1),
+		rng:  rand.New(rand.NewSource(int64(h(u.seed, 32, nameKey)))),
+	}
+	v.parent = u.bfsTree(as.Idx)
+	v.stepKeys = make([]RouterKey, 0, 64)
+	v.stepAS = make([]*AS, 0, 64)
+	return v
+}
+
+// bfsTree computes the shortest-path tree over the AS adjacency graph.
+func (u *Universe) bfsTree(root int) []int32 {
+	parent := make([]int32, len(u.ases))
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range u.ases[cur].Neighbors {
+			if parent[nb] == -2 {
+				parent[nb] = int32(cur)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return parent
+}
+
+// Name returns the vantage's configured name.
+func (v *Vantage) Name() string { return v.spec.Name }
+
+// LocalAddr returns the vantage's source address.
+func (v *Vantage) LocalAddr() netip.Addr { return v.addr }
+
+// AS returns the autonomous system hosting the vantage.
+func (v *Vantage) AS() *AS { return v.as }
+
+// Now returns the current virtual time.
+func (v *Vantage) Now() time.Duration { return v.u.clock.Now() }
+
+// Sleep advances virtual time; probers call this to pace departures.
+func (v *Vantage) Sleep(d time.Duration) { v.u.clock.Sleep(d) }
+
+// outcomes of path planning.
+type outcomeKind uint8
+
+const (
+	outHost outcomeKind = iota
+	outNoRoute
+	outFilteredSilent
+	outFilteredAdmin
+)
+
+type pathPlan struct {
+	n        int // number of router steps
+	outcome  outcomeKind
+	errorIdx int          // step originating a destination-unreachable
+	lan      netip.Prefix // destination /64 when outcome == outHost
+	destAS   *AS          // nil when unrouted
+	reject   bool         // reject-route rather than no-route
+}
+
+// flowHash computes the per-flow load-balancing key the way the paper
+// describes deployed routers doing it: addresses, protocol, and for
+// TCP/UDP the port pair — but for ICMPv6 the checksum and identifier,
+// which is precisely why Yarrp6 must hold its checksum constant per
+// target via payload fudge.
+func flowHash(seed uint64, d *wire.Decoded) uint64 {
+	s := ipv6.FromAddr(d.IPv6.Src)
+	t := ipv6.FromAddr(d.IPv6.Dst)
+	var extra uint64
+	switch d.Proto {
+	case wire.ProtoTCP:
+		extra = uint64(d.TCP.SrcPort)<<16 | uint64(d.TCP.DstPort)
+	case wire.ProtoUDP:
+		extra = uint64(d.UDP.SrcPort)<<16 | uint64(d.UDP.DstPort)
+	case wire.ProtoICMPv6:
+		extra = uint64(d.ICMPv6.Checksum)<<16 | uint64(d.ICMPv6.ID)
+	}
+	return h(seed, s.Hi, s.Lo, t.Hi, t.Lo, uint64(d.Proto)<<32|uint64(d.IPv6.FlowLabel), extra)
+}
+
+// plan computes the router path for the decoded probe, filling the
+// vantage's scratch buffers.
+func (v *Vantage) plan(d *wire.Decoded) pathPlan {
+	u := v.u
+	v.stepKeys = v.stepKeys[:0]
+	v.stepAS = v.stepAS[:0]
+	push := func(k RouterKey, as *AS) {
+		v.stepKeys = append(v.stepKeys, k)
+		v.stepAS = append(v.stepAS, as)
+	}
+	// On-premise access chain.
+	for i := 0; i < v.spec.ChainLen; i++ {
+		push(RouterKey{ASN: v.as.ASN, Class: classAccess, K1: v.id, K2: uint64(i)}, v.as)
+	}
+
+	rt, ok := u.table.Lookup(d.IPv6.Dst)
+	if !ok {
+		// Unrouted destination: the border router reports no-route.
+		return pathPlan{n: len(v.stepKeys), outcome: outNoRoute, errorIdx: len(v.stepKeys) - 1}
+	}
+	destAS := u.byASN[rt.Origin]
+
+	// AS-level path from the BFS tree (vantage → ... → destination AS).
+	var asPath [64]int
+	pl := 0
+	for cur := destAS.Idx; cur != v.as.Idx && pl < len(asPath); cur = int(v.parent[cur]) {
+		if v.parent[cur] < 0 {
+			break
+		}
+		asPath[pl] = cur
+		pl++
+	}
+	fh := flowHash(u.seed, d)
+	prevASN := v.as.ASN
+	filtered := false
+	filterIdx := 0
+	filterAdmin := false
+	for i := pl - 1; i >= 0; i-- {
+		as := u.ases[asPath[i]]
+		hops := 1
+		if as.Tier <= 2 {
+			hops = 1 + int(h(u.seed, 33, uint64(as.ASN), uint64(prevASN))%3)
+		}
+		var lbSel uint64
+		if as.LoadBalanced {
+			lbSel = fh % uint64(as.LBWays)
+		}
+		ingress := h(u.seed, 34, uint64(prevASN), lbSel)
+		for j := 0; j < hops; j++ {
+			push(RouterKey{ASN: as.ASN, Class: classBackbone, K1: ingress, K2: uint64(j)}, as)
+		}
+		// Transport filtering at the destination AS border.
+		if as == destAS && !filtered {
+			if (d.Proto == wire.ProtoUDP && as.BlockUDP) || (d.Proto == wire.ProtoTCP && as.BlockTCP) {
+				filtered = true
+				filterIdx = len(v.stepKeys) - 1
+				filterAdmin = h(u.seed, 35, uint64(as.ASN))%2 == 0
+			}
+		}
+		prevASN = as.ASN
+	}
+	if filtered {
+		out := outFilteredSilent
+		if filterAdmin {
+			out = outFilteredAdmin
+		}
+		return pathPlan{n: filterIdx + 1, outcome: out, errorIdx: filterIdx, destAS: destAS}
+	}
+
+	// Intra-AS descent through the destination's subnet hierarchy.
+	var buf [8]netip.Prefix
+	chain, full := u.descent(destAS, rt.Prefix, d.IPv6.Dst, buf[:])
+	for _, sub := range chain {
+		push(RouterKey{
+			ASN:   destAS.ASN,
+			Class: classLevel,
+			K1:    ipv6.FromAddr(sub.Addr()).Hi,
+			K2:    uint64(sub.Bits()),
+		}, destAS)
+	}
+	if !full {
+		return pathPlan{
+			n:        len(v.stepKeys),
+			outcome:  outNoRoute,
+			errorIdx: len(v.stepKeys) - 1,
+			destAS:   destAS,
+			reject:   destAS.RejectRoute,
+		}
+	}
+	return pathPlan{
+		n:        len(v.stepKeys),
+		outcome:  outHost,
+		errorIdx: len(v.stepKeys) - 1,
+		lan:      chain[len(chain)-1],
+		destAS:   destAS,
+	}
+}
+
+// Send routes one wire-format probe through the simulated internetwork,
+// scheduling at most one reply for later Recv. Malformed packets error.
+func (v *Vantage) Send(pkt []byte) error {
+	if err := v.dec.Decode(pkt); err != nil {
+		return fmt.Errorf("netsim: undecodable probe: %w", err)
+	}
+	d := &v.dec
+	v.Stats.Sent++
+	v.u.Stats.PacketsRouted++
+
+	plan := v.plan(d)
+	ttl := int(d.IPv6.HopLimit)
+	now := v.u.clock.Now()
+
+	// Hop-limit expiry before the path plan ends: Time Exceeded.
+	if ttl <= plan.n {
+		idx := ttl - 1
+		if v.lost(2 * ttl) {
+			v.u.Stats.LossDropped++
+			return nil
+		}
+		r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+		if r.unresponsive {
+			v.u.Stats.UnresponsiveDrops++
+			return nil
+		}
+		if !r.allowICMP(now) {
+			v.u.Stats.RateLimitDropped++
+			return nil
+		}
+		v.u.Stats.TimeExceededSent++
+		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, idx, now)
+		return nil
+	}
+
+	switch plan.outcome {
+	case outNoRoute, outFilteredAdmin:
+		// Unreachable generation is far less dependable than Time
+		// Exceeded on the real Internet: many networks blackhole
+		// unallocated space silently.
+		if plan.outcome == outNoRoute && v.rng.Float64() < 0.65 {
+			v.u.Stats.FilteredDrops++
+			return nil
+		}
+		idx := plan.errorIdx
+		if v.lost(2 * (idx + 1)) {
+			v.u.Stats.LossDropped++
+			return nil
+		}
+		r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+		if r.unresponsive {
+			v.u.Stats.UnresponsiveDrops++
+			return nil
+		}
+		if !r.allowICMP(now) {
+			v.u.Stats.RateLimitDropped++
+			return nil
+		}
+		code := uint8(wire.CodeNoRoute)
+		if plan.outcome == outFilteredAdmin {
+			code = wire.CodeAdminProhibited
+		} else if plan.reject {
+			code = wire.CodeRejectRoute
+		}
+		v.u.Stats.ErrorsSent++
+		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, idx, now)
+		return nil
+
+	case outFilteredSilent:
+		v.u.Stats.FilteredDrops++
+		return nil
+	}
+
+	// Destination /64 reached.
+	if v.lost(2 * (plan.n + 1)) {
+		v.u.Stats.LossDropped++
+		return nil
+	}
+	exists := v.u.HostExists(d.IPv6.Dst)
+	rtt := v.pathRTT(plan.n) + v.jitter()
+	switch {
+	case exists && d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest:
+		if plan.destAS.BlockEcho {
+			v.u.Stats.FilteredDrops++
+			return nil
+		}
+		v.u.Stats.EchoRepliesSent++
+		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(d.Payload))
+		n := wire.BuildEchoReply(buf, d.IPv6.Dst, v.addr, &d.ICMPv6, d.Payload, 64)
+		v.deliver(buf[:n], now+rtt)
+	case exists && d.Proto == wire.ProtoUDP:
+		v.u.Stats.PortUnreachSent++
+		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(pkt))
+		n := wire.BuildICMPv6Error(buf, wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
+		v.deliver(buf[:n], now+rtt)
+	case exists && d.Proto == wire.ProtoTCP:
+		v.u.Stats.TCPRstsSent++
+		buf := make([]byte, wire.IPv6HeaderLen+wire.TCPHeaderLen)
+		n := wire.BuildTCPRst(buf, d.IPv6.Dst, v.addr, &d.TCP, 64)
+		v.deliver(buf[:n], now+rtt)
+	default:
+		// No such host: the gateway's neighbor discovery fails and it
+		// reports address-unreachable some of the time (rate-limited).
+		if v.rng.Float64() < 0.6 {
+			idx := plan.errorIdx
+			r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+			if !r.unresponsive && r.allowICMP(now) {
+				v.u.Stats.ErrorsSent++
+				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, idx, now)
+			} else {
+				v.u.Stats.RateLimitDropped++
+			}
+		}
+	}
+	return nil
+}
+
+// scheduleError builds and enqueues an ICMPv6 error from router r quoting
+// the probe, arriving after the round-trip to step idx.
+func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx int, now time.Duration) {
+	quote := probe
+	if r.truncateQuote && len(quote) > 48 {
+		// Legacy gear quoting IPv4-style: header plus 8 bytes.
+		quote = quote[:48]
+	}
+	if max := wire.MinMTU - wire.IPv6HeaderLen - wire.ICMPv6HeaderLen; len(quote) > max {
+		quote = quote[:max]
+	}
+	buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(quote))
+	n := wire.BuildICMPv6Error(buf, typ, code, r.Addr, v.addr, quote, 64)
+	rtt := v.pathRTT(idx+1) + v.jitter()
+	v.deliver(buf[:n], now+rtt)
+}
+
+// pathRTT sums link latencies over the first n steps, doubled.
+func (v *Vantage) pathRTT(n int) time.Duration {
+	var oneWay time.Duration
+	for i := 0; i < n && i < len(v.stepKeys); i++ {
+		oneWay += v.u.linkLatency(v.stepKeys[i])
+	}
+	return 2 * oneWay
+}
+
+func (v *Vantage) jitter() time.Duration {
+	return time.Duration(v.rng.Int63n(int64(2 * time.Millisecond)))
+}
+
+// lost rolls per-traversal loss over hops link crossings (forward and
+// return combined by the caller).
+func (v *Vantage) lost(hops int) bool {
+	p := float64(v.u.cfg.LossPercent) / 100
+	if p <= 0 {
+		return false
+	}
+	survive := math.Pow(1-p, float64(hops))
+	return v.rng.Float64() > survive
+}
+
+// deliver enqueues reply bytes for Recv at time t.
+func (v *Vantage) deliver(b []byte, t time.Duration) {
+	heap.Push(&v.queue, delivery{at: t, data: b})
+}
+
+// Recv copies the next reply whose delivery time has arrived into buf,
+// returning its length. ok is false when nothing is pending at the
+// current virtual time.
+func (v *Vantage) Recv(buf []byte) (int, bool) {
+	if len(v.queue) == 0 || v.queue[0].at > v.u.clock.Now() {
+		return 0, false
+	}
+	d := heap.Pop(&v.queue).(delivery)
+	v.Stats.Received++
+	return copy(buf, d.data), true
+}
+
+// Pending reports how many replies are queued (delivered or in flight).
+func (v *Vantage) Pending() int { return len(v.queue) }
+
+type delivery struct {
+	at   time.Duration
+	data []byte
+}
+
+type deliveryQueue []delivery
+
+func (q deliveryQueue) Len() int            { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q deliveryQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x interface{}) { *q = append(*q, x.(delivery)) }
+func (q *deliveryQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,160 @@
+// Package perm provides a keyed pseudorandom permutation over an arbitrary
+// finite domain [0, n).
+//
+// Yarrp's central trick is to walk the probe space — the cross product of
+// target addresses and TTLs — in a random order that any instance can
+// regenerate from a small key, rather than materializing and shuffling the
+// space (which would reintroduce the very state Yarrp exists to avoid). The
+// original implementation uses RC5 as a block cipher; this package builds
+// an equivalent primitive from a balanced Feistel network with a
+// multiply-xor-shift round function, using cycle-walking to restrict the
+// power-of-four Feistel domain to exactly [0, n).
+//
+// Properties relied on elsewhere (and enforced by tests):
+//   - bijectivity over [0, n) for any key,
+//   - determinism for a given (key, n),
+//   - distinct keys produce (overwhelmingly) distinct orders.
+package perm
+
+import "fmt"
+
+// Perm is a keyed permutation of [0, N).
+type Perm struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	keys     [rounds]uint64
+}
+
+const rounds = 4
+
+// New creates the permutation of [0, n) selected by key. n must be at
+// least 1 and smaller than 2^62 (two Feistel halves of 31 bits each).
+func New(key uint64, n uint64) (*Perm, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("perm: empty domain")
+	}
+	if n >= 1<<62 {
+		return nil, fmt.Errorf("perm: domain %d exceeds 2^62-1", n)
+	}
+	// Find the smallest even bit width 2w with 2^(2w) >= n.
+	bits := uint(2)
+	for uint64(1)<<bits < n {
+		bits += 2
+		if bits >= 64 {
+			break
+		}
+	}
+	p := &Perm{
+		n:        n,
+		halfBits: bits / 2,
+		halfMask: (uint64(1) << (bits / 2)) - 1,
+	}
+	// Derive round keys with splitmix64 so nearby campaign keys do not
+	// yield correlated round functions.
+	s := key
+	for i := range p.keys {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.keys[i] = z ^ (z >> 31)
+	}
+	return p, nil
+}
+
+// MustNew is New, panicking on error; for static configurations.
+func MustNew(key, n uint64) *Perm {
+	p, err := New(key, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the domain size.
+func (p *Perm) N() uint64 { return p.n }
+
+func (p *Perm) round(r int, x uint64) uint64 {
+	// Multiply-xor-shift mixer keyed per round; only halfBits survive.
+	x ^= p.keys[r]
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 29
+	return x & p.halfMask
+}
+
+func (p *Perm) encryptOnce(v uint64) uint64 {
+	l := (v >> p.halfBits) & p.halfMask
+	r := v & p.halfMask
+	for i := 0; i < rounds; i++ {
+		l, r = r, l^p.round(i, r)
+	}
+	return l<<p.halfBits | r
+}
+
+func (p *Perm) decryptOnce(v uint64) uint64 {
+	l := (v >> p.halfBits) & p.halfMask
+	r := v & p.halfMask
+	for i := rounds - 1; i >= 0; i-- {
+		l, r = r^p.round(i, l), l
+	}
+	return l<<p.halfBits | r
+}
+
+// Apply maps index i in [0, N) to its permuted position.
+func (p *Perm) Apply(i uint64) uint64 {
+	if i >= p.n {
+		panic(fmt.Sprintf("perm: index %d out of domain [0,%d)", i, p.n))
+	}
+	// Cycle-walk: the Feistel block domain is a power of four >= n;
+	// re-encrypt until the value lands inside [0, n). Expected iterations
+	// are below 4 because the block domain is < 4n.
+	v := p.encryptOnce(i)
+	for v >= p.n {
+		v = p.encryptOnce(v)
+	}
+	return v
+}
+
+// Invert maps a permuted position back to its index.
+func (p *Perm) Invert(v uint64) uint64 {
+	if v >= p.n {
+		panic(fmt.Sprintf("perm: value %d out of domain [0,%d)", v, p.n))
+	}
+	x := p.decryptOnce(v)
+	for x >= p.n {
+		x = p.decryptOnce(x)
+	}
+	return x
+}
+
+// Iterator walks the permutation sequentially: successive Next calls yield
+// Apply(0), Apply(1), ... Apply(N-1). It carries only a counter, so a
+// campaign can be checkpointed and resumed by recording the counter value —
+// the property that lets Yarrp6 remain stateless.
+type Iterator struct {
+	p    *Perm
+	next uint64
+}
+
+// Iter returns an iterator positioned at index 0.
+func (p *Perm) Iter() *Iterator { return &Iterator{p: p} }
+
+// Resume returns an iterator positioned at index start.
+func (p *Perm) Resume(start uint64) *Iterator { return &Iterator{p: p, next: start} }
+
+// Next returns the next permuted value. ok is false once the domain is
+// exhausted.
+func (it *Iterator) Next() (v uint64, ok bool) {
+	if it.next >= it.p.n {
+		return 0, false
+	}
+	v = it.p.Apply(it.next)
+	it.next++
+	return v, true
+}
+
+// Pos reports how many values have been emitted (the resume counter).
+func (it *Iterator) Pos() uint64 { return it.next }

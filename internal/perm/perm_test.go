@@ -1,0 +1,175 @@
+package perm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBijectionSmallDomains(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 5, 16, 17, 100, 1000, 4097} {
+		p := MustNew(0xdeadbeef, n)
+		seen := make([]bool, n)
+		for i := uint64(0); i < n; i++ {
+			v := p.Apply(i)
+			if v >= n {
+				t.Fatalf("n=%d: Apply(%d)=%d out of range", n, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate output %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	p := MustNew(42, 10_007)
+	for i := uint64(0); i < p.N(); i++ {
+		if got := p.Invert(p.Apply(i)); got != i {
+			t.Fatalf("Invert(Apply(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestBijectionQuick(t *testing.T) {
+	// For arbitrary keys and moderate domains, Apply is injective on a
+	// sample and Invert is its inverse.
+	f := func(key uint64, nRaw uint16, iRaw uint16) bool {
+		n := uint64(nRaw)%5000 + 2
+		p := MustNew(key, n)
+		i := uint64(iRaw) % n
+		v := p.Apply(i)
+		return v < n && p.Invert(v) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(7, 1000)
+	b := MustNew(7, 1000)
+	for i := uint64(0); i < 1000; i++ {
+		if a.Apply(i) != b.Apply(i) {
+			t.Fatalf("same key diverged at %d", i)
+		}
+	}
+}
+
+func TestDistinctKeysDiffer(t *testing.T) {
+	a := MustNew(1, 1 << 16)
+	b := MustNew(2, 1 << 16)
+	same := 0
+	for i := uint64(0); i < 1<<16; i++ {
+		if a.Apply(i) == b.Apply(i) {
+			same++
+		}
+	}
+	// Two random permutations of 65536 elements agree on about one point
+	// in expectation; allow generous slack.
+	if same > 32 {
+		t.Errorf("keys 1 and 2 agree on %d points", same)
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	// Consecutive indices should map to widely separated outputs: the whole
+	// reason Yarrp permutes is that probes adjacent in time must not be
+	// adjacent in (target, TTL) space. Measure the mean absolute gap; for a
+	// uniform random permutation of [0,n) it concentrates near n/3.
+	const n = 1 << 16
+	p := MustNew(99, n)
+	var sum float64
+	prev := p.Apply(0)
+	for i := uint64(1); i < n; i++ {
+		v := p.Apply(i)
+		sum += math.Abs(float64(v) - float64(prev))
+		prev = v
+	}
+	mean := sum / float64(n-1)
+	if mean < float64(n)/5 {
+		t.Errorf("mean successive gap %.0f too small for n=%d (poor dispersion)", mean, n)
+	}
+}
+
+func TestIterator(t *testing.T) {
+	p := MustNew(3, 257)
+	it := p.Iter()
+	var got []uint64
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 257 {
+		t.Fatalf("iterator yielded %d values", len(got))
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("iterator duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIteratorResume(t *testing.T) {
+	p := MustNew(3, 1000)
+	it := p.Iter()
+	for i := 0; i < 500; i++ {
+		it.Next()
+	}
+	resumed := p.Resume(it.Pos())
+	a, okA := it.Next()
+	b, okB := resumed.Next()
+	if !okA || !okB || a != b {
+		t.Errorf("resume mismatch: (%d,%v) vs (%d,%v)", a, okA, b, okB)
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := New(1, 1<<62); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	p := MustNew(1, 10)
+	for _, fn := range []func(){
+		func() { p.Apply(10) },
+		func() { p.Invert(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-domain access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLargeDomain(t *testing.T) {
+	// A campaign-scale domain: 12.4M targets × 16 TTLs.
+	n := uint64(12_400_000) * 16
+	p := MustNew(0x1234, n)
+	// Spot-check bijectivity via inversion on a sample.
+	for i := uint64(0); i < 10_000; i++ {
+		idx := i * 19_841 % n
+		if p.Invert(p.Apply(idx)) != idx {
+			t.Fatalf("inversion failed at %d", idx)
+		}
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	p := MustNew(0xabc, 12_400_000*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(uint64(i) % p.N())
+	}
+}

@@ -1,0 +1,230 @@
+package probe
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"beholder/internal/wire"
+)
+
+// Magic authenticates probe payloads emitted by this module ("yp6\x01").
+const Magic uint32 = 0x79703601
+
+// PayloadLen is the fixed probe payload size (Figure 4 of the paper):
+// 4B magic, 1B instance, 1B originating TTL, 4B elapsed microseconds,
+// 2B checksum fudge.
+const PayloadLen = 12
+
+// Codec builds probes and recovers probe state from replies. Yarrp6 and
+// the stateful baseline probers share it: all emit the same wire format,
+// with per-target-constant transport checksums (Paris semantics — real
+// routers hash the ICMPv6 checksum for ECMP) and the target-address
+// checksum in the source port / ICMPv6 identifier to detect in-path
+// rewrites.
+type Codec struct {
+	conn     Conn
+	proto    uint8
+	instance uint8
+	epoch    time.Duration
+
+	dec   wire.Decoded
+	inner wire.Decoded
+
+	// NotMine counts replies that failed the magic/instance/identifier
+	// authentication.
+	NotMine int64
+}
+
+// NewCodec creates a codec for the given transport, anchored at the
+// connection's current time.
+func NewCodec(conn Conn, proto, instance uint8) *Codec {
+	return &Codec{conn: conn, proto: proto, instance: instance, epoch: conn.Now()}
+}
+
+// Epoch returns the campaign time origin used for RTT timestamps.
+func (c *Codec) Epoch() time.Duration { return c.epoch }
+
+// targetSum is the per-target constant carried in ports/identifiers and
+// forced into the transport checksum.
+func targetSum(target netip.Addr) uint16 {
+	s := wire.AddrChecksum(target)
+	if s == 0 {
+		return 0xffff
+	}
+	return s
+}
+
+// BuildProbe constructs the wire packet for (target, ttl) into buf,
+// returning its length.
+func (c *Codec) BuildProbe(buf []byte, target netip.Addr, ttl uint8) int {
+	elapsed := uint32((c.conn.Now() - c.epoch) / time.Microsecond)
+	var payload [PayloadLen]byte
+	binary.BigEndian.PutUint32(payload[0:4], Magic)
+	payload[4] = c.instance
+	payload[5] = ttl
+	binary.BigEndian.PutUint32(payload[6:10], elapsed)
+	// payload[10:12] is the checksum fudge, solved for below.
+
+	sum := targetSum(target)
+	hdr := wire.IPv6Header{HopLimit: ttl, Src: c.conn.LocalAddr(), Dst: target}
+	var udp wire.UDPHeader
+	var tcp wire.TCPHeader
+	var icmp wire.ICMPv6Header
+	switch c.proto {
+	case wire.ProtoUDP:
+		udp = wire.UDPHeader{SrcPort: sum, DstPort: 80}
+	case wire.ProtoTCP:
+		tcp = wire.TCPHeader{SrcPort: sum, DstPort: 80, Flags: wire.TCPSyn, Window: 65535}
+	default:
+		icmp = wire.ICMPv6Header{Type: wire.ICMPv6EchoRequest, ID: sum, Seq: 80}
+	}
+	n := wire.BuildPacket(buf, &hdr, c.proto, &udp, &tcp, &icmp, payload[:])
+	c.forceChecksum(buf[:n], hdr.Src, target, sum)
+	return n
+}
+
+// forceChecksum rewrites the transport checksum to want and solves the
+// payload fudge so the checksum verifies: with the wanted value
+// installed, the ones'-complement sum over pseudo-header and segment must
+// come to 0xffff, so the fudge is its complement deficit.
+func (c *Codec) forceChecksum(pkt []byte, src, dst netip.Addr, want uint16) {
+	var ckOff int
+	switch c.proto {
+	case wire.ProtoUDP:
+		ckOff = wire.IPv6HeaderLen + 6
+	case wire.ProtoTCP:
+		ckOff = wire.IPv6HeaderLen + 16
+	default:
+		ckOff = wire.IPv6HeaderLen + 2
+	}
+	fudgeOff := len(pkt) - 2
+	pkt[fudgeOff] = 0
+	pkt[fudgeOff+1] = 0
+	pkt[ckOff] = byte(want >> 8)
+	pkt[ckOff+1] = byte(want)
+	var sum wire.Checksummer
+	seg := pkt[wire.IPv6HeaderLen:]
+	sum.AddPseudoHeader(src, dst, len(seg), c.proto)
+	sum.Add(seg)
+	fudge := 0xffff - sum.RawSum()
+	pkt[fudgeOff] = byte(fudge >> 8)
+	pkt[fudgeOff+1] = byte(fudge)
+}
+
+// ParseReply decodes one received packet and reconstructs probe state.
+// ok is false for packets that are not attributable responses to this
+// codec's probes (wrong transport, failed authentication, undecodable).
+func (c *Codec) ParseReply(b []byte) (Reply, bool) {
+	if c.dec.Decode(b) != nil || c.dec.Proto == 0 {
+		return Reply{}, false
+	}
+	r := Reply{At: c.conn.Now(), From: c.dec.IPv6.Src, Proto: c.proto}
+
+	switch {
+	case c.dec.Proto == wire.ProtoICMPv6 &&
+		(c.dec.ICMPv6.Type == wire.ICMPv6TimeExceeded || c.dec.ICMPv6.Type == wire.ICMPv6DstUnreach):
+		if c.dec.ICMPv6.Type == wire.ICMPv6TimeExceeded {
+			r.Kind = KindTimeExceeded
+		} else {
+			r.Kind = KindDestUnreach
+		}
+		r.Type = c.dec.ICMPv6.Type
+		r.Code = c.dec.ICMPv6.Code
+		if !c.recoverFromQuote(&r) {
+			return Reply{}, false
+		}
+		return r, true
+
+	case c.dec.Proto == wire.ProtoICMPv6 && c.dec.ICMPv6.Type == wire.ICMPv6EchoReply:
+		if c.proto != wire.ProtoICMPv6 {
+			return Reply{}, false
+		}
+		if c.dec.ICMPv6.ID != targetSum(c.dec.IPv6.Src) || c.dec.ICMPv6.Seq != 80 {
+			c.NotMine++
+			return Reply{}, false
+		}
+		r.Kind = KindEchoReply
+		r.Type = wire.ICMPv6EchoReply
+		r.Target = c.dec.IPv6.Src
+		r.StateRecovered = c.recoverEchoPayload(&r)
+		return r, true
+
+	case c.dec.Proto == wire.ProtoTCP && c.dec.TCP.Flags&wire.TCPRst != 0:
+		if c.proto != wire.ProtoTCP {
+			return Reply{}, false
+		}
+		if c.dec.TCP.DstPort != targetSum(c.dec.IPv6.Src) {
+			c.NotMine++
+			return Reply{}, false
+		}
+		r.Kind = KindTCPRst
+		r.Target = c.dec.IPv6.Src
+		r.StateRecovered = true
+		return r, true
+	}
+	return Reply{}, false
+}
+
+// recoverFromQuote reconstructs probe state from the ICMPv6 error
+// quotation. It reports false only when the reply is authenticated as
+// someone else's; truncated quotations degrade to a usable reply with
+// TTL zero.
+func (c *Codec) recoverFromQuote(r *Reply) bool {
+	q := c.dec.Payload
+	if len(q) < wire.IPv6HeaderLen {
+		return true // interface address alone is still a discovery
+	}
+	if c.inner.Decode(q) != nil {
+		var hdr wire.IPv6Header
+		if hdr.Unmarshal(q) == nil {
+			r.Target = hdr.Dst
+		}
+		return true
+	}
+	r.Target = c.inner.IPv6.Dst
+	if c.inner.Proto != c.proto {
+		c.NotMine++
+		return false
+	}
+	var got uint16
+	switch c.inner.Proto {
+	case wire.ProtoUDP:
+		got = c.inner.UDP.SrcPort
+	case wire.ProtoTCP:
+		got = c.inner.TCP.SrcPort
+	default:
+		got = c.inner.ICMPv6.ID
+	}
+	if got != targetSum(r.Target) {
+		r.TargetRewritten = true
+	}
+	pl := c.inner.Payload
+	if len(pl) < PayloadLen {
+		return true // truncating middlebox: state lost, reply still ours
+	}
+	if binary.BigEndian.Uint32(pl[0:4]) != Magic || pl[4] != c.instance {
+		c.NotMine++
+		return false
+	}
+	r.TTL = pl[5]
+	sent := time.Duration(binary.BigEndian.Uint32(pl[6:10])) * time.Microsecond
+	if now := c.conn.Now() - c.epoch; now >= sent {
+		r.RTT = now - sent
+	}
+	r.StateRecovered = true
+	return true
+}
+
+func (c *Codec) recoverEchoPayload(r *Reply) bool {
+	pl := c.dec.Payload
+	if len(pl) < PayloadLen || binary.BigEndian.Uint32(pl[0:4]) != Magic || pl[4] != c.instance {
+		return false
+	}
+	r.TTL = pl[5]
+	sent := time.Duration(binary.BigEndian.Uint32(pl[6:10])) * time.Microsecond
+	if now := c.conn.Now() - c.epoch; now >= sent {
+		r.RTT = now - sent
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+// Package probe defines the prober-side plumbing shared by Yarrp6 and the
+// baseline probers: the vantage connection contract, parsed reply records,
+// and the trace store that accumulates campaign results.
+//
+// Conn abstracts the vantage point the way a raw IPv6 socket would: probers
+// hand it complete wire-format packets and read back complete wire-format
+// replies. netsim.Vantage satisfies it; a PF_PACKET-backed implementation
+// would slot in for live measurement without touching prober code.
+package probe
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Conn is the packet conduit and virtual clock at a vantage point.
+type Conn interface {
+	// LocalAddr returns the source address probes are sent from.
+	LocalAddr() netip.Addr
+	// Send transmits one wire-format IPv6 packet.
+	Send(pkt []byte) error
+	// Recv copies the next available reply into buf, returning its
+	// length; ok is false when no reply is currently deliverable.
+	Recv(buf []byte) (int, bool)
+	// Now returns the current (virtual) time.
+	Now() time.Duration
+	// Sleep advances time; probers use it to pace departures.
+	Sleep(d time.Duration)
+}
+
+// ReplyKind classifies a parsed response.
+type ReplyKind uint8
+
+// Reply kinds.
+const (
+	KindTimeExceeded ReplyKind = iota
+	KindDestUnreach
+	KindEchoReply
+	KindTCPRst
+	KindOther
+)
+
+// Reply is one parsed probe response with recovered probe state.
+type Reply struct {
+	At     time.Duration // receive time
+	From   netip.Addr    // responding source (interface address for TE)
+	Target netip.Addr    // reconstructed probe destination
+	Kind   ReplyKind
+	Type   uint8         // ICMPv6 type (0 for TCP RST)
+	Code   uint8         // ICMPv6 code
+	Proto  uint8         // probe transport protocol
+	TTL    uint8         // originating probe hop limit; 0 when unrecoverable
+	RTT    time.Duration // 0 when the timestamp was unrecoverable
+	// StateRecovered reports whether the Yarrp6 payload survived the
+	// quotation (truncating middleboxes defeat recovery; the interface
+	// address remains usable).
+	StateRecovered bool
+	// TargetRewritten reports that the quoted destination failed the
+	// address-checksum cross-check, i.e. something rewrote the probe.
+	TargetRewritten bool
+}
+
+// IsTimeExceeded reports whether the reply is an ICMPv6 Time Exceeded.
+func (r *Reply) IsTimeExceeded() bool { return r.Kind == KindTimeExceeded }

@@ -1,0 +1,182 @@
+package probe
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// HopEntry is one responsive hop of a traced path.
+type HopEntry struct {
+	TTL  uint8
+	Addr netip.Addr
+}
+
+// Trace accumulates the responses attributable to one target.
+type Trace struct {
+	Target netip.Addr
+	// Hops holds Time-Exceeded sources by probe TTL, unordered; use
+	// SortedHops for path order. Duplicate TTLs keep the first answer
+	// (Paris-stable flows make later answers identical in practice).
+	Hops []HopEntry
+	// Reached reports a destination-originated response (echo reply,
+	// port unreachable, RST) was received from the target itself.
+	Reached bool
+	// DestUnreach counts destination-unreachable responses by code.
+	DestUnreach map[uint8]int
+}
+
+// SortedHops returns the hops ordered by TTL.
+func (t *Trace) SortedHops() []HopEntry {
+	out := make([]HopEntry, len(t.Hops))
+	copy(out, t.Hops)
+	sort.Slice(out, func(i, j int) bool { return out[i].TTL < out[j].TTL })
+	return out
+}
+
+// hopAt returns the responding address at ttl.
+func (t *Trace) hopAt(ttl uint8) (netip.Addr, bool) {
+	for _, h := range t.Hops {
+		if h.TTL == ttl {
+			return h.Addr, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// PathLength returns the highest responding TTL (the paper's path length
+// metric for Table 7).
+func (t *Trace) PathLength() int {
+	max := 0
+	for _, h := range t.Hops {
+		if int(h.TTL) > max {
+			max = int(h.TTL)
+		}
+	}
+	return max
+}
+
+// Store accumulates campaign results: per-target traces, the global
+// interface-address set, and response-mix counters. It is not
+// goroutine-safe; the probers in this module are single-threaded against
+// the virtual clock.
+type Store struct {
+	recordPaths bool
+	traces      map[netip.Addr]*Trace
+	interfaces  map[netip.Addr]struct{}
+
+	// Response mix (Table 4): ICMPv6 type/code counts.
+	TimeExceeded    int64
+	EchoReplies     int64
+	TCPRsts         int64
+	DestUnreachByCode map[uint8]int64
+	Unparseable     int64 // replies whose probe state could not be recovered
+	Rewritten       int64 // quoted target failed the checksum cross-check
+}
+
+// NewStore creates a result store. recordPaths enables per-target trace
+// retention (needed for path analysis and subnet discovery); without it
+// only aggregate counters and the interface set are kept, which is what
+// pure discovery-power measurements need.
+func NewStore(recordPaths bool) *Store {
+	return &Store{
+		recordPaths:       recordPaths,
+		traces:            make(map[netip.Addr]*Trace),
+		interfaces:        make(map[netip.Addr]struct{}),
+		DestUnreachByCode: make(map[uint8]int64),
+	}
+}
+
+// Add folds one reply into the store and reports whether the reply's
+// source was a previously unseen interface address.
+func (s *Store) Add(r Reply) (newInterface bool) {
+	if !r.StateRecovered && r.Kind == KindTimeExceeded {
+		s.Unparseable++
+	}
+	if r.TargetRewritten {
+		s.Rewritten++
+	}
+	switch r.Kind {
+	case KindTimeExceeded:
+		s.TimeExceeded++
+		if _, seen := s.interfaces[r.From]; !seen {
+			s.interfaces[r.From] = struct{}{}
+			newInterface = true
+		}
+	case KindEchoReply:
+		s.EchoReplies++
+	case KindTCPRst:
+		s.TCPRsts++
+	case KindDestUnreach:
+		s.DestUnreachByCode[r.Code]++
+	}
+	if !s.recordPaths || !r.Target.IsValid() {
+		return newInterface
+	}
+	t := s.traces[r.Target]
+	if t == nil {
+		t = &Trace{Target: r.Target}
+		s.traces[r.Target] = t
+	}
+	switch r.Kind {
+	case KindTimeExceeded:
+		if r.TTL != 0 {
+			if _, dup := t.hopAt(r.TTL); !dup {
+				t.Hops = append(t.Hops, HopEntry{TTL: r.TTL, Addr: r.From})
+			}
+		}
+	case KindEchoReply, KindTCPRst:
+		t.Reached = true
+	case KindDestUnreach:
+		if r.Code == 4 { // port unreachable comes from the destination
+			t.Reached = true
+		}
+		if t.DestUnreach == nil {
+			t.DestUnreach = make(map[uint8]int)
+		}
+		t.DestUnreach[r.Code]++
+	}
+	return newInterface
+}
+
+// NumInterfaces returns the count of unique Time-Exceeded sources.
+func (s *Store) NumInterfaces() int { return len(s.interfaces) }
+
+// Interfaces returns the discovered interface addresses, unordered.
+func (s *Store) Interfaces() []netip.Addr {
+	out := make([]netip.Addr, 0, len(s.interfaces))
+	for a := range s.interfaces {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Trace returns the per-target record, or nil without path recording.
+func (s *Store) Trace(target netip.Addr) *Trace { return s.traces[target] }
+
+// Traces returns all retained traces, unordered.
+func (s *Store) Traces() []*Trace {
+	out := make([]*Trace, 0, len(s.traces))
+	for _, t := range s.traces {
+		out = append(out, t)
+	}
+	return out
+}
+
+// NumTraces returns how many targets have any recorded response.
+func (s *Store) NumTraces() int { return len(s.traces) }
+
+// OtherICMPv6 returns the count of non-Time-Exceeded ICMPv6 responses
+// (Table 3's "Other ICMPv6" column).
+func (s *Store) OtherICMPv6() int64 {
+	n := s.EchoReplies
+	for _, c := range s.DestUnreachByCode {
+		n += c
+	}
+	return n
+}
+
+// Responses returns the total parsed responses of all kinds.
+// OtherICMPv6 already folds echo replies and unreachables.
+func (s *Store) Responses() int64 {
+	return s.TimeExceeded + s.TCPRsts + s.OtherICMPv6()
+}

@@ -1,0 +1,46 @@
+package seeds
+
+import (
+	"math/rand"
+	"sort"
+
+	"beholder/internal/netsim"
+)
+
+// All generates every seed list the study uses, keyed by name, each from
+// an independent deterministic RNG stream so lists do not perturb each
+// other when parameters change. The TUM subset inventory is returned
+// alongside (Table 2).
+func All(u *netsim.Universe, seed int64, scale Scale) (map[string]List, []Subset) {
+	newRng := func(k int64) *rand.Rand { return rand.New(rand.NewSource(seed*1315423911 + k)) }
+	lists := make(map[string]List)
+
+	lists["caida"] = CAIDA(u, newRng(1))
+	lists["fiebig"] = Fiebig(u, newRng(2), scale)
+	lists["fdns_any"] = FDNS(u, newRng(3), scale)
+	lists["dnsdb"] = DNSDB(u, newRng(4), scale)
+	lists["cdn-k32"] = CDN(u, newRng(5), scale, 32)
+	lists["cdn-k256"] = CDN(u, newRng(5), scale, 256) // same observation stream, different k
+	lists["6gen"] = SixGen(u, newRng(6), scale)
+	tum, subsets := TUM(u, newRng(7), scale)
+	lists["tum"] = tum
+	nRandom := scaled(25, scale) * u.Table().NumPrefixes()
+	lists["random"] = Random(u, newRng(8), nRandom)
+	return lists, subsets
+}
+
+// IndependentNames returns the six seed lists the paper treats as
+// mutually independent (Table 1's first six rows), in presentation order.
+func IndependentNames() []string {
+	return []string{"caida", "dnsdb", "fiebig", "fdns_any", "cdn-k256", "cdn-k32"}
+}
+
+// Names returns all list names in a stable presentation order.
+func Names(lists map[string]List) []string {
+	out := make([]string, 0, len(lists))
+	for n := range lists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

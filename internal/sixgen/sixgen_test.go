@@ -1,0 +1,159 @@
+package sixgen
+
+import (
+	"net/netip"
+	"testing"
+
+	"beholder/internal/ipv6"
+)
+
+func seedsOf(ss ...string) []netip.Addr {
+	out := make([]netip.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ipv6.MustAddr(s)
+	}
+	return out
+}
+
+func TestGenerateCoversSeedCluster(t *testing.T) {
+	// Four seeds differing in one nybble: tight mode enumerates exactly
+	// the observed values at that position.
+	seeds := seedsOf("2001:db8::1", "2001:db8::2", "2001:db8::3", "2001:db8::4")
+	got := Generate(seeds, Config{Mode: Tight, Budget: 100, MaxClusterSpan: 1 << 20})
+	if len(got) != 4 {
+		t.Fatalf("tight mode generated %d targets: %v", len(got), got)
+	}
+	want := map[netip.Addr]bool{}
+	for _, s := range seeds {
+		want[s] = true
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("tight mode generated %s outside observed values", a)
+		}
+	}
+}
+
+func TestLooseModeWildcards(t *testing.T) {
+	// Two seeds differing in the last nybble: loose mode wildcards it,
+	// generating all 16 values.
+	seeds := seedsOf("2001:db8::a1", "2001:db8::a2")
+	got := Generate(seeds, DefaultConfig(100))
+	if len(got) != 16 {
+		t.Fatalf("loose mode generated %d targets, want 16", len(got))
+	}
+	seen := map[netip.Addr]bool{}
+	for _, a := range got {
+		seen[a] = true
+	}
+	for v := 0; v < 16; v++ {
+		a := ipv6.WithIID(ipv6.MustAddr("2001:db8::"), 0xa0|uint64(v))
+		if !seen[a] {
+			t.Errorf("missing wildcard value %s", a)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	seeds := seedsOf("2001:db8::11", "2001:db8::22", "2001:db8::33")
+	got := Generate(seeds, DefaultConfig(10))
+	if len(got) > 10 {
+		t.Errorf("budget exceeded: %d", len(got))
+	}
+}
+
+func TestDenseClustersFirst(t *testing.T) {
+	// A dense cluster (8 seeds in a /124-equivalent pattern) and a lone
+	// outlier: the first generated targets must come from the dense
+	// region.
+	var seeds []netip.Addr
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, ipv6.WithIID(ipv6.MustAddr("2001:db8::"), uint64(i)))
+	}
+	outlier := ipv6.MustAddr("2620:99::1234:5678:9abc:def0")
+	seeds = append(seeds, outlier)
+	got := Generate(seeds, DefaultConfig(16))
+	if len(got) == 0 {
+		t.Fatal("nothing generated")
+	}
+	// Seeds themselves reproduce first (singleton clusters have perfect
+	// density); the first novel address must come from the dense region.
+	isSeed := map[netip.Addr]bool{}
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+	densePrefix := ipv6.MustPrefix("2001:db8::/64")
+	for _, a := range got {
+		if isSeed[a] {
+			continue
+		}
+		if !densePrefix.Contains(a) {
+			t.Errorf("first novel target %s not from the dense cluster", a)
+		}
+		break
+	}
+}
+
+func TestClusterSpanGuard(t *testing.T) {
+	// Seeds scattered across unrelated prefixes must not merge into one
+	// cluster whose loose span devours the budget with junk: each seed
+	// becomes its own (singleton) cluster and is emitted itself.
+	seeds := seedsOf(
+		"2001:db8::1",
+		"2620:42:7:9:aaaa:bbbb:cccc:dddd",
+		"2a02:1234:5678:9abc:def0:1111:2222:3333",
+	)
+	got := Generate(seeds, Config{Mode: Loose, Budget: 50, MaxClusterSpan: 256})
+	seen := map[netip.Addr]bool{}
+	for _, a := range got {
+		seen[a] = true
+	}
+	for _, s := range seeds {
+		if !seen[s] {
+			t.Errorf("seed %s not reproduced by its singleton cluster", s)
+		}
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if got := Generate(nil, DefaultConfig(10)); got != nil {
+		t.Errorf("nil seeds: %v", got)
+	}
+	if got := Generate(seedsOf("2001:db8::1"), DefaultConfig(0)); got != nil {
+		t.Errorf("zero budget: %v", got)
+	}
+	// Single seed: the cluster is the seed itself.
+	got := Generate(seedsOf("2001:db8::1"), DefaultConfig(10))
+	if len(got) != 1 || got[0] != ipv6.MustAddr("2001:db8::1") {
+		t.Errorf("single seed: %v", got)
+	}
+}
+
+func TestNoDuplicateTargets(t *testing.T) {
+	var seeds []netip.Addr
+	for i := 0; i < 32; i++ {
+		seeds = append(seeds, ipv6.WithIID(ipv6.MustAddr("2400:1::"), uint64(i*3)))
+	}
+	got := Generate(seeds, DefaultConfig(1000))
+	seen := map[netip.Addr]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate target %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestSpanSaturation(t *testing.T) {
+	var c Cluster
+	for i := range c.vals {
+		c.vals[i] = 0xffff
+	}
+	c.Seeds = 1
+	if got := c.Span(Loose); got != 1<<40 {
+		t.Errorf("span should saturate at 2^40, got %d", got)
+	}
+	if d := c.Density(Loose); d <= 0 {
+		t.Errorf("density %f", d)
+	}
+}

@@ -1,0 +1,81 @@
+package subnet
+
+import (
+	"net/netip"
+
+	"beholder/internal/ipv6"
+)
+
+// ValidationReport compares discovered candidates against ground-truth
+// subnets, the way Section 6 validates against ISP interior prefixes.
+type ValidationReport struct {
+	TruthTotal     int
+	Candidates     int
+	ExactMatches   int // same base address and prefix length
+	MoreSpecifics  int // candidate strictly inside a truth subnet
+	ShortByOne     int // candidate length one bit short of a truth subnet
+	ShortByTwo     int
+	TruthCovered   int // truth subnets containing at least one candidate
+}
+
+// Validate compares candidates to truth prefixes.
+func Validate(cands []Candidate, truth []netip.Prefix) ValidationReport {
+	rep := ValidationReport{TruthTotal: len(truth), Candidates: len(cands)}
+	var truthTrie ipv6.Trie[netip.Prefix]
+	exact := make(map[netip.Prefix]bool, len(truth))
+	for _, tp := range truth {
+		tp = ipv6.CanonicalPrefix(tp)
+		truthTrie.Insert(tp, tp)
+		exact[tp] = true
+	}
+	covered := make(map[netip.Prefix]bool)
+	for _, c := range cands {
+		if exact[c.Prefix] {
+			rep.ExactMatches++
+			covered[c.Prefix] = true
+			continue
+		}
+		// Find the longest truth subnet covering the candidate's base.
+		covering := truthTrie.Covering(c.Prefix.Addr())
+		if len(covering) == 0 {
+			continue
+		}
+		longest := covering[len(covering)-1].Value
+		switch {
+		case c.Prefix.Bits() > longest.Bits():
+			// Candidate strictly inside a truth subnet: that subnet was
+			// genuinely found (at finer granularity).
+			rep.MoreSpecifics++
+			covered[longest] = true
+		case longest.Bits()-c.Prefix.Bits() == 1:
+			rep.ShortByOne++
+		case longest.Bits()-c.Prefix.Bits() == 2:
+			rep.ShortByTwo++
+		}
+	}
+	rep.TruthCovered = len(covered)
+	return rep
+}
+
+// StratifiedSample selects at most one candidate-producing target per
+// truth subnet, the paper's technique for bounding inference depth to the
+// truth data's granularity: with one trace per truth subnet, targets'
+// DPLs cannot exceed the truth subnets' lengths, so discovery cannot
+// produce more-specifics.
+func StratifiedSample(targets []netip.Addr, truth []netip.Prefix) []netip.Addr {
+	var trie ipv6.Trie[int]
+	for i, tp := range truth {
+		trie.Insert(tp, i)
+	}
+	taken := make(map[int]bool, len(truth))
+	var out []netip.Addr
+	for _, t := range targets {
+		_, idx, ok := trie.Lookup(t)
+		if !ok || taken[idx] {
+			continue
+		}
+		taken[idx] = true
+		out = append(out, t)
+	}
+	return out
+}

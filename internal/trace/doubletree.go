@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"net/netip"
+
+	"beholder/internal/probe"
+)
+
+// DoubletreeConfig parameterizes the Doubletree prober.
+type DoubletreeConfig struct {
+	Engine EngineConfig
+	// StartTTL is the intermediate starting hop distance h — the
+	// parameter the paper criticizes as requiring per-vantage heuristic
+	// estimation. Default 5.
+	StartTTL uint8
+	// MaxTTL bounds forward probing. Default 16.
+	MaxTTL uint8
+	// GapLimit stops forward probing after consecutive silence.
+	GapLimit int
+}
+
+func (c *DoubletreeConfig) setDefaults() {
+	c.Engine.setDefaults()
+	if c.StartTTL == 0 {
+		c.StartTTL = 5
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 16
+	}
+	if c.GapLimit <= 0 {
+		c.GapLimit = 5
+	}
+}
+
+// Doubletree implements Donnet et al.'s cooperative topology prober for a
+// single vantage: each trace starts at an intermediate TTL h, probes
+// forward (increasing TTL) until it reaches the destination or a path
+// segment already explored (the global stop set), then probes backward
+// (decreasing TTL) until it meets an interface already discovered from
+// this monitor (the local stop set).
+//
+// Two behaviours the paper documents are reproduced deliberately:
+// backward probing does not stop on silence, so once ICMPv6 rate limiting
+// makes a near hop unresponsive Doubletree keeps spending probes on it
+// and its even-more-shared predecessors, holding their token buckets
+// empty; and the stop sets fill in unprobed path portions from previous
+// traces, trading probe volume for potential path inaccuracy.
+type Doubletree struct {
+	conn probe.Conn
+	cfg  DoubletreeConfig
+
+	local  map[netip.Addr]struct{} // interfaces seen from this monitor
+	global map[netip.Addr]struct{} // interfaces seen during forward probing
+}
+
+// NewDoubletree creates the prober.
+func NewDoubletree(conn probe.Conn, cfg DoubletreeConfig) *Doubletree {
+	cfg.setDefaults()
+	return &Doubletree{
+		conn:   conn,
+		cfg:    cfg,
+		local:  make(map[netip.Addr]struct{}),
+		global: make(map[netip.Addr]struct{}),
+	}
+}
+
+// Run traces every target, folding results into store.
+func (d *Doubletree) Run(targets []netip.Addr, store *probe.Store) Stats {
+	e := newEngine(d.conn, d.cfg.Engine, store)
+	return e.run(targets, func(netip.Addr) strategy {
+		return &dtStrategy{owner: d, e: e, ttl: d.cfg.StartTTL, phase: dtForward}
+	})
+}
+
+// LocalStopSetSize reports how many interfaces the monitor accumulated.
+func (d *Doubletree) LocalStopSetSize() int { return len(d.local) }
+
+type dtPhase int
+
+const (
+	dtForward dtPhase = iota
+	dtBackward
+	dtDone
+)
+
+type dtStrategy struct {
+	owner *Doubletree
+	e     *engine
+	phase dtPhase
+	ttl   uint8
+	gaps  int
+}
+
+func (s *dtStrategy) next() (uint8, bool) {
+	switch s.phase {
+	case dtForward:
+		if s.ttl > s.owner.cfg.MaxTTL {
+			s.startBackward()
+			return s.next()
+		}
+		return s.ttl, false
+	case dtBackward:
+		if s.ttl < 1 {
+			s.phase = dtDone
+			return 0, true
+		}
+		return s.ttl, false
+	}
+	return 0, true
+}
+
+func (s *dtStrategy) startBackward() {
+	s.phase = dtBackward
+	if s.owner.cfg.StartTTL > 1 {
+		s.ttl = s.owner.cfg.StartTTL - 1
+	} else {
+		s.phase = dtDone
+	}
+	s.gaps = 0
+}
+
+func (s *dtStrategy) observe(ev event) {
+	switch s.phase {
+	case dtForward:
+		if ev.timeout {
+			s.gaps++
+			if s.gaps >= s.owner.cfg.GapLimit {
+				s.startBackward()
+				return
+			}
+			s.ttl++
+			return
+		}
+		s.gaps = 0
+		r := ev.reply
+		switch r.Kind {
+		case probe.KindEchoReply, probe.KindTCPRst, probe.KindDestUnreach:
+			// Destination (or its gateway) reached: flip to backward.
+			s.startBackward()
+			return
+		case probe.KindTimeExceeded:
+			if _, known := s.owner.global[r.From]; known {
+				// Converged onto a previously explored path: the rest of
+				// the forward path is filled in from prior results.
+				s.e.stats.StopSetHits++
+				s.startBackward()
+				return
+			}
+			s.owner.global[r.From] = struct{}{}
+			s.owner.local[r.From] = struct{}{}
+			s.ttl++
+		}
+	case dtBackward:
+		if !ev.timeout && ev.reply.Kind == probe.KindTimeExceeded {
+			if _, known := s.owner.local[ev.reply.From]; known {
+				// Paths from one monitor share early hops: stop.
+				s.e.stats.StopSetHits++
+				s.phase = dtDone
+				return
+			}
+			s.owner.local[ev.reply.From] = struct{}{}
+		}
+		// Silence does NOT stop backward probing — the pathological
+		// interaction with rate limiting the paper observed.
+		s.ttl--
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"net/netip"
+
+	"beholder/internal/probe"
+)
+
+// SequentialConfig parameterizes the scamper-like prober.
+type SequentialConfig struct {
+	Engine EngineConfig
+	// MaxTTL bounds the per-trace TTL walk. Default 16.
+	MaxTTL uint8
+	// GapLimit stops a trace after this many consecutive unresponsive
+	// hops (scamper's default is 5).
+	GapLimit int
+}
+
+func (c *SequentialConfig) setDefaults() {
+	c.Engine.setDefaults()
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 16
+	}
+	if c.GapLimit <= 0 {
+		c.GapLimit = 5
+	}
+}
+
+// Sequential is a stateful, per-destination increasing-TTL traceroute in
+// the mold of scamper's ICMP-Paris mode: the current production technique
+// at CAIDA Ark and RIPE Atlas, and the paper's baseline in Figure 5.
+type Sequential struct {
+	conn probe.Conn
+	cfg  SequentialConfig
+}
+
+// NewSequential creates the prober. Sequential probing always runs the
+// engine synchronized: the paper's packet captures show scamper's traces
+// advancing TTLs in lockstep bursts, which is precisely the behaviour
+// under study in Figure 5.
+func NewSequential(conn probe.Conn, cfg SequentialConfig) *Sequential {
+	cfg.setDefaults()
+	cfg.Engine.Synchronized = true
+	return &Sequential{conn: conn, cfg: cfg}
+}
+
+// Run traces every target, folding results into store.
+func (s *Sequential) Run(targets []netip.Addr, store *probe.Store) Stats {
+	e := newEngine(s.conn, s.cfg.Engine, store)
+	return e.run(targets, func(netip.Addr) strategy {
+		return &seqStrategy{maxTTL: s.cfg.MaxTTL, gapLimit: s.cfg.GapLimit}
+	})
+}
+
+type seqStrategy struct {
+	ttl      uint8
+	maxTTL   uint8
+	gapLimit int
+	gaps     int
+	stopped  bool
+}
+
+func (s *seqStrategy) next() (uint8, bool) {
+	if s.stopped || s.ttl >= s.maxTTL {
+		return 0, true
+	}
+	s.ttl++
+	return s.ttl, false
+}
+
+func (s *seqStrategy) observe(ev event) {
+	if ev.timeout {
+		s.gaps++
+		if s.gaps >= s.gapLimit {
+			s.stopped = true
+		}
+		return
+	}
+	s.gaps = 0
+	switch ev.reply.Kind {
+	case probe.KindEchoReply, probe.KindTCPRst:
+		s.stopped = true
+	case probe.KindDestUnreach:
+		// Any unreachable means further TTLs cannot do better.
+		s.stopped = true
+	}
+}

@@ -1,0 +1,103 @@
+// Package wire implements wire-format encoding and decoding for the packet
+// types the study emits and receives: IPv6 headers, TCP, UDP, and ICMPv6,
+// including Internet checksums over the IPv6 pseudo-header (RFC 8200 §8.1).
+//
+// The design follows the shape of gopacket's DecodingLayerParser: decoding
+// fills caller-owned, preallocated structs and retains sub-slices of the
+// input buffer, so steady-state probing and reply handling allocate nothing.
+// Serialization writes fixed-layout headers into caller-provided buffers.
+package wire
+
+import "net/netip"
+
+// Protocol numbers used by the study (IANA assigned).
+const (
+	ProtoTCP    = 6
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// Checksummer accumulates a 16-bit ones'-complement Internet checksum.
+// The zero value is ready to use.
+type Checksummer struct {
+	sum uint32
+	odd bool // a dangling high byte from an odd-length Add is pending
+}
+
+// Add folds data into the running sum, handling odd-length chunks so that
+// byte alignment is preserved across calls.
+func (c *Checksummer) Add(data []byte) {
+	i := 0
+	if c.odd && len(data) > 0 {
+		c.sum += uint32(data[0])
+		i = 1
+		c.odd = false
+	}
+	for ; i+1 < len(data); i += 2 {
+		c.sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		c.sum += uint32(data[i]) << 8
+		c.odd = true
+	}
+}
+
+// AddUint16 folds a single big-endian 16-bit value into the sum. It must
+// only be used at even byte offsets.
+func (c *Checksummer) AddUint16(v uint16) {
+	c.sum += uint32(v)
+}
+
+// AddPseudoHeader folds the IPv6 pseudo-header for the given addresses,
+// upper-layer payload length, and next-header value.
+func (c *Checksummer) AddPseudoHeader(src, dst netip.Addr, length int, nextHeader uint8) {
+	s := src.As16()
+	d := dst.As16()
+	c.Add(s[:])
+	c.Add(d[:])
+	c.sum += uint32(length >> 16)
+	c.sum += uint32(length & 0xffff)
+	c.sum += uint32(nextHeader)
+}
+
+// Sum finalizes and returns the checksum (already complemented, ready to
+// store in a header field). All-zero results are returned as is; the UDP
+// zero-means-no-checksum rule is the caller's concern.
+func (c *Checksummer) Sum() uint16 {
+	s := c.sum
+	for s > 0xffff {
+		s = (s >> 16) + (s & 0xffff)
+	}
+	return ^uint16(s)
+}
+
+// RawSum finalizes the folded but uncomplemented 16-bit sum. The Yarrp6
+// checksum-fudge computation needs the raw sum to solve for the payload
+// filler that keeps the transport checksum constant.
+func (c *Checksummer) RawSum() uint16 {
+	s := c.sum
+	for s > 0xffff {
+		s = (s >> 16) + (s & 0xffff)
+	}
+	return uint16(s)
+}
+
+// Checksum computes the transport checksum of payload under the IPv6
+// pseudo-header in one call.
+func Checksum(payload []byte, src, dst netip.Addr, nextHeader uint8) uint16 {
+	var c Checksummer
+	c.AddPseudoHeader(src, dst, len(payload), nextHeader)
+	c.Add(payload)
+	return c.Sum()
+}
+
+// AddrChecksum computes the 16-bit Internet checksum over a single IPv6
+// address. Yarrp6 stores this value in the TCP/UDP source port or ICMPv6
+// identifier so that replies whose quoted destination was rewritten by a
+// middlebox can be detected (Section 4.1).
+func AddrChecksum(a netip.Addr) uint16 {
+	b := a.As16()
+	var c Checksummer
+	c.Add(b[:])
+	return c.Sum()
+}
