@@ -22,6 +22,7 @@ import (
 	"net/netip"
 	"time"
 
+	"beholder/internal/alias"
 	"beholder/internal/core"
 	"beholder/internal/ipv6"
 	"beholder/internal/netsim"
@@ -299,6 +300,86 @@ func (v *Vantage) DiscoverSubnets(r *Result) ([]Subnet, int) {
 		out[i] = Subnet{Prefix: c.Prefix, MinLen: c.MinLen, IAHack: c.IAHack}
 	}
 	return out, res.IAHackCount
+}
+
+// AliasOptions parameterizes aliased-prefix detection (APD) through the
+// facade. Zero values select the library defaults.
+type AliasOptions struct {
+	Probes     int     // random IIDs probed per candidate prefix (default 8)
+	MinReplies int     // replies classifying a candidate aliased (default: majority)
+	Rate       float64 // probing rate in pps (default 1000)
+	Budget     int64   // total probe cap (0 = unlimited)
+}
+
+// AliasSet is a detected aliased-prefix list together with its probing
+// cost, produced by Vantage.DetectAliases.
+type AliasSet struct {
+	res *alias.Result
+}
+
+// Prefixes returns the detected aliased prefixes in address order.
+func (a *AliasSet) Prefixes() []netip.Prefix { return a.res.Aliased.Prefixes() }
+
+// Contains reports whether addr falls beneath a detected aliased prefix.
+func (a *AliasSet) Contains(addr netip.Addr) bool { return a.res.Aliased.Contains(addr) }
+
+// Len returns the number of detected aliased prefixes.
+func (a *AliasSet) Len() int { return a.res.Aliased.Len() }
+
+// ProbesSent returns the detection campaign's probe cost.
+func (a *AliasSet) ProbesSent() int64 { return a.res.ProbesSent }
+
+// Tested returns the number of candidate prefixes probed.
+func (a *AliasSet) Tested() int { return a.res.Tested }
+
+// Skipped returns the number of candidates left unprobed by the budget.
+func (a *AliasSet) Skipped() int { return a.res.Skipped }
+
+// Store exposes the underlying alias store for direct library use.
+func (a *AliasSet) Store() *alias.Store { return a.res.Aliased }
+
+// AliasCandidates derives the unique covering /64s of targets — the
+// candidate prefixes DetectAliases probes.
+func AliasCandidates(targets []netip.Addr) []netip.Prefix {
+	return alias.Candidates(ipv6.NewSet(targets), 64)
+}
+
+// DetectAliases probes candidate prefixes from this vantage with the
+// 6Prob-style APD scheme: random IIDs per candidate, interleaved for
+// per-prefix cool-down, under an optional probe budget. Candidates
+// whose random addresses answer are aliased — a middlebox, not hosts.
+func (v *Vantage) DetectAliases(candidates []netip.Prefix, opt AliasOptions) *AliasSet {
+	det := alias.NewDetector(v.v, alias.Params{
+		Probes:     opt.Probes,
+		MinReplies: opt.MinReplies,
+		PPS:        opt.Rate,
+		Budget:     opt.Budget,
+		Instance:   alias.DefaultParams().Instance,
+	})
+	rng := rand.New(rand.NewSource(v.in.seed ^ 0xa11a5))
+	return &AliasSet{res: det.Detect(candidates, rng)}
+}
+
+// DealiasStats re-exports the dealiasing summary.
+type DealiasStats = alias.Stats
+
+// DealiasTargets drops every target inside a detected aliased prefix,
+// returning the cleaned list. The underlying library also offers a
+// Collapse mode that keeps one representative per aliased prefix.
+func DealiasTargets(targets []netip.Addr, aliases *AliasSet) ([]netip.Addr, DealiasStats) {
+	kept, stats := alias.Dealias(ipv6.NewSet(targets), aliases.res.Aliased, alias.Drop)
+	return kept.Addrs(), stats
+}
+
+// AliasedGroundTruth exports the simulator's true aliased /64s, up to
+// perASLimit per hosting AS — the validation data real-world alias
+// detection can only estimate.
+func (in *Internet) AliasedGroundTruth(perASLimit int) []netip.Prefix {
+	var out []netip.Prefix
+	for _, as := range in.u.ASes() {
+		out = append(out, in.u.TruthAliasedLANs(as, perASLimit)...)
+	}
+	return out
 }
 
 // FixedIID is the paper's fixed pseudo-random interface identifier used

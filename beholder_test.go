@@ -4,6 +4,8 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+
+	"beholder/internal/ipv6"
 )
 
 // smallExperiments returns a fast suite for tests.
@@ -166,5 +168,74 @@ func TestExperimentCampaigns(t *testing.T) {
 	f8a, f8b := e.Figure8()
 	if len(f8a.Series) != 8 || len(f8b.Series) != 9 {
 		t.Errorf("Figure8 series = %d/%d", len(f8a.Series), len(f8b.Series))
+	}
+}
+
+func TestFacadeAliasWorkflow(t *testing.T) {
+	in := NewSmallInternet(6)
+	truth := in.AliasedGroundTruth(10)
+	if len(truth) == 0 {
+		t.Fatal("no ground-truth aliased /64s")
+	}
+
+	// An alias-polluted target list: a z64 set plus several members per
+	// ground-truth aliased LAN, the way known-address hitlists look.
+	targets, err := in.TargetSet("fdns_any", 64, "fixediid", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polluted := len(targets)
+	for _, p := range truth {
+		for iid := uint64(1); iid <= 3; iid++ {
+			targets = append(targets, ipv6.WithIID(p.Addr(), iid))
+		}
+	}
+
+	v := in.NewVantage("alias-workflow")
+	cands := AliasCandidates(targets)
+	aliases := v.DetectAliases(cands, AliasOptions{})
+	if aliases.Len() == 0 {
+		t.Fatal("no aliases detected")
+	}
+	if aliases.ProbesSent() == 0 || aliases.Tested() != len(cands) {
+		t.Errorf("probes=%d tested=%d of %d", aliases.ProbesSent(), aliases.Tested(), len(cands))
+	}
+	// Every ground-truth LAN we injected members into must be caught.
+	caught := 0
+	for _, p := range truth {
+		if aliases.Contains(p.Addr()) {
+			caught++
+		}
+	}
+	if caught < len(truth)*9/10 {
+		t.Errorf("caught %d/%d injected aliased LANs", caught, len(truth))
+	}
+
+	kept, stats := DealiasTargets(targets, aliases)
+	if len(kept) >= len(targets) {
+		t.Errorf("dealias did not shrink the set: %d → %d", len(targets), len(kept))
+	}
+	if stats.Dropped < 3*caught {
+		t.Errorf("dropped %d members, expected at least %d", stats.Dropped, 3*caught)
+	}
+	for _, a := range kept {
+		if aliases.Contains(a) {
+			t.Fatalf("kept target %s inside an aliased prefix", a)
+		}
+	}
+	t.Logf("targets %d (+%d injected) → %d kept; %d aliased prefixes, %d probes",
+		polluted, len(targets)-polluted, len(kept), aliases.Len(), aliases.ProbesSent())
+}
+
+func TestExperimentAliasStudy(t *testing.T) {
+	e := smallExperiments()
+	tbl := e.AliasStudy()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("AliasStudy rows = %d, want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 9 {
+			t.Fatalf("AliasStudy row width = %d", len(row))
+		}
 	}
 }

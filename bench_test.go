@@ -9,10 +9,12 @@ package beholder
 // cmd/beholder regenerates the same artifacts at campaign scale.
 
 import (
+	"math/rand"
 	"net/netip"
 	"testing"
 
 	"beholder/internal/probe"
+	"beholder/internal/target"
 	"beholder/internal/wire"
 )
 
@@ -215,6 +217,65 @@ func BenchmarkSubnetValidation(b *testing.B) {
 		t := e.SubnetValidation()
 		if len(t.Rows) != 2 {
 			b.Fatal("want dense + stratified rows")
+		}
+	}
+}
+
+// BenchmarkTargetBuild measures the three-step target generation
+// pipeline end to end: zn transformation, deduplication, and IID
+// synthesis over a DNS-derived seed list.
+func BenchmarkTargetBuild(b *testing.B) {
+	in := NewSmallInternet(9)
+	list := in.SeedLists(0.5)["fdns_any"]
+	var n int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		set := target.Build(list, target.Spec{SeedName: "fdns_any", ZN: 64, Synth: target.FixedIID}, rng)
+		n = set.Targets.Len()
+		if n == 0 {
+			b.Fatal("empty target set")
+		}
+	}
+	b.ReportMetric(float64(int64(n)*int64(b.N))/b.Elapsed().Seconds(), "targets/s")
+}
+
+// BenchmarkAliasDetect measures APD throughput: probes routed through
+// the simulator per wall-clock second over a mixed candidate pool of
+// truly aliased and genuine /64s.
+func BenchmarkAliasDetect(b *testing.B) {
+	in := NewSmallInternet(9)
+	truth := in.AliasedGroundTruth(8)
+	if len(truth) == 0 {
+		b.Fatal("no aliased ground truth")
+	}
+	targets, err := in.TargetSet("fdns_any", 64, "fixediid", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := append(AliasCandidates(targets), truth...)
+	var probes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Reset()
+		v := in.NewVantage("apd-bench")
+		aliases := v.DetectAliases(cands, AliasOptions{Rate: 10000})
+		probes += aliases.ProbesSent()
+		if aliases.Len() == 0 {
+			b.Fatal("no aliases detected")
+		}
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+}
+
+// BenchmarkAliasStudy regenerates the follow-on dealiasing table.
+func BenchmarkAliasStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := benchSuite(int64(i) + 1)
+		t := e.AliasStudy()
+		if len(t.Rows) != 2 {
+			b.Fatal("want 2 set rows")
 		}
 	}
 }

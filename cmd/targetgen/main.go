@@ -2,9 +2,15 @@
 // pipeline (seeds → prefix transformation → IID synthesis) and prints
 // the resulting probe targets, one per line.
 //
-// Example:
+// With -dealias, the candidate /64s of the generated set are first
+// swept with the 6Prob-style aliased-prefix detector from a vantage
+// inside the simulated internetwork, and every target falling inside a
+// detected aliased prefix is dropped before printing.
+//
+// Examples:
 //
 //	targetgen -seeds fdns_any -zn 48 -synth fixediid | head
+//	targetgen -seeds fdns_any -synth known -dealias | wc -l
 package main
 
 import (
@@ -24,6 +30,12 @@ func main() {
 		zn      = flag.Int("zn", 64, "prefix transformation level (z48, z64, ...)")
 		synth   = flag.String("synth", "lowbyte1", "IID synthesis: lowbyte1|fixediid|randomiid|known")
 		scale   = flag.Float64("scale", 0.5, "seed list scale")
+
+		dealias = flag.Bool("dealias", false, "detect aliased /64s and drop targets inside them")
+		vantage = flag.String("vantage", "targetgen", "detection vantage name (with -dealias)")
+		aProbes = flag.Int("alias-probes", 0, "random IIDs per candidate prefix (default 8)")
+		aRate   = flag.Float64("alias-rate", 0, "detection probing rate in pps (default 1000)")
+		aBudget = flag.Int64("alias-budget", 0, "detection probe budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -38,9 +50,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "targetgen:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "targetgen: %s z%d %s → %d targets\n", *seeds, *zn, *synth, len(targets))
+
+	if *dealias {
+		v := in.NewVantageAt(*vantage, "university", 3)
+		cands := beholder.AliasCandidates(targets)
+		aliases := v.DetectAliases(cands, beholder.AliasOptions{
+			Probes: *aProbes, Rate: *aRate, Budget: *aBudget,
+		})
+		kept, stats := beholder.DealiasTargets(targets, aliases)
+		fmt.Fprintf(os.Stderr,
+			"targetgen: dealias: %d candidate /64s (%d skipped by budget), %d aliased, %d probes; %d targets dropped → %d kept\n",
+			aliases.Tested(), aliases.Skipped(), aliases.Len(), aliases.ProbesSent(),
+			stats.Dropped, stats.Kept)
+		targets = kept
+	}
+
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintf(os.Stderr, "targetgen: %s z%d %s → %d targets\n", *seeds, *zn, *synth, len(targets))
 	for _, t := range targets {
 		fmt.Fprintln(w, t)
 	}

@@ -1,0 +1,63 @@
+// Dealias demonstrates the aliased-prefix problem and its remedy: in
+// CDN-fronted hosting networks a load balancer answers for every
+// address in a /64, so a hitlist-derived target set keeps rediscovering
+// the same middlebox. The 6Prob-style detector probes random IIDs
+// beneath each candidate /64 — replies to addresses that cannot be
+// assigned expose the alias — and the dealias pass drops the polluted
+// targets. Ground truth from the simulator scores the detection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beholder"
+)
+
+func main() {
+	in := beholder.NewSmallInternet(21)
+
+	// A known-address target set from forward-DNS seeds: hosting
+	// networks, many named hosts per /64 — the alias-polluted case.
+	targets, err := in.TargetSet("fdns_any", 0, "known", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands := beholder.AliasCandidates(targets)
+	fmt.Printf("targets:    %d known fdns addresses across %d candidate /64s\n",
+		len(targets), len(cands))
+
+	// Detect aliased prefixes with 8 random-IID probes per candidate.
+	v := in.NewVantageAt("dealias-demo", "university", 3)
+	aliases := v.DetectAliases(cands, beholder.AliasOptions{})
+	fmt.Printf("detection:  %d probes over %d candidates → %d aliased /64s\n",
+		aliases.ProbesSent(), aliases.Tested(), aliases.Len())
+
+	// Score against the simulator's exact aliasing oracle. (The full
+	// ground-truth list is enormous — every CDN /32 holds millions of
+	// aliased /64s — so membership is queried, not enumerated.)
+	u := in.Universe()
+	tp := 0
+	for _, p := range aliases.Prefixes() {
+		if u.AddrAliased(p.Addr()) {
+			tp++
+		}
+	}
+	inTruth := 0
+	for _, p := range cands {
+		if u.AddrAliased(p.Addr()) {
+			inTruth++
+		}
+	}
+	fmt.Printf("validation: %d/%d detected prefixes are truly aliased; %d/%d aliased candidates found\n",
+		tp, aliases.Len(), tp, inTruth)
+
+	// Drop the polluted targets.
+	kept, stats := beholder.DealiasTargets(targets, aliases)
+	fmt.Printf("dealias:    %d targets dropped (%d aliased prefixes intersected) → %d kept\n",
+		stats.Dropped, stats.AliasedPrefixes, len(kept))
+
+	// The recovered budget, in campaign terms: every dropped target
+	// would have cost a full TTL sweep into the same middlebox.
+	fmt.Printf("recovered:  ~%d probes of campaign budget at maxTTL 16\n", stats.Dropped*16)
+}

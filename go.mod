@@ -1,0 +1,3 @@
+module beholder
+
+go 1.24

@@ -20,12 +20,12 @@ type Class int
 // EUI64 and Random; the finer classes fold into Random ("no discernible
 // pattern" is addr6's catch-all) unless callers want them separately.
 const (
-	ClassRandom Class = iota // no discernible pattern
-	ClassLowByte             // zeros then a small terminal value (::1, ::a:2)
-	ClassEUI64               // modified EUI-64 with embedded MAC (ff:fe)
-	ClassEmbedIPv4           // dotted-quad IPv4 address embedded in the IID
-	ClassEmbedPort           // well-known service port embedded (::80, ::443)
-	ClassPattern             // repeating 16-bit words (::abcd:abcd:abcd:abcd)
+	ClassRandom    Class = iota // no discernible pattern
+	ClassLowByte                // zeros then a small terminal value (::1, ::a:2)
+	ClassEUI64                  // modified EUI-64 with embedded MAC (ff:fe)
+	ClassEmbedIPv4              // dotted-quad IPv4 address embedded in the IID
+	ClassEmbedPort              // well-known service port embedded (::80, ::443)
+	ClassPattern                // repeating 16-bit words (::abcd:abcd:abcd:abcd)
 	NumClasses
 )
 
@@ -122,7 +122,7 @@ func hexDigitsAsDecimal(v uint64) (uint64, bool) {
 
 // Counts tallies classifications over a set of addresses.
 type Counts struct {
-	Total int
+	Total   int
 	ByClass [NumClasses]int
 }
 

@@ -21,7 +21,7 @@ func TestClassifyKnownForms(t *testing.T) {
 		{"2001:db8::80", ClassEmbedPort},
 		{"2001:db8::443", ClassEmbedPort},
 		{"2001:db8::216:3eff:fe12:3456", ClassEUI64},
-		{"2001:db8::c0a8:101", ClassEmbedIPv4},  // 192.168.1.1
+		{"2001:db8::c0a8:101", ClassEmbedIPv4}, // 192.168.1.1
 		{"2001:db8::abcd:abcd:abcd:abcd", ClassPattern},
 		{"2001:db8::dead:beef:dead:beef", ClassPattern},
 		{"2001:db8:0:1:1234:5678:1234:5678", ClassPattern}, // the paper's fixed IID alternates

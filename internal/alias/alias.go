@@ -1,0 +1,154 @@
+// Package alias detects and filters aliased prefixes: network regions
+// where a middlebox (a CDN front end, load balancer, or firewall)
+// answers for every address, so that a single /64 can absorb an entire
+// campaign's probe budget while contributing one real device.
+//
+// The detector implements a 6Prob-style aliased-prefix detection (APD)
+// scheme: k random interface identifiers are probed beneath each
+// candidate prefix, with probes interleaved across candidates so that
+// consecutive probes into one prefix are separated by a full pass — a
+// cool-down that keeps per-prefix middlebox rate limiters from biasing
+// classification — all under an optional global probe budget. A
+// candidate whose random addresses overwhelmingly answer is classified
+// aliased: random 64-bit IIDs are never assigned, so genuine responses
+// to them can only come from something answering for the whole prefix.
+//
+// Detected prefixes live in a radix-trie Store supporting
+// longest-prefix containment queries, and a Dealias pass filters or
+// collapses target sets against the store.
+package alias
+
+import (
+	"net/netip"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/target"
+)
+
+// Record is one candidate prefix's detection outcome.
+type Record struct {
+	Prefix  netip.Prefix
+	Probes  int // probes sent into the prefix
+	Replies int // echo replies received from distinct probed addresses
+	Aliased bool
+}
+
+// Store holds detected aliased prefixes in a binary radix trie, so
+// membership of an address under any aliased prefix is an O(128) walk
+// regardless of store size.
+type Store struct {
+	trie ipv6.Trie[Record]
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add inserts rec's prefix, replacing any previous record for it.
+func (s *Store) Add(rec Record) { s.trie.Insert(rec.Prefix, rec) }
+
+// Len returns the number of stored aliased prefixes.
+func (s *Store) Len() int { return s.trie.Len() }
+
+// Contains reports whether a falls beneath any stored aliased prefix.
+func (s *Store) Contains(a netip.Addr) bool {
+	_, _, ok := s.trie.Lookup(a)
+	return ok
+}
+
+// Covering returns the longest stored aliased prefix covering a.
+func (s *Store) Covering(a netip.Addr) (netip.Prefix, bool) {
+	p, _, ok := s.trie.Lookup(a)
+	return p, ok
+}
+
+// Prefixes returns the stored prefixes in address order.
+func (s *Store) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, s.trie.Len())
+	s.trie.Walk(func(p netip.Prefix, _ Record) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// Records returns the stored records in address order.
+func (s *Store) Records() []Record {
+	out := make([]Record, 0, s.trie.Len())
+	s.trie.Walk(func(_ netip.Prefix, r Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// Candidates derives the unique covering prefixes of length bits from a
+// target set — the natural alias-detection candidates for a campaign.
+func Candidates(set *ipv6.Set, bits int) []netip.Prefix {
+	out := make([]netip.Prefix, 0, set.Len())
+	var last netip.Prefix
+	for _, a := range set.Addrs() {
+		p := ipv6.Extend(netip.PrefixFrom(a, 128), bits)
+		if len(out) == 0 || p != last {
+			out = append(out, p)
+			last = p
+		}
+	}
+	return out
+}
+
+// Mode selects how Dealias treats members of aliased prefixes.
+type Mode uint8
+
+// Dealiasing modes.
+const (
+	// Drop removes every member of an aliased prefix: responses there
+	// are middlebox artifacts, not topology (6Prob's hitlist policy).
+	Drop Mode = iota
+	// Collapse keeps exactly one representative member per aliased
+	// prefix, preserving the middlebox itself as a single target.
+	Collapse
+)
+
+// Stats summarizes one Dealias pass.
+type Stats struct {
+	Input           int // members before dealiasing
+	Kept            int // members after
+	Dropped         int // members removed
+	AliasedPrefixes int // distinct aliased prefixes the input intersected
+}
+
+// Dealias filters targets against the store: members outside aliased
+// prefixes pass through; members inside are dropped, or collapsed to
+// one representative per prefix under Collapse.
+func Dealias(targets *ipv6.Set, st *Store, mode Mode) (*ipv6.Set, Stats) {
+	stats := Stats{Input: targets.Len()}
+	kept := make([]netip.Addr, 0, targets.Len())
+	seen := make(map[netip.Prefix]struct{})
+	for _, a := range targets.Addrs() {
+		p, aliased := st.Covering(a)
+		if !aliased {
+			kept = append(kept, a)
+			continue
+		}
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			if mode == Collapse {
+				kept = append(kept, a)
+				continue
+			}
+		}
+		stats.Dropped++
+	}
+	stats.Kept = len(kept)
+	stats.AliasedPrefixes = len(seen)
+	return ipv6.NewSet(kept), stats
+}
+
+// DealiasSet applies Dealias to a generated target set, returning a set
+// whose name records the pass.
+func DealiasSet(set *target.Set, st *Store, mode Mode) (*target.Set, Stats) {
+	kept, stats := Dealias(set.Targets, st, mode)
+	spec := set.Spec
+	spec.SeedName += "+dealiased"
+	return &target.Set{Spec: spec, Targets: kept}, stats
+}

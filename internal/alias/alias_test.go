@@ -1,0 +1,187 @@
+package alias
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/netsim"
+	"beholder/internal/target"
+)
+
+// aliasUniverse builds the small universe plus ground-truth aliased
+// /64s and an equal-sized pool of genuine (non-aliased) provisioned
+// /64 decoys.
+func aliasUniverse(t testing.TB, seed int64, limit int) (u *netsim.Universe, truth, decoys []netip.Prefix) {
+	t.Helper()
+	u = netsim.NewUniverse(netsim.TestConfig(seed))
+	for _, as := range u.ASes() {
+		truth = append(truth, u.TruthAliasedLANs(as, 20)...)
+		if len(truth) >= limit {
+			truth = truth[:limit]
+			break
+		}
+	}
+	if len(truth) < 20 {
+		t.Fatalf("only %d ground-truth aliased /64s in the small universe", len(truth))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, as := range u.ASes() {
+		if as.Tier != 3 {
+			continue
+		}
+		for i := 0; i < 4 && len(decoys) < len(truth); i++ {
+			if lan, ok := u.RandomLAN(rng, as); ok && lan.Bits() == 64 && !u.LANAliased(lan, as) {
+				decoys = append(decoys, lan)
+			}
+		}
+	}
+	if len(decoys) < len(truth)/2 {
+		t.Fatalf("only %d decoy LANs sampled", len(decoys))
+	}
+	return u, truth, decoys
+}
+
+func TestDetectPrecisionRecall(t *testing.T) {
+	u, truth, decoys := aliasUniverse(t, 42, 200)
+	truthSet := make(map[netip.Prefix]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+
+	v := u.NewVantage(netsim.VantageSpec{Name: "apd", Kind: netsim.KindUniversity, ChainLen: 3})
+	det := NewDetector(v, DefaultParams())
+	res := det.Detect(append(append([]netip.Prefix{}, truth...), decoys...), rand.New(rand.NewSource(7)))
+
+	if res.Tested != len(truth)+len(decoys) {
+		t.Fatalf("tested %d of %d candidates", res.Tested, len(truth)+len(decoys))
+	}
+	var tp, fp, fn int
+	for _, rec := range res.Records {
+		switch {
+		case rec.Aliased && truthSet[rec.Prefix]:
+			tp++
+		case rec.Aliased && !truthSet[rec.Prefix]:
+			fp++
+		case !rec.Aliased && truthSet[rec.Prefix]:
+			fn++
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	t.Logf("tp=%d fp=%d fn=%d precision=%.3f recall=%.3f probes=%d",
+		tp, fp, fn, precision, recall, res.ProbesSent)
+	if precision < 0.9 {
+		t.Errorf("precision %.3f < 0.9", precision)
+	}
+	if recall < 0.9 {
+		t.Errorf("recall %.3f < 0.9", recall)
+	}
+	// The store agrees with the records.
+	for _, rec := range res.Records {
+		if rec.Aliased != res.Aliased.Contains(rec.Prefix.Addr()) {
+			t.Fatalf("store/record mismatch at %s", rec.Prefix)
+		}
+	}
+}
+
+func TestDetectBudget(t *testing.T) {
+	u, truth, decoys := aliasUniverse(t, 11, 60)
+	cands := append(append([]netip.Prefix{}, truth...), decoys...)
+	v := u.NewVantage(netsim.VantageSpec{Name: "apd-budget", Kind: netsim.KindUniversity, ChainLen: 3})
+	p := DefaultParams()
+	p.Budget = int64(p.Probes * 10)
+	res := NewDetector(v, p).Detect(cands, rand.New(rand.NewSource(1)))
+	if res.Tested != 10 {
+		t.Errorf("tested %d candidates under a 10-candidate budget", res.Tested)
+	}
+	if res.Skipped != len(cands)-10 {
+		t.Errorf("skipped %d, want %d", res.Skipped, len(cands)-10)
+	}
+	if res.ProbesSent > p.Budget {
+		t.Errorf("sent %d probes over budget %d", res.ProbesSent, p.Budget)
+	}
+}
+
+func TestDealiasModes(t *testing.T) {
+	st := NewStore()
+	aliased := []netip.Prefix{
+		netip.MustParsePrefix("2400:a:a:1::/64"),
+		netip.MustParsePrefix("2400:a:a:2::/64"),
+	}
+	for _, p := range aliased {
+		st.Add(Record{Prefix: p, Aliased: true})
+	}
+	var members []netip.Addr
+	for _, p := range aliased {
+		for iid := uint64(1); iid <= 3; iid++ {
+			members = append(members, ipv6.WithIID(p.Addr(), iid))
+		}
+	}
+	clean := []netip.Addr{
+		netip.MustParseAddr("2400:b:b:1::1"),
+		netip.MustParseAddr("2400:b:b:2::1"),
+	}
+	set := ipv6.NewSet(append(members, clean...))
+
+	kept, stats := Dealias(set, st, Drop)
+	if kept.Len() != len(clean) || stats.Dropped != len(members) {
+		t.Errorf("Drop: kept %d dropped %d, want %d/%d", kept.Len(), stats.Dropped, len(clean), len(members))
+	}
+	if stats.AliasedPrefixes != len(aliased) {
+		t.Errorf("Drop: intersected %d prefixes, want %d", stats.AliasedPrefixes, len(aliased))
+	}
+	kept, stats = Dealias(set, st, Collapse)
+	if kept.Len() != len(clean)+len(aliased) {
+		t.Errorf("Collapse: kept %d, want %d", kept.Len(), len(clean)+len(aliased))
+	}
+	if stats.Dropped != len(members)-len(aliased) {
+		t.Errorf("Collapse: dropped %d", stats.Dropped)
+	}
+	for _, p := range aliased {
+		n := 0
+		for _, a := range kept.Addrs() {
+			if p.Contains(a) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("Collapse: %d representatives under %s", n, p)
+		}
+	}
+}
+
+func TestDealiasSet(t *testing.T) {
+	st := NewStore()
+	st.Add(Record{Prefix: netip.MustParsePrefix("2400:c:c:1::/64"), Aliased: true})
+	set := &target.Set{
+		Spec: target.Spec{SeedName: "fdns_any", ZN: 64, Synth: target.FixedIID},
+		Targets: ipv6.NewSet([]netip.Addr{
+			netip.MustParseAddr("2400:c:c:1::1"),
+			netip.MustParseAddr("2400:c:c:2::1"),
+		}),
+	}
+	out, stats := DealiasSet(set, st, Drop)
+	if out.Targets.Len() != 1 || stats.Dropped != 1 {
+		t.Errorf("kept %d dropped %d", out.Targets.Len(), stats.Dropped)
+	}
+	if out.Name() != "fdns_any+dealiased-z64-fixediid" {
+		t.Errorf("name = %q", out.Name())
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	set := ipv6.NewSet([]netip.Addr{
+		netip.MustParseAddr("2400:1:2:3::1"),
+		netip.MustParseAddr("2400:1:2:3::2"),
+		netip.MustParseAddr("2400:1:2:4::1"),
+	})
+	got := Candidates(set, 64)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(got))
+	}
+	if got[0] != netip.MustParsePrefix("2400:1:2:3::/64") || got[1] != netip.MustParsePrefix("2400:1:2:4::/64") {
+		t.Errorf("candidates = %v", got)
+	}
+}

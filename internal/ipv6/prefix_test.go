@@ -87,10 +87,10 @@ func TestExtend(t *testing.T) {
 		n    int
 		want string
 	}{
-		{"2001:db8::/32", 48, "2001:db8::/48"},         // widen
-		{"2001:db8:1:2::/64", 48, "2001:db8:1::/48"},   // aggregate
-		{"2001:db8:1::/48", 48, "2001:db8:1::/48"},     // unchanged
-		{"2001:db8::1/128", 64, "2001:db8::/64"},       // address → /64
+		{"2001:db8::/32", 48, "2001:db8::/48"},       // widen
+		{"2001:db8:1:2::/64", 48, "2001:db8:1::/48"}, // aggregate
+		{"2001:db8:1::/48", 48, "2001:db8:1::/48"},   // unchanged
+		{"2001:db8::1/128", 64, "2001:db8::/64"},     // address → /64
 		{"2001:db8:ffff::/48", 40, "2001:db8:ff00::/40"},
 	}
 	for _, c := range cases {

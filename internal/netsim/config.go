@@ -39,11 +39,11 @@ type Config struct {
 	Seed int64 // master determinism seed
 
 	// AS population.
-	NumASes     int // total autonomous systems
-	NumTier1    int // fully meshed core carriers
-	Tier2Frac   int // one tier-2 regional per this many ASes
-	EyeballFrac int // percent of edge ASes that are eyeball ISPs
-	HostingFrac int // percent of edge ASes that are hosting networks
+	NumASes        int // total autonomous systems
+	NumTier1       int // fully meshed core carriers
+	Tier2Frac      int // one tier-2 regional per this many ASes
+	EyeballFrac    int // percent of edge ASes that are eyeball ISPs
+	HostingFrac    int // percent of edge ASes that are hosting networks
 	EnterpriseFrac int // percent of edge ASes that are enterprises
 	// remainder: universities
 
@@ -73,6 +73,12 @@ type Config struct {
 	// Load balancing.
 	LBFracPercent int // percent of transit ASes running ECMP
 	LBWays        int // parallel paths at a load-balanced AS
+
+	// Aliasing. CDN-style hosting ASes front whole /64s with load
+	// balancers that terminate any address — the aliased-prefix
+	// pollution that follow-on work (6Prob) dealiases.
+	CDNPercent        int // percent of hosting ASes operating CDN-style front ends
+	AliasedLANPercent int // percent of provisioned /64s in CDN ASes that are aliased
 }
 
 // DefaultConfig returns a campaign-scale universe: large enough that
@@ -107,6 +113,8 @@ func DefaultConfig(seed int64) Config {
 		RejectRoutePct:      3,
 		LBFracPercent:       30,
 		LBWays:              4,
+		CDNPercent:          35,
+		AliasedLANPercent:   30,
 	}
 }
 

@@ -555,3 +555,84 @@ func TestMalformedProbeRejected(t *testing.T) {
 		t.Error("malformed probe accepted")
 	}
 }
+
+func TestAliasedLANs(t *testing.T) {
+	u := testUniverse(t)
+	var cdn int
+	var truth []netip.Prefix
+	for _, as := range u.ASes() {
+		if as.CDN {
+			cdn++
+			if as.Kind != KindHosting {
+				t.Fatalf("CDN flag on %s AS %d", as.Kind, as.ASN)
+			}
+			if as.BlockEcho {
+				t.Errorf("CDN AS %d blocks echo", as.ASN)
+			}
+			truth = append(truth, u.TruthAliasedLANs(as, 50)...)
+		} else if got := u.TruthAliasedLANs(as, 50); len(got) != 0 {
+			t.Fatalf("non-CDN AS %d reports %d aliased LANs", as.ASN, len(got))
+		}
+	}
+	if cdn == 0 || len(truth) == 0 {
+		t.Fatalf("cdn ASes = %d, aliased LANs = %d", cdn, len(truth))
+	}
+	// Aliasing is deterministic and consistent across the plan views.
+	u2 := NewUniverse(TestConfig(42))
+	rng := rand.New(rand.NewSource(5))
+	for _, lan := range truth {
+		rt, ok := u.Table().Lookup(lan.Addr())
+		if !ok {
+			t.Fatalf("aliased LAN %s unrouted", lan)
+		}
+		as, _ := u.ASByASN(rt.Origin)
+		if !u2.LANAliased(lan, as) {
+			t.Fatalf("aliasing of %s not deterministic", lan)
+		}
+		// Every random IID beneath an aliased LAN is a host.
+		random := ipv6.WithIID(lan.Addr(), rng.Uint64())
+		if !u.HostExists(random) {
+			t.Fatalf("random IID %s in aliased LAN unanswered", random)
+		}
+		if !u.AddrAliased(random) {
+			t.Fatalf("AddrAliased(%s) = false inside aliased LAN", random)
+		}
+	}
+}
+
+func TestAliasedLANAnswersEcho(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "alias-echo", Kind: KindUniversity, ChainLen: 3})
+	var lan netip.Prefix
+	for _, as := range u.ASes() {
+		if lans := u.TruthAliasedLANs(as, 1); len(lans) > 0 {
+			lan = lans[0]
+			break
+		}
+	}
+	if !lan.IsValid() {
+		t.Fatal("no aliased LAN found")
+	}
+	rng := rand.New(rand.NewSource(9))
+	replies := 0
+	for i := 0; i < 8; i++ {
+		dst := ipv6.WithIID(lan.Addr(), rng.Uint64())
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 64))
+		v.Sleep(2 * time.Second)
+		buf := make([]byte, wire.MinMTU)
+		for {
+			n, ok := v.Recv(buf)
+			if !ok {
+				break
+			}
+			var d wire.Decoded
+			if err := d.Decode(buf[:n]); err == nil &&
+				d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoReply && d.IPv6.Src == dst {
+				replies++
+			}
+		}
+	}
+	if replies < 6 {
+		t.Errorf("aliased LAN answered %d/8 random-IID echoes", replies)
+	}
+}

@@ -142,6 +142,10 @@ func (u *Universe) HostExists(addr netip.Addr) bool {
 		return false
 	}
 	lan := chain[len(chain)-1]
+	if u.LANAliased(lan, as) {
+		// The front end terminates every address in the LAN.
+		return true
+	}
 	if addr == u.GatewayAddr(lan, as) {
 		return true
 	}
@@ -170,6 +174,86 @@ func (u *Universe) GatewayAddr(lan netip.Prefix, as *AS) netip.Addr {
 		return ipv6.WithIID(lan.Addr(), ipv6.EUI64IID(mac))
 	}
 	return ipv6.WithIID(lan.Addr(), 1)
+}
+
+// Aliased /64s. CDN-style hosting ASes front a fraction of their LANs
+// with load balancers that terminate any address — the aliased-prefix
+// phenomenon that makes one /64 answer for 2^64 probes. Like the rest
+// of the plan, aliasing is a pure function of (seed, ASN, lan), so the
+// same LANs are aliased for routing, host responses, and the exported
+// ground truth.
+
+// LANAliased reports whether lan is an aliased /64 of as: every
+// interface identifier beneath it answers probes.
+func (u *Universe) LANAliased(lan netip.Prefix, as *AS) bool {
+	if !as.CDN || lan.Bits() != 64 {
+		return false
+	}
+	return chance(hPrefix(u.seed, lan, uint64(as.ASN), 17), uint64(u.cfg.AliasedLANPercent), 100)
+}
+
+// AddrAliased reports whether addr falls inside an aliased, fully
+// provisioned /64.
+func (u *Universe) AddrAliased(addr netip.Addr) bool {
+	rt, ok := u.table.Lookup(addr)
+	if !ok {
+		return false
+	}
+	as := u.byASN[rt.Origin]
+	if !as.CDN {
+		return false
+	}
+	var buf [8]netip.Prefix
+	chain, full := u.descent(as, rt.Prefix, addr, buf[:])
+	if !full || len(chain) == 0 {
+		return false
+	}
+	return u.LANAliased(chain[len(chain)-1], as)
+}
+
+// TruthAliasedLANs enumerates as's aliased /64s in address order, up to
+// limit entries: the ground truth the alias detector is validated
+// against — data unavailable on the real Internet.
+func (u *Universe) TruthAliasedLANs(as *AS, limit int) []netip.Prefix {
+	if !as.CDN || limit <= 0 {
+		return nil
+	}
+	levels := planFor(as.Kind)
+	var out []netip.Prefix
+	var rec func(p netip.Prefix, lvlIdx int)
+	rec = func(p netip.Prefix, lvlIdx int) {
+		if len(out) >= limit {
+			return
+		}
+		if p.Bits() == 64 {
+			if u.LANAliased(p, as) {
+				out = append(out, p)
+			}
+			return
+		}
+		if lvlIdx >= len(levels) {
+			return
+		}
+		lvl := levels[lvlIdx]
+		if lvl.bits <= p.Bits() {
+			rec(p, lvlIdx+1)
+			return
+		}
+		width := lvl.bits - p.Bits()
+		if width > 16 {
+			return // fan too wide to enumerate; procedural space only
+		}
+		for i := uint64(0); i < 1<<uint(width) && len(out) < limit; i++ {
+			child := ipv6.NthSubprefix(p, lvl.bits, i)
+			if u.provisioned(as, child, lvl.num, lvl.den) {
+				rec(child, lvlIdx+1)
+			}
+		}
+	}
+	for _, p := range as.Prefixes {
+		rec(p, 0)
+	}
+	return out
 }
 
 // RandomLAN samples a uniformly random provisioned /64 beneath one of

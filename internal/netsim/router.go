@@ -80,6 +80,16 @@ func (u *Universe) router(key RouterKey, as *AS) *Router {
 	}
 	r.unresponsive = chance(h(pk, 4), uint64(cfg.UnresponsivePercent), 100)
 	r.truncateQuote = chance(h(pk, 5), uint64(cfg.QuoteTruncPercent), 100)
+	if key.Class == classLevel && key.K2 == 64 {
+		lan := netip.PrefixFrom(ipv6.U128{Hi: key.K1, Lo: 0}.Addr(), 64)
+		if u.LANAliased(lan, as) {
+			// Anycast front ends are engineered to answer: generous
+			// ICMPv6 origination budgets, never silent.
+			r.rate *= 8
+			r.burst *= 4
+			r.unresponsive = false
+		}
+	}
 	r.tokens = r.burst
 	r.last = u.clock.Now()
 	u.routers[key] = r

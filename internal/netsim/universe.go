@@ -50,6 +50,11 @@ type AS struct {
 	// premises routers respond from EUI-64 addresses; it selects the
 	// manufacturer OUI (Table 7: two manufacturers in two ISPs dominate).
 	CPEOUIIndex int
+
+	// CDN marks hosting ASes operating anycast front ends; a
+	// configured fraction of their provisioned /64s are aliased —
+	// every interface identifier beneath them answers probes.
+	CDN bool
 }
 
 // Universe is the simulated internetwork: topology, routing table, router
@@ -174,6 +179,12 @@ func (u *Universe) buildASGraph() {
 		as.BlockTCP = as.Tier == 3 && chance(h(pk, 2), uint64(cfg.BlockTCPPercent), 100)
 		as.BlockEcho = as.Tier == 3 && chance(h(pk, 3), uint64(cfg.BlockEchoPercent), 100)
 		as.RejectRoute = chance(h(pk, 4), uint64(cfg.RejectRoutePct), 100)
+		as.CDN = as.Kind == KindHosting && chance(h(pk, 6), uint64(cfg.CDNPercent), 100)
+		if as.CDN {
+			// Content businesses depend on reachability: CDN front
+			// ends answer echo regardless of edge filtering fashion.
+			as.BlockEcho = false
+		}
 		if as.Tier <= 2 && chance(h(pk, 5), uint64(cfg.LBFracPercent), 100) {
 			as.LoadBalanced = true
 			as.LBWays = cfg.LBWays

@@ -58,8 +58,8 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDistinctKeysDiffer(t *testing.T) {
-	a := MustNew(1, 1 << 16)
-	b := MustNew(2, 1 << 16)
+	a := MustNew(1, 1<<16)
+	b := MustNew(2, 1<<16)
 	same := 0
 	for i := uint64(0); i < 1<<16; i++ {
 		if a.Apply(i) == b.Apply(i) {

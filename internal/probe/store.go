@@ -65,12 +65,12 @@ type Store struct {
 	interfaces  map[netip.Addr]struct{}
 
 	// Response mix (Table 4): ICMPv6 type/code counts.
-	TimeExceeded    int64
-	EchoReplies     int64
-	TCPRsts         int64
+	TimeExceeded      int64
+	EchoReplies       int64
+	TCPRsts           int64
 	DestUnreachByCode map[uint8]int64
-	Unparseable     int64 // replies whose probe state could not be recovered
-	Rewritten       int64 // quoted target failed the checksum cross-check
+	Unparseable       int64 // replies whose probe state could not be recovered
+	Rewritten         int64 // quoted target failed the checksum cross-check
 }
 
 // NewStore creates a result store. recordPaths enables per-target trace

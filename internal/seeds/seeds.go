@@ -152,7 +152,6 @@ func FDNS(u *netsim.Universe, rng *rand.Rand, scale Scale) List {
 	return List{Name: "fdns_any", Method: "Fwd. DNS", Addrs: ipv6.NewSet(addrs)}
 }
 
-
 // fdnsLANAddrs emits the DNS-named addresses of one hosting LAN: lowbyte
 // servers, service-port and embedded-IPv4 vanity names, and a privacy
 // minority.

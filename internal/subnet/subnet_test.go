@@ -195,10 +195,10 @@ func TestValidate(t *testing.T) {
 		ipv6.MustPrefix("2400:100:b::/48"),
 	}
 	cands := []Candidate{
-		{Prefix: ipv6.MustPrefix("2400:100:0:1::/64"), MinLen: 64},  // exact
-		{Prefix: ipv6.MustPrefix("2400:100:a:0::/56"), MinLen: 56},  // more specific
-		{Prefix: ipv6.MustPrefix("2400:100:b::/47"), MinLen: 47},    // short by one
-		{Prefix: ipv6.MustPrefix("2620:99::/48"), MinLen: 48},       // outside truth
+		{Prefix: ipv6.MustPrefix("2400:100:0:1::/64"), MinLen: 64}, // exact
+		{Prefix: ipv6.MustPrefix("2400:100:a:0::/56"), MinLen: 56}, // more specific
+		{Prefix: ipv6.MustPrefix("2400:100:b::/47"), MinLen: 47},   // short by one
+		{Prefix: ipv6.MustPrefix("2620:99::/48"), MinLen: 48},      // outside truth
 	}
 	rep := Validate(cands, truth)
 	if rep.ExactMatches != 1 {

@@ -9,13 +9,13 @@ import (
 // ValidationReport compares discovered candidates against ground-truth
 // subnets, the way Section 6 validates against ISP interior prefixes.
 type ValidationReport struct {
-	TruthTotal     int
-	Candidates     int
-	ExactMatches   int // same base address and prefix length
-	MoreSpecifics  int // candidate strictly inside a truth subnet
-	ShortByOne     int // candidate length one bit short of a truth subnet
-	ShortByTwo     int
-	TruthCovered   int // truth subnets containing at least one candidate
+	TruthTotal    int
+	Candidates    int
+	ExactMatches  int // same base address and prefix length
+	MoreSpecifics int // candidate strictly inside a truth subnet
+	ShortByOne    int // candidate length one bit short of a truth subnet
+	ShortByTwo    int
+	TruthCovered  int // truth subnets containing at least one candidate
 }
 
 // Validate compares candidates to truth prefixes.

@@ -1,0 +1,174 @@
+// Package target implements the paper's three-step target generation
+// pipeline (Section 3.3): seed addresses and prefixes are mapped to a
+// uniform aggregation level by the zn prefix transformation, the
+// transformed prefixes are deduplicated, and one probe target is
+// synthesized per unique prefix by interface-identifier synthesis.
+//
+// The pipeline is deterministic given its *rand.Rand: transformed
+// prefixes are sorted before any random IIDs are drawn, so the same
+// seed list and seed value always yield the identical target set
+// regardless of input ordering. Deduplication is a single sort pass
+// (ipv6.Set), so campaign-scale sets of millions of targets build in
+// O(n log n) without quadratic blowups.
+package target
+
+import (
+	"math/rand"
+	"net/netip"
+	"strconv"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/seeds"
+)
+
+// Synth selects the interface-identifier synthesis method applied to
+// each transformed prefix (Section 3.3).
+type Synth uint8
+
+// Synthesis methods.
+const (
+	// LowByte1 synthesizes the ::1 address beneath each prefix — the
+	// conventional gateway/server numbering most likely to exist.
+	LowByte1 Synth = iota
+	// FixedIID synthesizes one fixed pseudo-random IID (FixedIIDValue)
+	// beneath each prefix: almost surely unassigned, so probes traverse
+	// the full path toward the subnet rather than stopping at a host.
+	FixedIID
+	// RandomIID synthesizes an independent random IID per prefix.
+	RandomIID
+	// Known probes the seed addresses verbatim, skipping transformation
+	// and synthesis — the paper's known-address control.
+	Known
+)
+
+func (s Synth) String() string {
+	switch s {
+	case LowByte1:
+		return "lowbyte1"
+	case FixedIID:
+		return "fixediid"
+	case RandomIID:
+		return "randomiid"
+	case Known:
+		return "known"
+	}
+	return "unknown"
+}
+
+// FixedIIDValue is the fixed pseudo-random interface identifier used by
+// the FixedIID synthesis. The value avoids the assigned-IID
+// conventions the simulator (and the real Internet) use: it is not a
+// small integer, not an embedded IPv4 address, and carries no EUI-64
+// ff:fe marker.
+const FixedIIDValue uint64 = 0x2b7e151628aed2a6
+
+// Spec names one target set: the seed source, the zn transformation
+// level, and the synthesis method.
+type Spec struct {
+	SeedName string
+	ZN       int
+	Synth    Synth
+}
+
+// Name returns the canonical set name, e.g. "caida-z64-fixediid".
+// Known sets carry no transformation level.
+func (s Spec) Name() string {
+	if s.Synth == Known {
+		return s.SeedName + "-known"
+	}
+	return s.SeedName + "-z" + strconv.Itoa(s.ZN) + "-" + s.Synth.String()
+}
+
+// Set is one generated target set.
+type Set struct {
+	Spec    Spec
+	Targets *ipv6.Set
+}
+
+// Name returns the set's canonical name.
+func (s *Set) Name() string { return s.Spec.Name() }
+
+// Build runs the pipeline over one seed list. Address seeds are treated
+// as /128 prefixes; prefix-only seeds (the CDN's kIP aggregates)
+// contribute their prefixes directly. rng is consumed only by the
+// RandomIID synthesis, in sorted-prefix order, keeping the output a
+// pure function of (list, spec, rng seed).
+func Build(list seeds.List, spec Spec, rng *rand.Rand) *Set {
+	if spec.Synth == Known {
+		return &Set{Spec: spec, Targets: knownTargets(list)}
+	}
+	bases := znBases(list, spec.ZN)
+	out := make([]netip.Addr, len(bases))
+	for i, b := range bases {
+		switch spec.Synth {
+		case LowByte1:
+			out[i] = ipv6.WithIID(b, 1)
+		case FixedIID:
+			out[i] = ipv6.WithIID(b, FixedIIDValue)
+		default: // RandomIID
+			out[i] = ipv6.WithIID(b, rng.Uint64())
+		}
+	}
+	return &Set{Spec: spec, Targets: ipv6.NewSet(out)}
+}
+
+// znBases applies the zn prefix transformation to every seed and
+// returns the unique transformed base addresses in sorted order.
+// Prefixes shorter than zn are extended (zero-filled); prefixes longer
+// than zn aggregate up, so many seeds inside one /zn collapse to a
+// single base — the knob Table 3 turns.
+func znBases(list seeds.List, zn int) []netip.Addr {
+	n := 0
+	if list.Addrs != nil {
+		n += list.Addrs.Len()
+	}
+	if list.Prefixes != nil {
+		n += list.Prefixes.Len()
+	}
+	bases := make([]netip.Addr, 0, n)
+	if list.Addrs != nil {
+		for _, a := range list.Addrs.Addrs() {
+			bases = append(bases, ipv6.Extend(netip.PrefixFrom(a, 128), zn).Addr())
+		}
+	}
+	if list.Prefixes != nil {
+		for _, p := range list.Prefixes.Prefixes() {
+			bases = append(bases, ipv6.Extend(p, zn).Addr())
+		}
+	}
+	return ipv6.NewSet(bases).Addrs()
+}
+
+// knownTargets passes seed addresses through verbatim. Prefix-only
+// lists degrade to the ::1 address of each aggregate.
+func knownTargets(list seeds.List) *ipv6.Set {
+	if list.Addrs != nil {
+		return list.Addrs.Clone()
+	}
+	if list.Prefixes == nil {
+		return ipv6.EmptySet()
+	}
+	out := make([]netip.Addr, list.Prefixes.Len())
+	for i, p := range list.Prefixes.Prefixes() {
+		out[i] = ipv6.WithIID(ipv6.PrefixBase(p), 1)
+	}
+	return ipv6.NewSet(out)
+}
+
+// Combine unions several sets into one named set (the paper's
+// "combined" and "total" rows). Membership is merged in a single
+// sort pass over all inputs.
+func Combine(name string, zn int, synth Synth, sets ...*Set) *Set {
+	n := 0
+	for _, s := range sets {
+		n += s.Targets.Len()
+	}
+	all := make([]netip.Addr, 0, n)
+	for _, s := range sets {
+		all = append(all, s.Targets.Addrs()...)
+	}
+	return &Set{
+		Spec:    Spec{SeedName: name, ZN: zn, Synth: synth},
+		Targets: ipv6.NewSet(all),
+	}
+}

@@ -103,13 +103,13 @@ const (
 // ICMPv6 destination-unreachable codes (RFC 4443 §3.1). Table 4 reports the
 // response mix across these codes.
 const (
-	CodeNoRoute          = 0
-	CodeAdminProhibited  = 1
-	CodeBeyondScope      = 2
-	CodeAddrUnreachable  = 3
-	CodePortUnreachable  = 4
-	CodeFailedPolicy     = 5
-	CodeRejectRoute      = 6
+	CodeNoRoute         = 0
+	CodeAdminProhibited = 1
+	CodeBeyondScope     = 2
+	CodeAddrUnreachable = 3
+	CodePortUnreachable = 4
+	CodeFailedPolicy    = 5
+	CodeRejectRoute     = 6
 )
 
 // ICMPv6HeaderLen is the fixed 8-byte ICMPv6 header (type, code, checksum,
