@@ -163,6 +163,17 @@ type YarrpOptions struct {
 	Transport string  // "icmp6" (default), "udp", "tcp"
 	Fill      bool    // enable fill mode
 	Key       uint64  // permutation key
+	// Shards splits the permutation domain across this many concurrent
+	// Yarrp6 instances (distinct Instance bytes, same key), each on its
+	// own cloned vantage connection. The shards replay the exact
+	// single-prober virtual schedule in parallel wall time: results are
+	// deterministic at any shard count, and identical to a 1-shard run
+	// except that rate-limit-saturated routers may yield a few extra
+	// replies near shard-window starts (token buckets are epoch-scoped
+	// per shard — see core.Campaign), and Result.Curve carries only the
+	// final totals (per-shard curves are in Result.ShardStats).
+	// Default 1.
+	Shards int
 }
 
 func transportProto(name string) (uint8, error) {
@@ -183,7 +194,14 @@ type Result struct {
 	Fills      int64
 	Replies    int64
 	Elapsed    time.Duration
-	Curve      []core.CurvePoint
+	// Curve samples discovery progress. For a sharded campaign the
+	// global curve cannot be reconstructed from per-shard windows, so
+	// it holds only the final totals; the per-window curves live in
+	// ShardStats.
+	Curve []core.CurvePoint
+	// ShardStats holds the per-shard counter breakdown of a sharded
+	// campaign; nil for single-instance runs.
+	ShardStats []core.Stats
 
 	store *probe.Store
 }
@@ -211,25 +229,62 @@ func (r *Result) Reached(target netip.Addr) bool {
 	return t != nil && t.Reached
 }
 
+// Discovered reports whether addr was seen as a router interface
+// address, without materializing the interface slice.
+func (r *Result) Discovered(addr netip.Addr) bool { return r.store.AddrSeen(addr) }
+
 // Store exposes the underlying result store for analysis.
 func (r *Result) Store() *probe.Store { return r.store }
 
-// RunYarrp6 probes targets with the randomized stateless prober.
+// RunYarrp6 probes targets with the randomized stateless prober. With
+// opt.Shards > 1 the permutation domain is split across that many
+// concurrent prober instances, each on its own cloned vantage
+// connection, replaying the single-instance virtual schedule in a
+// fraction of the wall time (see YarrpOptions.Shards for the exact
+// equivalence guarantee).
 func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, error) {
 	proto, err := transportProto(opt.Transport)
 	if err != nil {
 		return nil, err
 	}
-	store := probe.NewStore(true)
-	y := core.New(v.v, core.Config{
+	cfg := core.Config{
 		Targets: targets,
 		PPS:     opt.Rate,
 		MaxTTL:  uint8(opt.MaxTTL),
 		Proto:   proto,
 		Key:     opt.Key,
 		Fill:    opt.Fill,
-	})
-	stats, err := y.Run(store)
+	}
+	if opt.Shards > 1 {
+		v.v.BeginShardGroup()
+		epoch := v.v.Now()
+		camp := core.NewCampaign(core.CampaignConfig{
+			Config:      cfg,
+			Shards:      opt.Shards,
+			RecordPaths: true,
+		}, func(_ int, start time.Duration) probe.Conn {
+			return v.v.Clone(epoch + start)
+		})
+		store, stats, err := camp.Run()
+		if err != nil {
+			return nil, err
+		}
+		// The serial path drives v's own clock through the campaign;
+		// mirror that here so follow-up operations on this vantage see
+		// the same virtual time at any shard count.
+		v.v.Sleep(stats.Elapsed)
+		return &Result{
+			ProbesSent: stats.ProbesSent,
+			Fills:      stats.Fills,
+			Replies:    stats.Replies,
+			Elapsed:    stats.Elapsed,
+			Curve:      stats.Curve,
+			ShardStats: stats.PerShard,
+			store:      store,
+		}, nil
+	}
+	store := probe.NewStore(true)
+	stats, err := core.New(v.v, cfg).Run(store)
 	if err != nil {
 		return nil, err
 	}

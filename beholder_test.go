@@ -2,6 +2,7 @@ package beholder
 
 import (
 	"net/netip"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -168,6 +169,64 @@ func TestExperimentCampaigns(t *testing.T) {
 	f8a, f8b := e.Figure8()
 	if len(f8a.Series) != 8 || len(f8b.Series) != 9 {
 		t.Errorf("Figure8 series = %d/%d", len(f8a.Series), len(f8b.Series))
+	}
+}
+
+// TestFacadeShardedCampaignMatches: the facade-level sharded run must
+// reproduce the single-instance run exactly — interfaces, paths,
+// counters — while reporting the per-shard breakdown.
+func TestFacadeShardedCampaignMatches(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	run := func(shards int) *Result {
+		in := NewSmallInternet(3)
+		v := in.NewVantage("shard-test")
+		targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 2000, MaxTTL: 12, Key: 1, Fill: true, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	single := run(1)
+	sharded := run(4)
+	if sharded.ProbesSent != single.ProbesSent || sharded.Fills != single.Fills ||
+		sharded.Replies != single.Replies {
+		t.Fatalf("sharded counters %d/%d/%d differ from single %d/%d/%d",
+			sharded.ProbesSent, sharded.Fills, sharded.Replies,
+			single.ProbesSent, single.Fills, single.Replies)
+	}
+	if !sharded.Store().Equal(single.Store()) {
+		t.Fatal("sharded store differs from single-instance store")
+	}
+	if len(sharded.ShardStats) != 4 || len(single.ShardStats) != 0 {
+		t.Fatalf("shard stats lengths: %d and %d", len(sharded.ShardStats), len(single.ShardStats))
+	}
+	for _, a := range single.Interfaces() {
+		if !sharded.Discovered(a) {
+			t.Fatalf("interface %s missing from sharded result", a)
+		}
+	}
+}
+
+// TestExperimentWorkersEquality: the campaign matrix rendered with
+// concurrent workers must be byte-identical to the serial rendering —
+// cells are isolated, so parallelism is invisible in the artifacts.
+func TestExperimentWorkersEquality(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	render := func(workers int) (string, string) {
+		e := NewExperiments(ExpOptions{Seed: 7, Scale: 0.1, Small: true, Rate: 2000, Workers: workers})
+		return e.Table7().Render(), e.Figure6().Render()
+	}
+	t1, f1 := render(1)
+	t4, f4 := render(4)
+	if t1 != t4 {
+		t.Error("Table 7 differs between 1 and 4 workers")
+	}
+	if f1 != f4 {
+		t.Error("Figure 6 differs between 1 and 4 workers")
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 		transport = flag.String("transport", "icmp6", "probe transport: icmp6|udp|tcp")
 		fill      = flag.Bool("fill", false, "enable fill mode")
 		key       = flag.Uint64("key", 0x6b657921, "permutation key")
+		shards    = flag.Int("shards", 1, "concurrent prober instances splitting the permutation domain")
 		vantage   = flag.String("vantage", "US-EDU-1", "vantage name")
 		hops      = flag.Bool("hops", false, "print per-target hop listings")
 	)
@@ -64,11 +65,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d\n",
-		len(targets), *vantage, v.Addr(), *rate, *maxTTL)
+	fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
+		len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
 
 	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
 		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
+		Shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yarrp6:", err)

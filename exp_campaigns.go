@@ -17,18 +17,20 @@ import (
 )
 
 // allCampaigns runs the full Table 7 matrix: every vantage, every
-// campaign seed, both aggregation levels.
+// campaign seed, both aggregation levels. The cells are independent
+// (each on a private universe) and run concurrently, up to
+// ExpOptions.Workers at a time; results are identical at any worker
+// count.
 func (e *Experiments) allCampaigns() []*campResult {
-	var out []*campResult
+	var cells []campCell
 	for vidx := range vantageSpecs {
 		for _, s := range campaignSeeds {
 			for _, zn := range []int{64, 48} {
-				set := e.targetSet(s, zn, target.FixedIID)
-				out = append(out, e.runCampaign(vidx, set, wire.ProtoICMPv6, 16, true))
+				cells = append(cells, campCell{vidx, e.targetSet(s, zn, target.FixedIID)})
 			}
 		}
 	}
-	return out
+	return e.runCampaigns(cells)
 }
 
 // Table7 reproduces "Results of aggregate Yarrp campaigns run from three
@@ -284,9 +286,7 @@ func (e *Experiments) PlatformValidation() *Table {
 			}
 			stats := seq.Run(sub, store)
 			traces += stats.ProbesSent
-			for _, a := range store.Interfaces() {
-				ifaces[a] = struct{}{}
-			}
+			store.ForEachInterface(func(a netip.Addr) { ifaces[a] = struct{}{} })
 		}
 		t.AddRow(label, itoa(vantages), kfmt(int64(len(targets))), kfmt(traces), kfmt(int64(len(ifaces))))
 	}

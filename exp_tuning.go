@@ -56,9 +56,7 @@ func (e *Experiments) Table3() *Table {
 		v := e.trialVantage(0)
 		store, stats := e.runTrial(v, set.Targets.Addrs(), core.Config{MaxTTL: 16, Key: uint64(n)})
 		r := &res{probes: stats.ProbesSent, other: store.OtherICMPv6(), ifaces: make(map[netip.Addr]struct{})}
-		for _, a := range store.Interfaces() {
-			r.ifaces[a] = struct{}{}
-		}
+		store.ForEachInterface(func(a netip.Addr) { r.ifaces[a] = struct{}{} })
 		results[n] = r
 	}
 	// Exclusive interfaces per level.

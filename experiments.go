@@ -3,7 +3,9 @@ package beholder
 import (
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 
 	"beholder/internal/analysis"
 	"beholder/internal/core"
@@ -23,6 +25,12 @@ type ExpOptions struct {
 	Scale float64 // seed-list scale (1.0 = campaign scale)
 	Small bool    // use the small universe (tests, quick benches)
 	Rate  float64 // campaign probing rate in pps (default 1000)
+	// Workers bounds how many campaign-matrix cells (Table 7, Figures
+	// 6/7) run concurrently. Each cell gets a private simulated universe
+	// (topology construction is a pure function of the configuration),
+	// so cells share no mutable state and the rendered tables are
+	// identical at any worker count. Default: GOMAXPROCS.
+	Workers int
 }
 
 func (o *ExpOptions) setDefaults() {
@@ -35,6 +43,9 @@ func (o *ExpOptions) setDefaults() {
 	if o.Rate <= 0 {
 		o.Rate = 1000
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Experiments regenerates the paper's evaluation. Each method returns a
@@ -45,6 +56,9 @@ type Experiments struct {
 	opt ExpOptions
 	in  *Internet
 
+	// mu guards the lazily built caches below; campaign-matrix workers
+	// populate them concurrently.
+	mu         sync.Mutex
 	lists      map[string]seeds.List
 	tumSubsets []seeds.Subset
 
@@ -83,6 +97,12 @@ func NewExperiments(opt ExpOptions) *Experiments {
 func (e *Experiments) Internet() *Internet { return e.in }
 
 func (e *Experiments) seedLists() map[string]seeds.List {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seedListsLocked()
+}
+
+func (e *Experiments) seedListsLocked() map[string]seeds.List {
 	if e.lists == nil {
 		e.lists, e.tumSubsets = seeds.All(e.in.u, e.opt.Seed, seeds.Scale(e.opt.Scale))
 	}
@@ -92,11 +112,13 @@ func (e *Experiments) seedLists() map[string]seeds.List {
 // targetSet builds (and caches) one target set.
 func (e *Experiments) targetSet(seedName string, zn int, synth target.Synth) *target.Set {
 	spec := target.Spec{SeedName: seedName, ZN: zn, Synth: synth}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if s, ok := e.targetSets[spec.Name()]; ok {
 		return s
 	}
 	rng := rand.New(rand.NewSource(e.opt.Seed + int64(zn)))
-	s := target.Build(e.seedLists()[seedName], spec, rng)
+	s := target.Build(e.seedListsLocked()[seedName], spec, rng)
 	e.targetSets[spec.Name()] = s
 	return s
 }
@@ -141,19 +163,26 @@ type campResult struct {
 }
 
 // runCampaign executes one Yarrp6 campaign with path recording and
-// summarizes it. The universe is reset first so every campaign starts
-// from full token buckets, as the paper's separate trial days do.
+// summarizes it. Each campaign probes through a cloned vantage with a
+// private clock opened at zero and pristine (vantage-owned) token
+// buckets — exactly the conditions the old shared-universe-plus-Reset
+// regime provided — while the universe itself is shared read-only, so
+// independent matrix cells run concurrently without rebuilding
+// topology.
 func (e *Experiments) runCampaign(vspec int, set *target.Set, proto uint8, maxTTL uint8, fill bool) *campResult {
 	key := vantageSpecs[vspec].name + "/" + set.Name()
+	e.mu.Lock()
 	if c, ok := e.campaigns[key]; ok {
+		e.mu.Unlock()
 		return c
 	}
-	e.in.Reset()
-	v := e.in.u.NewVantage(netsim.VantageSpec{
+	e.mu.Unlock()
+	u := e.in.u
+	v := u.NewVantage(netsim.VantageSpec{
 		Name:     vantageSpecs[vspec].name,
 		Kind:     vantageSpecs[vspec].kind,
 		ChainLen: vantageSpecs[vspec].chain,
-	})
+	}).Clone(0)
 	store := probe.NewStore(true)
 	y := core.New(v, core.Config{
 		Targets: set.Targets.Addrs(),
@@ -167,13 +196,56 @@ func (e *Experiments) runCampaign(vspec int, set *target.Set, proto uint8, maxTT
 	if err != nil {
 		panic("beholder: campaign failed: " + err.Error())
 	}
-	c := e.summarize(vantageSpecs[vspec].name, set, store, stats, v.AS().ASN)
+	c := e.summarize(u, vantageSpecs[vspec].name, set, store, stats, v.AS().ASN)
+	e.mu.Lock()
 	e.campaigns[key] = c
+	e.mu.Unlock()
 	return c
 }
 
-func (e *Experiments) summarize(vantage string, set *target.Set, store *probe.Store, stats core.Stats, vantageASN uint32) *campResult {
-	table := e.in.u.Table()
+// campCell names one cell of the campaign matrix.
+type campCell struct {
+	vspec int
+	set   *target.Set
+}
+
+// runCampaigns executes the given matrix cells, up to Workers at a time,
+// returning results in cell order. Cells are independent — private
+// universes, cache writes under the mutex — so the result is identical
+// at any worker count.
+func (e *Experiments) runCampaigns(cells []campCell) []*campResult {
+	out := make([]*campResult, len(cells))
+	workers := e.opt.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			out[i] = e.runCampaign(c.vspec, c.set, wire.ProtoICMPv6, 16, true)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.runCampaign(cells[i].vspec, cells[i].set, wire.ProtoICMPv6, 16, true)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func (e *Experiments) summarize(u *netsim.Universe, vantage string, set *target.Set, store *probe.Store, stats core.Stats, vantageASN uint32) *campResult {
+	table := u.Table()
 	c := &campResult{
 		vantage: vantage,
 		setName: set.Name(),
@@ -184,13 +256,13 @@ func (e *Experiments) summarize(vantage string, set *target.Set, store *probe.St
 		pfxs:    make(map[netip.Prefix]struct{}),
 		asns:    make(map[uint32]struct{}),
 	}
-	for _, a := range store.Interfaces() {
+	store.ForEachInterface(func(a netip.Addr) {
 		c.ifaces[a] = struct{}{}
 		if rt, ok := table.Lookup(a); ok {
 			c.pfxs[rt.Prefix] = struct{}{}
 			c.asns[rt.Origin] = struct{}{}
 		}
-	}
+	})
 	c.reached = analysis.ReachedTargetASNFraction(store, table)
 	c.pathLens = analysis.PathLengths(store)
 	c.euiIfaces = analysis.CountEUIInterfaces(store)
@@ -208,14 +280,14 @@ func (e *Experiments) summarize(vantage string, set *target.Set, store *probe.St
 }
 
 // z64Campaigns runs (or fetches) the EU-NET z64 campaign for every
-// Table 7 seed, the inputs to Figures 6, 7, and 8.
+// Table 7 seed, the inputs to Figures 6, 7, and 8. Uncached cells run
+// concurrently, up to Workers at a time.
 func (e *Experiments) z64Campaigns() []*campResult {
-	var out []*campResult
+	cells := make([]campCell, 0, len(campaignSeeds))
 	for _, s := range campaignSeeds {
-		set := e.targetSet(s, 64, target.FixedIID)
-		out = append(out, e.runCampaign(0, set, wire.ProtoICMPv6, 16, true))
+		cells = append(cells, campCell{0, e.targetSet(s, 64, target.FixedIID)})
 	}
-	return out
+	return e.runCampaigns(cells)
 }
 
 // sortedNames returns map keys in sorted order (stable table rows).

@@ -82,11 +82,11 @@ func EUIOffsets(store *probe.Store) []int {
 // addresses carry EUI-64 identifiers.
 func CountEUIInterfaces(store *probe.Store) int {
 	n := 0
-	for _, a := range store.Interfaces() {
+	store.ForEachInterface(func(a netip.Addr) {
 		if ipv6.IsEUI64IID(ipv6.IID(a)) {
 			n++
 		}
-	}
+	})
 	return n
 }
 

@@ -25,8 +25,9 @@ type Route struct {
 }
 
 // Table is a BGP RIB with RIR and equivalent-ASN augmentation. The zero
-// value is empty and ready for use; methods are not safe for concurrent
-// mutation.
+// value is empty and ready for use. Mutation (Announce, AddRIR,
+// AddEquivalent) is single-threaded; once built, every query method is
+// a pure read, so concurrent campaign cells may share one table.
 type Table struct {
 	trie ipv6.Trie[uint32] // advertised prefixes → origin ASN
 	rir  ipv6.Trie[uint32] // registry-only allocations → holder ASN
@@ -58,14 +59,18 @@ func (t *Table) AddEquivalent(a, b uint32) {
 	}
 }
 
+// find walks to the set root without path compression: equivalence
+// chains are two or three links (organizations span a handful of ASNs),
+// and keeping reads pure is what lets concurrent campaign cells share
+// one table.
 func (t *Table) find(a uint32) uint32 {
-	r, ok := t.dsu[a]
-	if !ok || r == a {
-		return a
+	for {
+		r, ok := t.dsu[a]
+		if !ok || r == a {
+			return a
+		}
+		a = r
 	}
-	root := t.find(r)
-	t.dsu[a] = root
-	return root
 }
 
 // SameOrg reports whether two ASNs are equal or recorded as equivalent.

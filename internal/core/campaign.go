@@ -1,0 +1,166 @@
+// Campaign: the sharded, concurrent Yarrp6 runner.
+//
+// Yarrp6's permutation domain partitions trivially — the paper's own
+// deployments run one prober instance per slice of the keyed permutation,
+// distinguished by the Instance byte every probe carries. Campaign
+// exploits that: it splits the (target × TTL) domain into N contiguous
+// shards and drives each with its own Yarrp6 instance on its own
+// goroutine, its own connection, and its own result store, then merges.
+//
+// The sharded run reproduces the single-prober run's schedule exactly.
+// Shard i's connection opens its virtual clock at the moment shard i's
+// window of the global schedule begins (permutation index lo_i ×
+// inter-probe gap), so the union of all shard schedules is the 1-shard
+// schedule probe for probe and timestamp for timestamp. Against a
+// simulator whose per-packet behaviour is a pure function of (probe,
+// send time) — see netsim — the merged store is deterministic whatever
+// the goroutine interleaving, and a 1-shard Campaign is byte-identical
+// to calling Yarrp6.Run directly. A sharded run matches the 1-shard run
+// reply for reply up to one caveat: router token buckets are
+// epoch-scoped per shard (each shard's first touch finds a full
+// bucket), so under sustained rate-limit saturation a few extra replies
+// can appear near shard-window starts; buckets that are not saturated —
+// the normal regime for randomized probing — carry no deviation at all.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"beholder/internal/probe"
+)
+
+// ConnFactory builds the vantage connection shard i probes through.
+// start is the virtual time at which shard i's permutation window opens,
+// relative to the campaign epoch; implementations backed by a virtual
+// clock must open the connection's clock there so that the shard sends
+// its probes at the same virtual times a single prober would have.
+// Campaign.Run invokes the factory serially, before any shard starts.
+type ConnFactory func(shard int, start time.Duration) probe.Conn
+
+// CampaignConfig parameterizes a sharded campaign.
+type CampaignConfig struct {
+	Config
+	// Shards is the number of concurrent prober instances. Each shard s
+	// probes with Instance = Config.Instance + s. Default 1.
+	Shards int
+	// RecordPaths enables per-target trace retention in the merged
+	// store (and the per-shard stores feeding it).
+	RecordPaths bool
+}
+
+// CampaignStats extends the merged campaign counters with the per-shard
+// breakdown.
+type CampaignStats struct {
+	Stats
+	// PerShard holds each shard's own counters (including its discovery
+	// curve over its window). Index is shard number.
+	PerShard []Stats
+}
+
+// Campaign is a sharded Yarrp6 run.
+type Campaign struct {
+	cfg    CampaignConfig
+	connOf ConnFactory
+}
+
+// NewCampaign creates a sharded campaign; validation happens in Run.
+func NewCampaign(cfg CampaignConfig, connOf ConnFactory) *Campaign {
+	return &Campaign{cfg: cfg, connOf: connOf}
+}
+
+// shardRange returns the contiguous permutation slice [lo, hi) owned by
+// shard s of n over a domain of the given size.
+func shardRange(domain uint64, s, n int) (lo, hi uint64) {
+	lo = domain * uint64(s) / uint64(n)
+	hi = domain * uint64(s+1) / uint64(n)
+	return lo, hi
+}
+
+// Run executes the campaign and returns the merged store and statistics.
+// The merge is deterministic: shards own disjoint permutation slices, and
+// their stores are folded in shard order (equal to virtual-time order of
+// the shard windows) after every goroutine has finished.
+func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
+	cfg := c.cfg
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if err := cfg.Config.setDefaults(); err != nil {
+		return nil, CampaignStats{}, err
+	}
+	if cfg.PermStart != 0 || cfg.PermEnd != 0 {
+		return nil, CampaignStats{}, fmt.Errorf("yarrp6: campaign owns the permutation split; clear PermStart/PermEnd")
+	}
+	domain := Domain(&cfg.Config)
+	if uint64(cfg.Shards) > domain {
+		cfg.Shards = int(domain)
+	}
+	gap := time.Duration(float64(time.Second) / cfg.PPS)
+
+	type shardResult struct {
+		stats Stats
+		err   error
+	}
+	stores := make([]*probe.Store, cfg.Shards)
+	results := make([]shardResult, cfg.Shards)
+	probers := make([]*Yarrp6, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		lo, hi := shardRange(domain, s, cfg.Shards)
+		scfg := cfg.Config
+		scfg.Instance = cfg.Instance + uint8(s)
+		scfg.PermStart, scfg.PermEnd = lo, hi
+		// The factory runs serially: connection construction may mutate
+		// shared vantage state (clock-group registration).
+		conn := c.connOf(s, time.Duration(lo)*gap)
+		probers[s] = New(conn, scfg)
+		stores[s] = probe.NewStore(cfg.RecordPaths)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			stats, err := probers[s].Run(stores[s])
+			results[s] = shardResult{stats: stats, err: err}
+		}(s)
+	}
+	wg.Wait()
+
+	merged := probe.NewStore(cfg.RecordPaths)
+	var out CampaignStats
+	out.PerShard = make([]Stats, cfg.Shards)
+	var end time.Duration
+	for s := 0; s < cfg.Shards; s++ {
+		if err := results[s].err; err != nil {
+			return nil, CampaignStats{}, fmt.Errorf("shard %d: %w", s, err)
+		}
+		st := results[s].stats
+		out.PerShard[s] = st
+		out.ProbesSent += st.ProbesSent
+		out.Fills += st.Fills
+		out.Skipped += st.Skipped
+		out.Replies += st.Replies
+		out.NotMine += st.NotMine
+		lo, _ := shardRange(domain, s, cfg.Shards)
+		if t := time.Duration(lo)*gap + st.Elapsed; t > end {
+			end = t
+		}
+		merged.Merge(stores[s])
+	}
+	// Elapsed spans the whole virtual schedule: from the campaign epoch
+	// to the last shard's drain deadline.
+	out.Elapsed = end
+	if cfg.Shards == 1 {
+		out.Curve = results[0].stats.Curve
+	} else {
+		// Per-shard curves chart disjoint windows and cannot be
+		// interleaved into one global discovery curve after the fact;
+		// they remain in PerShard. The merged curve carries the final
+		// totals.
+		out.Curve = []CurvePoint{{out.ProbesSent, merged.NumInterfaces()}}
+	}
+	return merged, out, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+)
+
+// campaignUniverse builds a fresh universe for one campaign run. Keeping
+// token buckets out of the scarce regime (no aggressively rate-limited
+// routers) makes bucket state at shard-window boundaries exactly the
+// refilled steady state, so the epoch-scoped buckets of a sharded run
+// match the serial run's buckets at every decision point.
+func campaignUniverse(seed int64) *netsim.Universe {
+	cfg := netsim.TestConfig(seed)
+	cfg.AggressivePercent = 0
+	return netsim.NewUniverse(cfg)
+}
+
+func campaignTargets(t testing.TB, seed int64, n int) []netip.Addr {
+	t.Helper()
+	u := campaignUniverse(seed) // throwaway: target sampling is pure
+	return gatewayTargets(u, n, seed)
+}
+
+func campaignCfg(targets []netip.Addr) Config {
+	return Config{Targets: targets, PPS: 500, MaxTTL: 12, Key: 11, Fill: true}
+}
+
+// runSharded executes one N-shard campaign on a fresh universe.
+func runSharded(t testing.TB, seed int64, targets []netip.Addr, shards int) (*probe.Store, CampaignStats) {
+	t.Helper()
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	camp := NewCampaign(CampaignConfig{
+		Config:      campaignCfg(targets),
+		Shards:      shards,
+		RecordPaths: true,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, stats, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, stats
+}
+
+// TestCampaignSingleShardMatchesDirectEngine: a 1-shard Campaign must be
+// byte-identical to driving Yarrp6 directly — same store contents, same
+// counters — so every existing table and figure reproduces unchanged.
+func TestCampaignSingleShardMatchesDirectEngine(t *testing.T) {
+	const seed = 77
+	targets := campaignTargets(t, seed, 64)
+
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	direct := probe.NewStore(true)
+	dstats, err := New(v, campaignCfg(targets)).Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, st1 := runSharded(t, seed, targets, 1)
+	if !s1.Equal(direct) {
+		t.Fatal("1-shard campaign store differs from direct engine store")
+	}
+	if st1.ProbesSent != dstats.ProbesSent || st1.Fills != dstats.Fills ||
+		st1.Replies != dstats.Replies || st1.Skipped != dstats.Skipped {
+		t.Fatalf("1-shard stats %+v differ from direct %+v", st1.Stats, dstats)
+	}
+	if len(st1.Curve) != len(dstats.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(st1.Curve), len(dstats.Curve))
+	}
+	for i := range st1.Curve {
+		if st1.Curve[i] != dstats.Curve[i] {
+			t.Fatalf("curve point %d differs: %+v vs %+v", i, st1.Curve[i], dstats.Curve[i])
+		}
+	}
+}
+
+// TestCampaignShardedMatchesSingle: splitting the permutation domain
+// across concurrent shards must not change the campaign's results. Each
+// shard replays its window of the single-prober schedule on its own
+// clock; simulator behaviour is a pure function of (probe, send time);
+// the merged store is therefore identical to the 1-shard store.
+func TestCampaignShardedMatchesSingle(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const seed = 77
+	targets := campaignTargets(t, seed, 64)
+	s1, st1 := runSharded(t, seed, targets, 1)
+	for _, shards := range []int{2, 4} {
+		sn, stn := runSharded(t, seed, targets, shards)
+		if !sn.Equal(s1) {
+			t.Fatalf("%d-shard store differs from 1-shard store", shards)
+		}
+		if stn.ProbesSent != st1.ProbesSent || stn.Fills != st1.Fills ||
+			stn.Replies != st1.Replies {
+			t.Fatalf("%d-shard stats %+v differ from 1-shard %+v", shards, stn.Stats, st1.Stats)
+		}
+		if len(stn.PerShard) != shards {
+			t.Fatalf("PerShard = %d want %d", len(stn.PerShard), shards)
+		}
+	}
+}
+
+// TestCampaignDeterministicUnderScheduling: repeated sharded runs must
+// produce identical stores no matter how the goroutines interleave (run
+// with -race to also prove memory safety of the concurrent vantages).
+func TestCampaignDeterministicUnderScheduling(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const seed = 31
+	targets := campaignTargets(t, seed, 48)
+	a, astats := runSharded(t, seed, targets, 4)
+	for i := 0; i < 3; i++ {
+		b, bstats := runSharded(t, seed, targets, 4)
+		if !b.Equal(a) {
+			t.Fatalf("run %d: sharded store differs across identical runs", i)
+		}
+		if astats.ProbesSent != bstats.ProbesSent || astats.Replies != bstats.Replies {
+			t.Fatalf("run %d: stats differ across identical runs", i)
+		}
+	}
+}
+
+// TestCampaignShardClocksCoordinate: the clock group over the shard
+// clones reports a watermark (minimum shard time) that never exceeds the
+// horizon, and after the run the watermark has passed every shard's
+// window start — the coordinated-clock invariant the netsim documents.
+func TestCampaignShardClocksCoordinate(t *testing.T) {
+	const seed = 9
+	targets := campaignTargets(t, seed, 32)
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	camp := NewCampaign(CampaignConfig{Config: campaignCfg(targets), Shards: 4},
+		func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := camp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := v.ShardClocks()
+	if g == nil || g.Len() != 4 {
+		t.Fatalf("shard clock group missing or wrong size")
+	}
+	if g.Watermark() > g.Horizon() {
+		t.Fatalf("watermark %v beyond horizon %v", g.Watermark(), g.Horizon())
+	}
+	if g.Watermark() == 0 {
+		t.Fatal("watermark never advanced")
+	}
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, domain := range []uint64{1, 7, 16, 1000, 12345} {
+		for _, n := range []int{1, 2, 3, 4, 7, 16} {
+			var covered uint64
+			prevHi := uint64(0)
+			for s := 0; s < n; s++ {
+				lo, hi := shardRange(domain, s, n)
+				if lo != prevHi {
+					t.Fatalf("domain %d n %d shard %d: lo %d != prev hi %d", domain, n, s, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != domain || prevHi != domain {
+				t.Fatalf("domain %d n %d: covered %d end %d", domain, n, covered, prevHi)
+			}
+		}
+	}
+}
+
+// TestCampaignEmptyAndOversharded: shard counts beyond the domain clamp.
+func TestCampaignOversharded(t *testing.T) {
+	const seed = 5
+	targets := campaignTargets(t, seed, 1)[:1]
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	cfg := CampaignConfig{Config: Config{Targets: targets, PPS: 1000, MaxTTL: 4, Key: 1}, Shards: 64}
+	camp := NewCampaign(cfg, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	_, stats, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ProbesSent != 4 {
+		t.Fatalf("probes sent %d want 4", stats.ProbesSent)
+	}
+	if len(stats.PerShard) != 4 { // clamped to domain size
+		t.Fatalf("shards = %d want 4", len(stats.PerShard))
+	}
+}

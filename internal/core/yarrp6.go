@@ -46,6 +46,14 @@ type Config struct {
 	// Key seeds the probe-order permutation; campaigns with equal keys
 	// and targets probe in identical order.
 	Key uint64
+	// PermStart and PermEnd bound the walked slice of the permutation
+	// domain [PermStart, PermEnd): the prober emits permutation indices
+	// PermStart, PermStart+1, …, PermEnd-1. PermEnd == 0 means the full
+	// domain. Campaign shards each walk one contiguous slice; a
+	// checkpointed campaign resumes from its recorded counter the same
+	// way. The slice selects which probes are sent, not when: pacing
+	// still counts from the connection's current time.
+	PermStart, PermEnd uint64
 	// Fill enables fill mode: a response from hop h >= MaxTTL triggers
 	// an immediate probe at h+1, up to FillLimit (Section 4.1).
 	Fill      bool
@@ -93,6 +101,12 @@ func (c *Config) setDefaults() error {
 		c.NeighborhoodTTL = 3
 	}
 	return nil
+}
+
+// Domain returns the size of the (target × TTL) permutation domain of a
+// configuration whose defaults have been applied.
+func Domain(c *Config) uint64 {
+	return uint64(len(c.Targets)) * (uint64(c.MaxTTL-c.MinTTL) + 1)
 }
 
 // Stats reports a campaign's send-side and recovery counters.
@@ -163,17 +177,28 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	cfg := y.cfg
 	y.stats = Stats{}
 
-	nTTLs := uint64(cfg.MaxTTL-cfg.MinTTL) + 1
-	domain := uint64(len(cfg.Targets)) * nTTLs
+	domain := Domain(&cfg)
 	p, err := perm.New(cfg.Key, domain)
 	if err != nil {
 		return Stats{}, fmt.Errorf("yarrp6: %w", err)
 	}
+	start, end := cfg.PermStart, cfg.PermEnd
+	if end == 0 || end > domain {
+		end = domain
+	}
+	if start > end {
+		return Stats{}, fmt.Errorf("yarrp6: PermStart %d beyond PermEnd %d", start, end)
+	}
 	gap := time.Duration(float64(time.Second) / cfg.PPS)
-	curveStep := int64(domain/128) + 1
+	// Sample the discovery curve on a monotonic probe-count threshold:
+	// fill-mode probes advance the counter inside handleReply, so a
+	// modulo check would skip sample points whenever a fill lands
+	// between two loop iterations.
+	curveStep := int64((end-start)/128) + 1
+	nextCurve := curveStep
 
-	it := p.Iter()
-	for {
+	it := p.Resume(start)
+	for it.Pos() < end {
 		v, ok := it.Next()
 		if !ok {
 			break
@@ -189,14 +214,21 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 		}
 		y.conn.Sleep(gap)
 		y.drain(store)
-		if y.stats.ProbesSent%curveStep == 0 {
+		if y.stats.ProbesSent >= nextCurve {
 			y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})
+			for nextCurve <= y.stats.ProbesSent {
+				nextCurve += curveStep
+			}
 		}
 	}
-	// Collect stragglers.
+	// Collect stragglers. Stepping by the send gap keeps this drain
+	// schedule on the same virtual instants a longer-running prober
+	// would drain at, so a campaign shard processes its tail replies —
+	// and sends any fill probes they trigger — at exactly the times the
+	// unsharded prober would have.
 	deadline := y.conn.Now() + cfg.DrainTimeout
 	for y.conn.Now() < deadline {
-		y.conn.Sleep(20 * time.Millisecond)
+		y.conn.Sleep(gap)
 		y.drain(store)
 	}
 	y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})

@@ -3,6 +3,8 @@ package netsim
 import (
 	"math/rand"
 	"net/netip"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -548,6 +550,96 @@ func TestTruthSubnetsAreProvisioned(t *testing.T) {
 	}
 }
 
+func TestCloneSharesIdentityOwnsState(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "clone", Kind: KindUniversity, ChainLen: 3})
+	c := v.Clone(5 * time.Second)
+	if c.LocalAddr() != v.LocalAddr() || c.AS() != v.AS() || c.Name() != v.Name() {
+		t.Fatal("clone identity differs from parent")
+	}
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clone clock opened at %v want 5s", c.Now())
+	}
+	c.Sleep(time.Second)
+	if v.Now() != 0 {
+		t.Fatal("clone sleep advanced the parent clock")
+	}
+	g := v.ShardClocks()
+	if g == nil || g.Len() != 1 || g.Watermark() != 6*time.Second {
+		t.Fatalf("clock group watermark wrong: %+v", g)
+	}
+	c2 := v.Clone(20 * time.Second)
+	_ = c2
+	if got := g.Watermark(); got != 6*time.Second {
+		t.Fatalf("watermark %v want 6s (minimum member)", got)
+	}
+	if got := g.Horizon(); got != 20*time.Second {
+		t.Fatalf("horizon %v want 20s", got)
+	}
+}
+
+// TestConcurrentClonesDeterministic drives several clones concurrently
+// (run under -race) and checks each clone's prober-visible results are a
+// pure function of its own schedule: a second concurrent run reproduces
+// every clone's reply count exactly.
+func TestConcurrentClonesDeterministic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	u := testUniverse(t)
+	rng := rand.New(rand.NewSource(20))
+	as := u.RandomAS(rng, KindHosting)
+	var dsts []netip.Addr
+	for len(dsts) < 64 {
+		lan, ok := u.RandomLAN(rng, as)
+		if !ok {
+			continue
+		}
+		dsts = append(dsts, u.GatewayAddr(lan, as))
+	}
+	const clones = 4
+	run := func() [clones]int64 {
+		v := u.NewVantage(VantageSpec{Name: "conc", Kind: KindUniversity, ChainLen: 3})
+		var received [clones]int64
+		var wg sync.WaitGroup
+		for i := 0; i < clones; i++ {
+			c := v.Clone(time.Duration(i) * time.Second)
+			wg.Add(1)
+			go func(i int, c *Vantage) {
+				defer wg.Done()
+				buf := make([]byte, wire.MinMTU)
+				for j, d := range dsts {
+					_ = c.Send(buildEchoProbe(c.LocalAddr(), d, uint8(j%8+1)))
+					c.Sleep(10 * time.Millisecond)
+					for {
+						if _, ok := c.Recv(buf); !ok {
+							break
+						}
+					}
+				}
+				c.Sleep(3 * time.Second)
+				for {
+					if _, ok := c.Recv(buf); !ok {
+						break
+					}
+				}
+				received[i] = c.Stats.Received
+			}(i, c)
+		}
+		wg.Wait()
+		return received
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("concurrent clone results differ across runs: %v vs %v", a, b)
+	}
+	total := int64(0)
+	for _, n := range a {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no clone received anything")
+	}
+}
+
 func TestMalformedProbeRejected(t *testing.T) {
 	u := testUniverse(t)
 	v := u.NewVantage(VantageSpec{Name: "bad", Kind: KindUniversity, ChainLen: 3})
@@ -615,7 +707,8 @@ func TestAliasedLANAnswersEcho(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(9))
 	replies := 0
-	for i := 0; i < 8; i++ {
+	const probes = 16
+	for i := 0; i < probes; i++ {
 		dst := ipv6.WithIID(lan.Addr(), rng.Uint64())
 		_ = v.Send(buildEchoProbe(v.LocalAddr(), dst, 64))
 		v.Sleep(2 * time.Second)
@@ -632,7 +725,9 @@ func TestAliasedLANAnswersEcho(t *testing.T) {
 			}
 		}
 	}
-	if replies < 6 {
-		t.Errorf("aliased LAN answered %d/8 random-IID echoes", replies)
+	// Per-probe loss over these long paths runs ~25%; a majority of a
+	// decent sample must still answer.
+	if replies < probes*6/10 {
+		t.Errorf("aliased LAN answered %d/%d random-IID echoes", replies, probes)
 	}
 }

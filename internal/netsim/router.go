@@ -11,7 +11,10 @@ import (
 // planned as a sequence of RouterKeys (pure hashing, no allocation), and
 // only the single router that must generate a response is instantiated,
 // so its token bucket persists across probes while untouched hops cost
-// nothing.
+// nothing. Materialized routers are owned by the vantage that touched
+// them (see Vantage.router): every router property except the live
+// bucket level is a pure function of (seed, key), so concurrent vantages
+// derive identical routers without sharing mutable state.
 
 // Router classes.
 const (
@@ -43,13 +46,12 @@ type Router struct {
 	truncateQuote bool // quotes only IPv4-style 28+40 bytes, losing Yarrp6 state
 }
 
-// router returns (materializing if needed) the router for key. gwLAN and
-// gwAS carry the /64 gateway context for level routers at /64, whose
-// address depends on the CPE plan; they are ignored otherwise.
-func (u *Universe) router(key RouterKey, as *AS) *Router {
-	if r, ok := u.routers[key]; ok {
-		return r
-	}
+// newRouter constructs the router for key with its bucket full as of now.
+// Everything but the bucket level is a pure function of (seed, key), so
+// any vantage materializing the same key derives an identical router. as
+// carries the /64 gateway context for level routers, whose address
+// depends on the CPE plan; it is ignored otherwise.
+func (u *Universe) newRouter(key RouterKey, as *AS, now time.Duration) *Router {
 	r := &Router{Key: key, Addr: u.routerAddr(key, as)}
 	pk := h(u.seed, 21, uint64(key.ASN), uint64(key.Class), key.K1, key.K2)
 	cfg := u.cfg
@@ -91,8 +93,7 @@ func (u *Universe) router(key RouterKey, as *AS) *Router {
 		}
 	}
 	r.tokens = r.burst
-	r.last = u.clock.Now()
-	u.routers[key] = r
+	r.last = now
 	return r
 }
 

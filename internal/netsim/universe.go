@@ -11,6 +11,22 @@
 // the Vantage type, which satisfies the prober-side Conn interface: the
 // full Yarrp6 encode/decode path (state block, checksum fudge, quotation
 // recovery) is exercised against bytes the simulator routed and quoted.
+//
+// The simulator is safe for concurrent vantages. Every response-side
+// decision is a pure function of (universe seed, probe bytes, virtual
+// send time); each vantage owns all state mutated on its packet path —
+// virtual clock, lazily materialized router token buckets, delivery
+// queue, scratch buffers — and universe-wide event counters are atomic.
+// The coordinated-clock invariant for sharded campaigns: shard vantages
+// (Vantage.Clone) own disjoint, ordered windows of virtual time; the
+// ClockGroup watermark — the minimum shard clock — is the campaign's
+// committed virtual time and only ever advances, so a sharded campaign
+// that replays a single prober's (packet, time) schedule elicits the
+// identical replies regardless of goroutine interleaving. Token-bucket
+// state is epoch-scoped to the materializing vantage: buckets open full
+// at each shard's window start, a deviation from serial bucket carryover
+// that vanishes whenever the inter-window gap exceeds the bucket refill
+// time (always, at randomized-probing hit rates).
 package netsim
 
 import (
@@ -57,8 +73,12 @@ type AS struct {
 	CDN bool
 }
 
-// Universe is the simulated internetwork: topology, routing table, router
-// state, and the virtual clock shared by everything in the simulation.
+// Universe is the simulated internetwork: topology, routing table, and
+// the default virtual clock. Everything mutable during a campaign lives
+// with the vantage that owns it (clock when cloned, router token
+// buckets, delivery queues); the universe itself is read-only on the
+// packet path except for the Stats counters, which are updated
+// atomically, so any number of vantages may probe concurrently.
 type Universe struct {
 	cfg   Config
 	seed  uint64
@@ -67,10 +87,9 @@ type Universe struct {
 	table *bgp.Table
 	clock Clock
 
-	routers map[RouterKey]*Router
-
 	// Stats counts globally observable simulator events; tests assert on
 	// these to validate mechanism behaviour (e.g. rate-limit suppression).
+	// Updated with atomic adds; read them only while no campaign runs.
 	Stats SimStats
 }
 
@@ -99,11 +118,10 @@ var cpeOUIs = [][3]byte{
 // NewUniverse constructs the deterministic topology described by cfg.
 func NewUniverse(cfg Config) *Universe {
 	u := &Universe{
-		cfg:     cfg,
-		seed:    uint64(cfg.Seed)*0x9e37 + 0x423f,
-		byASN:   make(map[uint32]*AS),
-		table:   bgp.NewTable(),
-		routers: make(map[RouterKey]*Router),
+		cfg:   cfg,
+		seed:  uint64(cfg.Seed)*0x9e37 + 0x423f,
+		byASN: make(map[uint32]*AS),
+		table: bgp.NewTable(),
 	}
 	u.buildASGraph()
 	u.allocateAddressSpace()
@@ -128,13 +146,15 @@ func (u *Universe) ASByASN(asn uint32) (*AS, bool) {
 // Clock returns the universe's virtual clock.
 func (u *Universe) Clock() *Clock { return &u.clock }
 
-// ResetState clears mutable simulation state (token buckets, clock, event
-// counters) while keeping the generated topology, so that successive
-// campaigns start from identical conditions, the way the paper's trials on
-// different days do.
+// ResetState clears universe-held mutable state (the shared clock and the
+// event counters) while keeping the generated topology, so that
+// successive campaigns start from identical conditions, the way the
+// paper's trials on different days do. Router token buckets live with
+// the vantage that materialized them; attach a fresh vantage after Reset
+// to probe from pristine router state (every caller in this module
+// already does).
 func (u *Universe) ResetState() {
-	u.routers = make(map[RouterKey]*Router)
-	u.clock = Clock{}
+	u.clock.reset()
 	u.Stats = SimStats{}
 }
 

@@ -4,8 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"math/rand"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"beholder/internal/ipv6"
@@ -22,16 +22,39 @@ type VantageSpec struct {
 // Vantage is a measurement host inside the simulated internetwork. It
 // implements the prober-side connection contract: Send consumes a
 // wire-format IPv6 packet, Recv yields wire-format replies, and
-// Now/Sleep expose the universe's virtual clock for pacing.
+// Now/Sleep expose a virtual clock for pacing.
+//
+// Every response-side decision — path plan, router properties, ECMP
+// selection, loss, jitter, unreachable generation — is a pure function
+// of the universe seed, the probe bytes, and the probe's virtual send
+// time. Combined with per-vantage ownership of all mutable state (clock,
+// router token buckets, delivery queue, scratch buffers), this makes
+// concurrent vantages race-free and their results independent of
+// goroutine scheduling: a sharded campaign that reproduces a single
+// prober's (packet, time) schedule reproduces its replies.
 type Vantage struct {
 	u    *Universe
 	spec VantageSpec
 	id   uint64
 	as   *AS
 	addr netip.Addr
-	rng  *rand.Rand
+
+	// clk is the vantage's virtual clock. Vantages created with
+	// NewVantage share the universe clock (the single-prober regime);
+	// Clone gives each campaign shard a private clock opened at its
+	// permutation window start.
+	clk *Clock
+
+	// group coordinates the clocks of shards cloned from this vantage.
+	group *ClockGroup
 
 	parent []int32 // BFS shortest-path tree over the AS graph, -1 at root
+
+	// routers holds this vantage's lazily materialized routers. Router
+	// properties are pure functions of (seed, key); only the live token
+	// bucket is mutable, and it is owned — never shared — by the
+	// materializing vantage, so concurrent vantages need no locking.
+	routers map[RouterKey]*Router
 
 	queue deliveryQueue
 	dec   wire.Decoded // scratch decoder reused across Send calls
@@ -69,18 +92,61 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	}
 	as := pool[h(u.seed, 31, nameKey)%uint64(len(pool))]
 	v := &Vantage{
-		u:    u,
-		spec: spec,
-		id:   nameKey,
-		as:   as,
-		addr: ipv6.WithIID(ipv6.NthSubprefix(as.Prefixes[0], 64, 0xbeef).Addr(), 0x1),
-		rng:  rand.New(rand.NewSource(int64(h(u.seed, 32, nameKey)))),
+		u:       u,
+		spec:    spec,
+		id:      nameKey,
+		as:      as,
+		addr:    ipv6.WithIID(ipv6.NthSubprefix(as.Prefixes[0], 64, 0xbeef).Addr(), 0x1),
+		clk:     &u.clock,
+		routers: make(map[RouterKey]*Router),
 	}
 	v.parent = u.bfsTree(as.Idx)
 	v.stepKeys = make([]RouterKey, 0, 64)
 	v.stepAS = make([]*AS, 0, 64)
 	return v
 }
+
+// Clone returns a shard vantage with the same identity — name, hosting
+// AS, source address, access-chain router keys — but private mutable
+// state: its own clock opened at virtual time start, its own delivery
+// queue, scratch buffers, counters, and router token buckets. The
+// clone's clock joins the parent's ClockGroup so the campaign's
+// coordinated watermark covers it. Clones must be created before the
+// shards start running (Clone mutates the parent's group).
+func (v *Vantage) Clone(start time.Duration) *Vantage {
+	nv := &Vantage{
+		u:       v.u,
+		spec:    v.spec,
+		id:      v.id,
+		as:      v.as,
+		addr:    v.addr,
+		clk:     NewClockAt(start),
+		parent:  v.parent, // read-only after construction
+		routers: make(map[RouterKey]*Router),
+	}
+	nv.stepKeys = make([]RouterKey, 0, 64)
+	nv.stepAS = make([]*AS, 0, 64)
+	if v.group == nil {
+		v.group = &ClockGroup{}
+	}
+	v.group.Add(nv.clk)
+	return nv
+}
+
+// BeginShardGroup starts a fresh clock group for an upcoming sharded
+// campaign: subsequent Clones join it, and earlier campaigns' dead
+// shard clocks no longer weigh on Watermark/Horizon. Callers running
+// more than one sharded campaign from the same vantage must call it
+// before each campaign's clones are created.
+func (v *Vantage) BeginShardGroup() *ClockGroup {
+	v.group = &ClockGroup{}
+	return v.group
+}
+
+// ShardClocks returns the ClockGroup coordinating this vantage's cloned
+// shards (nil when no clone exists). Its Watermark is the current
+// campaign's committed virtual time.
+func (v *Vantage) ShardClocks() *ClockGroup { return v.group }
 
 // bfsTree computes the shortest-path tree over the AS adjacency graph.
 func (u *Universe) bfsTree(root int) []int32 {
@@ -112,11 +178,22 @@ func (v *Vantage) LocalAddr() netip.Addr { return v.addr }
 // AS returns the autonomous system hosting the vantage.
 func (v *Vantage) AS() *AS { return v.as }
 
-// Now returns the current virtual time.
-func (v *Vantage) Now() time.Duration { return v.u.clock.Now() }
+// Now returns the current virtual time at this vantage.
+func (v *Vantage) Now() time.Duration { return v.clk.Now() }
 
 // Sleep advances virtual time; probers call this to pace departures.
-func (v *Vantage) Sleep(d time.Duration) { v.u.clock.Sleep(d) }
+func (v *Vantage) Sleep(d time.Duration) { v.clk.Sleep(d) }
+
+// router returns (materializing into this vantage's table if needed) the
+// router for key.
+func (v *Vantage) router(key RouterKey, as *AS) *Router {
+	if r, ok := v.routers[key]; ok {
+		return r
+	}
+	r := v.u.newRouter(key, as, v.clk.Now())
+	v.routers[key] = r
+	return r
+}
 
 // outcomes of path planning.
 type outcomeKind uint8
@@ -155,6 +232,32 @@ func flowHash(seed uint64, d *wire.Decoded) uint64 {
 		extra = uint64(d.ICMPv6.Checksum)<<16 | uint64(d.ICMPv6.ID)
 	}
 	return h(seed, s.Hi, s.Lo, t.Hi, t.Lo, uint64(d.Proto)<<32|uint64(d.IPv6.FlowLabel), extra)
+}
+
+// Per-packet stochastic draws. Loss, jitter, and unreachable generation
+// are decided by keyed hashes of (flow identity, hop limit, virtual send
+// time) rather than a stream RNG: the outcome for a given probe at a
+// given time is a pure function of the universe seed, so concurrent
+// shards reproduce a serial prober's draws exactly, while retransmitting
+// the same packet at a later time rolls a fresh draw, as on a real
+// network. The draw deliberately excludes the probe payload (and with it
+// the Yarrp6 instance byte): shards of one campaign send byte-different
+// probes that must share fates.
+const (
+	drawLoss    = 41
+	drawJitter  = 42
+	drawNoRoute = 43
+	drawND      = 44
+)
+
+// pktKey folds the probe's flow identity and hop limit into the draw key.
+func (v *Vantage) pktKey(d *wire.Decoded) uint64 {
+	return h(flowHash(v.u.seed, d), 40, uint64(d.IPv6.HopLimit))
+}
+
+// hashFloat maps a hash key to a uniform float64 in [0, 1).
+func hashFloat(key uint64) float64 {
+	return float64(key>>11) / (1 << 53)
 }
 
 // plan computes the router path for the decoded probe, filling the
@@ -263,30 +366,31 @@ func (v *Vantage) Send(pkt []byte) error {
 	}
 	d := &v.dec
 	v.Stats.Sent++
-	v.u.Stats.PacketsRouted++
+	atomic.AddInt64(&v.u.Stats.PacketsRouted, 1)
 
 	plan := v.plan(d)
 	ttl := int(d.IPv6.HopLimit)
-	now := v.u.clock.Now()
+	now := v.clk.Now()
+	pk := v.pktKey(d)
 
 	// Hop-limit expiry before the path plan ends: Time Exceeded.
 	if ttl <= plan.n {
 		idx := ttl - 1
-		if v.lost(2 * ttl) {
-			v.u.Stats.LossDropped++
+		if v.lost(pk, now, 2*ttl) {
+			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 			return nil
 		}
-		r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+		r := v.router(v.stepKeys[idx], v.stepAS[idx])
 		if r.unresponsive {
-			v.u.Stats.UnresponsiveDrops++
+			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
 			return nil
 		}
 		if !r.allowICMP(now) {
-			v.u.Stats.RateLimitDropped++
+			atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
 			return nil
 		}
-		v.u.Stats.TimeExceededSent++
-		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, idx, now)
+		atomic.AddInt64(&v.u.Stats.TimeExceededSent, 1)
+		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, idx, now, pk)
 		return nil
 	}
 
@@ -295,22 +399,22 @@ func (v *Vantage) Send(pkt []byte) error {
 		// Unreachable generation is far less dependable than Time
 		// Exceeded on the real Internet: many networks blackhole
 		// unallocated space silently.
-		if plan.outcome == outNoRoute && v.rng.Float64() < 0.65 {
-			v.u.Stats.FilteredDrops++
+		if plan.outcome == outNoRoute && hashFloat(h(pk, drawNoRoute, uint64(now))) < 0.65 {
+			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
 			return nil
 		}
 		idx := plan.errorIdx
-		if v.lost(2 * (idx + 1)) {
-			v.u.Stats.LossDropped++
+		if v.lost(pk, now, 2*(idx+1)) {
+			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 			return nil
 		}
-		r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+		r := v.router(v.stepKeys[idx], v.stepAS[idx])
 		if r.unresponsive {
-			v.u.Stats.UnresponsiveDrops++
+			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
 			return nil
 		}
 		if !r.allowICMP(now) {
-			v.u.Stats.RateLimitDropped++
+			atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
 			return nil
 		}
 		code := uint8(wire.CodeNoRoute)
@@ -319,53 +423,53 @@ func (v *Vantage) Send(pkt []byte) error {
 		} else if plan.reject {
 			code = wire.CodeRejectRoute
 		}
-		v.u.Stats.ErrorsSent++
-		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, idx, now)
+		atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
+		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, idx, now, pk)
 		return nil
 
 	case outFilteredSilent:
-		v.u.Stats.FilteredDrops++
+		atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
 		return nil
 	}
 
 	// Destination /64 reached.
-	if v.lost(2 * (plan.n + 1)) {
-		v.u.Stats.LossDropped++
+	if v.lost(pk, now, 2*(plan.n+1)) {
+		atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 		return nil
 	}
 	exists := v.u.HostExists(d.IPv6.Dst)
-	rtt := v.pathRTT(plan.n) + v.jitter()
+	rtt := v.pathRTT(plan.n) + v.jitter(pk, now)
 	switch {
 	case exists && d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest:
 		if plan.destAS.BlockEcho {
-			v.u.Stats.FilteredDrops++
+			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
 			return nil
 		}
-		v.u.Stats.EchoRepliesSent++
+		atomic.AddInt64(&v.u.Stats.EchoRepliesSent, 1)
 		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(d.Payload))
 		n := wire.BuildEchoReply(buf, d.IPv6.Dst, v.addr, &d.ICMPv6, d.Payload, 64)
 		v.deliver(buf[:n], now+rtt)
 	case exists && d.Proto == wire.ProtoUDP:
-		v.u.Stats.PortUnreachSent++
+		atomic.AddInt64(&v.u.Stats.PortUnreachSent, 1)
 		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(pkt))
 		n := wire.BuildICMPv6Error(buf, wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
 		v.deliver(buf[:n], now+rtt)
 	case exists && d.Proto == wire.ProtoTCP:
-		v.u.Stats.TCPRstsSent++
+		atomic.AddInt64(&v.u.Stats.TCPRstsSent, 1)
 		buf := make([]byte, wire.IPv6HeaderLen+wire.TCPHeaderLen)
 		n := wire.BuildTCPRst(buf, d.IPv6.Dst, v.addr, &d.TCP, 64)
 		v.deliver(buf[:n], now+rtt)
 	default:
 		// No such host: the gateway's neighbor discovery fails and it
 		// reports address-unreachable some of the time (rate-limited).
-		if v.rng.Float64() < 0.6 {
+		if hashFloat(h(pk, drawND, uint64(now))) < 0.6 {
 			idx := plan.errorIdx
-			r := v.u.router(v.stepKeys[idx], v.stepAS[idx])
+			r := v.router(v.stepKeys[idx], v.stepAS[idx])
 			if !r.unresponsive && r.allowICMP(now) {
-				v.u.Stats.ErrorsSent++
-				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, idx, now)
+				atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
+				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, idx, now, pk)
 			} else {
-				v.u.Stats.RateLimitDropped++
+				atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
 			}
 		}
 	}
@@ -374,7 +478,7 @@ func (v *Vantage) Send(pkt []byte) error {
 
 // scheduleError builds and enqueues an ICMPv6 error from router r quoting
 // the probe, arriving after the round-trip to step idx.
-func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx int, now time.Duration) {
+func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx int, now time.Duration, pk uint64) {
 	quote := probe
 	if r.truncateQuote && len(quote) > 48 {
 		// Legacy gear quoting IPv4-style: header plus 8 bytes.
@@ -385,7 +489,7 @@ func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx in
 	}
 	buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(quote))
 	n := wire.BuildICMPv6Error(buf, typ, code, r.Addr, v.addr, quote, 64)
-	rtt := v.pathRTT(idx+1) + v.jitter()
+	rtt := v.pathRTT(idx+1) + v.jitter(pk, now)
 	v.deliver(buf[:n], now+rtt)
 }
 
@@ -398,19 +502,20 @@ func (v *Vantage) pathRTT(n int) time.Duration {
 	return 2 * oneWay
 }
 
-func (v *Vantage) jitter() time.Duration {
-	return time.Duration(v.rng.Int63n(int64(2 * time.Millisecond)))
+// jitter returns the probe's return-path delay variation.
+func (v *Vantage) jitter(pk uint64, now time.Duration) time.Duration {
+	return time.Duration(h(pk, drawJitter, uint64(now)) % uint64(2*time.Millisecond))
 }
 
 // lost rolls per-traversal loss over hops link crossings (forward and
 // return combined by the caller).
-func (v *Vantage) lost(hops int) bool {
+func (v *Vantage) lost(pk uint64, now time.Duration, hops int) bool {
 	p := float64(v.u.cfg.LossPercent) / 100
 	if p <= 0 {
 		return false
 	}
 	survive := math.Pow(1-p, float64(hops))
-	return v.rng.Float64() > survive
+	return hashFloat(h(pk, drawLoss, uint64(now))) > survive
 }
 
 // deliver enqueues reply bytes for Recv at time t.
@@ -422,7 +527,7 @@ func (v *Vantage) deliver(b []byte, t time.Duration) {
 // returning its length. ok is false when nothing is pending at the
 // current virtual time.
 func (v *Vantage) Recv(buf []byte) (int, bool) {
-	if len(v.queue) == 0 || v.queue[0].at > v.u.clock.Now() {
+	if len(v.queue) == 0 || v.queue[0].at > v.clk.Now() {
 		return 0, false
 	}
 	d := heap.Pop(&v.queue).(delivery)

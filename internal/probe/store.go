@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"math/bits"
 	"net/netip"
 	"sort"
 )
@@ -18,11 +19,24 @@ type Trace struct {
 	// SortedHops for path order. Duplicate TTLs keep the first answer
 	// (Paris-stable flows make later answers identical in practice).
 	Hops []HopEntry
+	// seen is a 256-bit bitmap of TTLs present in Hops, so the per-reply
+	// duplicate check on the hot path is one word test instead of a
+	// linear scan over the hop list.
+	seen [4]uint64
 	// Reached reports a destination-originated response (echo reply,
 	// port unreachable, RST) was received from the target itself.
 	Reached bool
 	// DestUnreach counts destination-unreachable responses by code.
 	DestUnreach map[uint8]int
+}
+
+// HasTTL reports whether a hop at ttl has been recorded.
+func (t *Trace) HasTTL(ttl uint8) bool {
+	return t.seen[ttl>>6]&(1<<(ttl&63)) != 0
+}
+
+func (t *Trace) markTTL(ttl uint8) {
+	t.seen[ttl>>6] |= 1 << (ttl & 63)
 }
 
 // SortedHops returns the hops ordered by TTL.
@@ -33,32 +47,23 @@ func (t *Trace) SortedHops() []HopEntry {
 	return out
 }
 
-// hopAt returns the responding address at ttl.
-func (t *Trace) hopAt(ttl uint8) (netip.Addr, bool) {
-	for _, h := range t.Hops {
-		if h.TTL == ttl {
-			return h.Addr, true
-		}
-	}
-	return netip.Addr{}, false
-}
-
 // PathLength returns the highest responding TTL (the paper's path length
 // metric for Table 7).
 func (t *Trace) PathLength() int {
-	max := 0
-	for _, h := range t.Hops {
-		if int(h.TTL) > max {
-			max = int(h.TTL)
+	for w := 3; w >= 0; w-- {
+		if t.seen[w] != 0 {
+			return w<<6 | (bits.Len64(t.seen[w]) - 1)
 		}
 	}
-	return max
+	return 0
 }
 
 // Store accumulates campaign results: per-target traces, the global
-// interface-address set, and response-mix counters. It is not
-// goroutine-safe; the probers in this module are single-threaded against
-// the virtual clock.
+// interface-address set, and response-mix counters. A Store is owned by a
+// single prober goroutine while a campaign runs — the sharded campaign
+// engine gives every shard its own Store and folds them together
+// afterwards with Merge, which is deterministic regardless of how the
+// shard goroutines interleaved.
 type Store struct {
 	recordPaths bool
 	traces      map[netip.Addr]*Trace
@@ -85,6 +90,9 @@ func NewStore(recordPaths bool) *Store {
 		DestUnreachByCode: make(map[uint8]int64),
 	}
 }
+
+// RecordsPaths reports whether per-target traces are retained.
+func (s *Store) RecordsPaths() bool { return s.recordPaths }
 
 // Add folds one reply into the store and reports whether the reply's
 // source was a previously unseen interface address.
@@ -119,10 +127,9 @@ func (s *Store) Add(r Reply) (newInterface bool) {
 	}
 	switch r.Kind {
 	case KindTimeExceeded:
-		if r.TTL != 0 {
-			if _, dup := t.hopAt(r.TTL); !dup {
-				t.Hops = append(t.Hops, HopEntry{TTL: r.TTL, Addr: r.From})
-			}
+		if r.TTL != 0 && !t.HasTTL(r.TTL) {
+			t.markTTL(r.TTL)
+			t.Hops = append(t.Hops, HopEntry{TTL: r.TTL, Addr: r.From})
 		}
 	case KindEchoReply, KindTCPRst:
 		t.Reached = true
@@ -138,10 +145,126 @@ func (s *Store) Add(r Reply) (newInterface bool) {
 	return newInterface
 }
 
+// Merge folds src into s. Campaign shards probe disjoint slices of the
+// (target × TTL) domain, so hop entries never collide; if they do (e.g.
+// merging overlapping ad-hoc campaigns), the entry already present wins,
+// matching Add's first-answer rule — merge shards in virtual-time order
+// to keep that rule meaningful. Merging is pure set union plus counter
+// addition, so the merged store is identical however the shard goroutines
+// interleaved. src is not modified.
+func (s *Store) Merge(src *Store) {
+	s.TimeExceeded += src.TimeExceeded
+	s.EchoReplies += src.EchoReplies
+	s.TCPRsts += src.TCPRsts
+	s.Unparseable += src.Unparseable
+	s.Rewritten += src.Rewritten
+	for code, n := range src.DestUnreachByCode {
+		s.DestUnreachByCode[code] += n
+	}
+	for a := range src.interfaces {
+		s.interfaces[a] = struct{}{}
+	}
+	if !s.recordPaths {
+		return
+	}
+	for target, st := range src.traces {
+		t := s.traces[target]
+		if t == nil {
+			t = &Trace{Target: target}
+			s.traces[target] = t
+		}
+		for _, hop := range st.Hops {
+			if !t.HasTTL(hop.TTL) {
+				t.markTTL(hop.TTL)
+				t.Hops = append(t.Hops, hop)
+			}
+		}
+		t.Reached = t.Reached || st.Reached
+		if len(st.DestUnreach) > 0 {
+			if t.DestUnreach == nil {
+				t.DestUnreach = make(map[uint8]int, len(st.DestUnreach))
+			}
+			for code, n := range st.DestUnreach {
+				t.DestUnreach[code] += n
+			}
+		}
+	}
+}
+
+// Equal reports whether two stores hold identical results: the same
+// counters, interface set, and (when both record paths) the same traces
+// hop for hop. Sharded-campaign tests use it to prove merge determinism.
+func (s *Store) Equal(o *Store) bool {
+	if s.TimeExceeded != o.TimeExceeded || s.EchoReplies != o.EchoReplies ||
+		s.TCPRsts != o.TCPRsts || s.Unparseable != o.Unparseable ||
+		s.Rewritten != o.Rewritten {
+		return false
+	}
+	if len(s.DestUnreachByCode) != len(o.DestUnreachByCode) {
+		return false
+	}
+	for code, n := range s.DestUnreachByCode {
+		if o.DestUnreachByCode[code] != n {
+			return false
+		}
+	}
+	if len(s.interfaces) != len(o.interfaces) {
+		return false
+	}
+	for a := range s.interfaces {
+		if _, ok := o.interfaces[a]; !ok {
+			return false
+		}
+	}
+	if s.recordPaths != o.recordPaths {
+		return false
+	}
+	if len(s.traces) != len(o.traces) {
+		return false
+	}
+	for target, st := range s.traces {
+		ot := o.traces[target]
+		if ot == nil || st.Reached != ot.Reached || st.seen != ot.seen ||
+			len(st.Hops) != len(ot.Hops) || len(st.DestUnreach) != len(ot.DestUnreach) {
+			return false
+		}
+		sh, oh := st.SortedHops(), ot.SortedHops()
+		for i := range sh {
+			if sh[i] != oh[i] {
+				return false
+			}
+		}
+		for code, n := range st.DestUnreach {
+			if ot.DestUnreach[code] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // NumInterfaces returns the count of unique Time-Exceeded sources.
 func (s *Store) NumInterfaces() int { return len(s.interfaces) }
 
-// Interfaces returns the discovered interface addresses, unordered.
+// AddrSeen reports whether addr was discovered as an interface address,
+// without materializing the interface slice.
+func (s *Store) AddrSeen(addr netip.Addr) bool {
+	_, ok := s.interfaces[addr]
+	return ok
+}
+
+// ForEachInterface calls fn for every discovered interface address, in
+// unspecified order. Analysis passes that only fold addresses into their
+// own structures use it to avoid allocating the full slice Interfaces
+// returns.
+func (s *Store) ForEachInterface(fn func(netip.Addr)) {
+	for a := range s.interfaces {
+		fn(a)
+	}
+}
+
+// Interfaces returns the discovered interface addresses, unordered. The
+// result is allocated exactly once at full size.
 func (s *Store) Interfaces() []netip.Addr {
 	out := make([]netip.Addr, 0, len(s.interfaces))
 	for a := range s.interfaces {
@@ -153,7 +276,8 @@ func (s *Store) Interfaces() []netip.Addr {
 // Trace returns the per-target record, or nil without path recording.
 func (s *Store) Trace(target netip.Addr) *Trace { return s.traces[target] }
 
-// Traces returns all retained traces, unordered.
+// Traces returns all retained traces, unordered. The result is allocated
+// exactly once at full size.
 func (s *Store) Traces() []*Trace {
 	out := make([]*Trace, 0, len(s.traces))
 	for _, t := range s.traces {

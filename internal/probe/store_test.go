@@ -1,0 +1,148 @@
+package probe
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"beholder/internal/ipv6"
+)
+
+func teReplyAt(target netip.Addr, from netip.Addr, ttl uint8) Reply {
+	return Reply{Kind: KindTimeExceeded, From: from, Target: target, TTL: ttl, StateRecovered: true}
+}
+
+func addrN(n int) netip.Addr {
+	return ipv6.U128{Hi: 0x2400_0000_0000_0000, Lo: uint64(n)}.Addr()
+}
+
+func TestTraceTTLBitmap(t *testing.T) {
+	s := NewStore(true)
+	target := addrN(1)
+	s.Add(teReplyAt(target, addrN(100), 3))
+	s.Add(teReplyAt(target, addrN(101), 3)) // duplicate TTL: first answer wins
+	s.Add(teReplyAt(target, addrN(102), 7))
+	tr := s.Trace(target)
+	if !tr.HasTTL(3) || !tr.HasTTL(7) || tr.HasTTL(4) {
+		t.Fatalf("bitmap wrong: %v", tr.seen)
+	}
+	if len(tr.Hops) != 2 {
+		t.Fatalf("hops = %d want 2 (duplicate TTL must not append)", len(tr.Hops))
+	}
+	if tr.Hops[0].Addr != addrN(100) {
+		t.Fatal("duplicate TTL displaced the first answer")
+	}
+	if tr.PathLength() != 7 {
+		t.Fatalf("path length %d want 7", tr.PathLength())
+	}
+	// High TTLs exercise the upper bitmap words.
+	s.Add(teReplyAt(target, addrN(103), 200))
+	if !tr.HasTTL(200) || tr.PathLength() != 200 {
+		t.Fatalf("high TTL: has=%v len=%d", tr.HasTTL(200), tr.PathLength())
+	}
+}
+
+func TestStoreAddrSeen(t *testing.T) {
+	s := NewStore(false)
+	s.Add(teReplyAt(addrN(1), addrN(50), 2))
+	if !s.AddrSeen(addrN(50)) {
+		t.Error("discovered interface not reported by AddrSeen")
+	}
+	if s.AddrSeen(addrN(51)) {
+		t.Error("unseen address reported seen")
+	}
+	n := 0
+	s.ForEachInterface(func(netip.Addr) { n++ })
+	if n != s.NumInterfaces() {
+		t.Errorf("ForEachInterface visited %d of %d", n, s.NumInterfaces())
+	}
+}
+
+// synthReplies builds a deterministic stream of mixed replies.
+func synthReplies(n int, seed int64) []Reply {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Reply, n)
+	for i := range out {
+		target := addrN(rng.Intn(40))
+		switch rng.Intn(5) {
+		case 0:
+			out[i] = Reply{Kind: KindEchoReply, From: target, Target: target, StateRecovered: true}
+		case 1:
+			out[i] = Reply{Kind: KindDestUnreach, Code: uint8(rng.Intn(5)), From: addrN(1000 + rng.Intn(20)), Target: target}
+		default:
+			out[i] = teReplyAt(target, addrN(100+rng.Intn(60)), uint8(1+rng.Intn(16)))
+		}
+	}
+	return out
+}
+
+// TestMergeMatchesSerialAdd: splitting a reply stream into contiguous
+// slices, folding each into its own store, and merging in order must
+// equal adding every reply to one store.
+func TestMergeMatchesSerialAdd(t *testing.T) {
+	replies := synthReplies(500, 42)
+	serial := NewStore(true)
+	for _, r := range replies {
+		serial.Add(r)
+	}
+	for _, shards := range []int{1, 2, 3, 7} {
+		parts := make([]*Store, shards)
+		for s := range parts {
+			parts[s] = NewStore(true)
+			lo, hi := len(replies)*s/shards, len(replies)*(s+1)/shards
+			for _, r := range replies[lo:hi] {
+				parts[s].Add(r)
+			}
+		}
+		merged := NewStore(true)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if !merged.Equal(serial) {
+			t.Fatalf("%d-way merge differs from serial add", shards)
+		}
+	}
+}
+
+// TestMergeOrderInsensitiveForDisjointSlices: shard stores from disjoint
+// (target, TTL) slices merge to the same result in any order — the
+// property the campaign engine's determinism rests on.
+func TestMergeOrderInsensitiveForDisjointSlices(t *testing.T) {
+	// Disjoint by TTL band per shard.
+	mk := func(band uint8) *Store {
+		s := NewStore(true)
+		for i := 0; i < 30; i++ {
+			s.Add(teReplyAt(addrN(i%10), addrN(200+int(band)*30+i), band*4+uint8(i%4)+1))
+		}
+		return s
+	}
+	a, b, c := mk(0), mk(1), mk(2)
+	m1 := NewStore(true)
+	m1.Merge(a)
+	m1.Merge(b)
+	m1.Merge(c)
+	m2 := NewStore(true)
+	m2.Merge(c)
+	m2.Merge(a)
+	m2.Merge(b)
+	if !m1.Equal(m2) {
+		t.Fatal("merge of disjoint slices is order-sensitive")
+	}
+}
+
+func TestStoreEqualDetectsDifferences(t *testing.T) {
+	a, b := NewStore(true), NewStore(true)
+	r := teReplyAt(addrN(1), addrN(2), 3)
+	a.Add(r)
+	if a.Equal(b) {
+		t.Fatal("unequal stores reported equal")
+	}
+	b.Add(r)
+	if !a.Equal(b) {
+		t.Fatal("equal stores reported unequal")
+	}
+	b.Add(Reply{Kind: KindEchoReply, From: addrN(1), Target: addrN(1)})
+	if a.Equal(b) {
+		t.Fatal("Reached/counter difference missed")
+	}
+}

@@ -107,6 +107,13 @@ type engine struct {
 	pkt    []byte
 	rbuf   []byte
 	active map[netip.Addr]*traceState // keyed by target for reply routing
+	// order holds the live traces in admission order. Send loops iterate
+	// it — never the map — so probe order is deterministic: stateful
+	// probers must emit the same (packet, time) schedule on every run
+	// for campaigns to reproduce (map iteration order would otherwise
+	// leak into the schedule and, through the simulator's per-packet
+	// draws, into results).
+	order []*traceState
 
 	// observer, when set, sees every stored reply (used by Doubletree to
 	// maintain stop sets and by responsiveness analyses).
@@ -143,15 +150,22 @@ func (e *engine) run(targets []netip.Addr, newStrategy func(target netip.Addr) s
 			if _, dup := e.active[t]; dup {
 				continue
 			}
-			e.active[t] = &traceState{target: t, strat: newStrategy(t)}
+			ts := &traceState{target: t, strat: newStrategy(t)}
+			e.active[t] = ts
+			e.order = append(e.order, ts)
 		}
 		progressed := false
-		for _, ts := range e.active {
+		live := e.order[:0]
+		for _, ts := range e.order {
+			if ts.done {
+				continue
+			}
 			if ts.pending {
 				if e.conn.Now()-ts.sentAt >= e.cfg.Timeout {
 					e.resolve(ts, event{ttl: ts.ttl, timeout: true})
 					progressed = true
 				}
+				live = append(live, ts)
 				continue
 			}
 			ttl, done := ts.strat.next()
@@ -174,7 +188,9 @@ func (e *engine) run(targets []netip.Addr, newStrategy func(target netip.Addr) s
 			e.conn.Sleep(gap)
 			e.drain()
 			progressed = true
+			live = append(live, ts)
 		}
+		e.order = live
 		if !progressed {
 			// Everything is awaiting replies: let time pass.
 			e.conn.Sleep(5 * time.Millisecond)
@@ -199,19 +215,27 @@ func (e *engine) runSynchronized(targets []netip.Addr, newStrategy func(target n
 			if _, dup := e.active[t]; dup {
 				continue
 			}
-			e.active[t] = &traceState{target: t, strat: newStrategy(t)}
+			ts := &traceState{target: t, strat: newStrategy(t)}
+			e.active[t] = ts
+			e.order = append(e.order, ts)
 		}
 		// One synchronized round: every live trace emits its next probe
 		// back to back (the per-TTL burst), then the round resolves.
 		var sent []*traceState
-		for _, ts := range e.active {
+		live := e.order[:0]
+		for _, ts := range e.order {
+			if ts.done {
+				continue
+			}
 			ttl, done := ts.strat.next()
 			if done {
+				ts.done = true
 				delete(e.active, ts.target)
 				continue
 			}
 			n := e.codec.BuildProbe(e.pkt, ts.target, ttl)
 			if err := e.conn.Send(e.pkt[:n]); err != nil {
+				ts.done = true
 				delete(e.active, ts.target)
 				continue
 			}
@@ -222,7 +246,9 @@ func (e *engine) runSynchronized(targets []netip.Addr, newStrategy func(target n
 			sent = append(sent, ts)
 			e.conn.Sleep(gap)
 			e.drain()
+			live = append(live, ts)
 		}
+		e.order = live
 		// Wait out the round: replies resolve traces; stragglers time out
 		// and may retry (resolve re-arms them), so loop until quiescent.
 		anyPending := func() bool {
