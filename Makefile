@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same steps (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: test race bench bench-check fmt vet
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench writes BENCH_PR3.json: probes/s and allocs/probe for the three
+# hot-path benchmarks, plus the recorded pre-fast-path baseline and the
+# speedup over it.
+bench:
+	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR3.json
+
+# bench-check is the CI gate: short-form run that fails when any hot
+# benchmark's steady-state allocs/probe exceeds the bound.
+bench-check:
+	$(GO) run ./cmd/bench -benchtime 150ms -check
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

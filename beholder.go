@@ -156,6 +156,18 @@ func (v *Vantage) Addr() netip.Addr { return v.v.LocalAddr() }
 // Conn exposes the vantage as a probe connection for direct prober use.
 func (v *Vantage) Conn() probe.Conn { return v.v }
 
+// SetPlanCache resizes this vantage's flow-plan cache (entries <= 0
+// disables it). The cache memoizes the simulator's per-flow path plans —
+// pure functions of the universe seed and flow identity — so results are
+// byte-identical at any setting; the knob trades memory for probing
+// speed. See DESIGN.md "The packet fast path".
+func (v *Vantage) SetPlanCache(entries int) { v.v.SetPlanCache(entries) }
+
+// PlanCacheStats returns the vantage's flow-plan cache hit/miss counters.
+func (v *Vantage) PlanCacheStats() (hits, misses int64) {
+	return v.v.Stats.PlanHits, v.v.Stats.PlanMisses
+}
+
 // YarrpOptions parameterizes a Yarrp6 campaign through the facade.
 type YarrpOptions struct {
 	Rate      float64 // packets per second (default 1000)
@@ -404,6 +416,13 @@ func AliasCandidates(targets []netip.Addr) []netip.Prefix {
 // per-prefix cool-down, under an optional probe budget. Candidates
 // whose random addresses answer are aliased — a middlebox, not hosts.
 func (v *Vantage) DetectAliases(candidates []netip.Prefix, opt AliasOptions) *AliasSet {
+	// APD probes each random address exactly once, so its flows never
+	// repeat and the flow-plan cache cannot hit; run with it disabled to
+	// skip the per-miss cache bookkeeping. Plans are pure functions of
+	// the flow, so this changes no results.
+	prev := v.v.PlanCacheSize()
+	v.v.SetPlanCache(0)
+	defer v.v.SetPlanCache(prev)
 	det := alias.NewDetector(v.v, alias.Params{
 		Probes:     opt.Probes,
 		MinReplies: opt.MinReplies,

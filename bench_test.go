@@ -11,12 +11,22 @@ package beholder
 import (
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"testing"
 
 	"beholder/internal/probe"
 	"beholder/internal/target"
 	"beholder/internal/wire"
 )
+
+// mallocsNow reads the cumulative process malloc count; the hot-path
+// benchmarks difference it around their timed regions to report
+// allocs/probe, the enforced zero-allocation invariant (see cmd/bench).
+func mallocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 func benchSuite(seed int64) *Experiments {
 	return NewExperiments(ExpOptions{Seed: seed, Scale: 0.2, Small: true, Rate: 4000})
@@ -256,7 +266,9 @@ func BenchmarkAliasDetect(b *testing.B) {
 	}
 	cands := append(AliasCandidates(targets), truth...)
 	var probes int64
+	b.ReportAllocs()
 	b.ResetTimer()
+	m0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		in.Reset()
 		v := in.NewVantage("apd-bench")
@@ -266,6 +278,8 @@ func BenchmarkAliasDetect(b *testing.B) {
 			b.Fatal("no aliases detected")
 		}
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(mallocsNow()-m0)/float64(probes), "allocs/probe")
 	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
 }
 
@@ -295,14 +309,17 @@ func BenchmarkCampaignSharded(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run("shards="+itoa(shards), func(b *testing.B) {
 			var sent int64
+			var allocs uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// Universe construction is fixed-cost setup; keep it out
-				// of the probes/s measurement so the shard-scaling ratio
-				// reflects the engine alone.
+				// of the probes/s and allocs/probe measurements so the
+				// shard-scaling ratio reflects the engine alone.
 				b.StopTimer()
 				run := NewSmallInternet(5)
 				v := run.NewVantage("campaign-bench")
+				m0 := mallocsNow()
 				b.StartTimer()
 				res, err := v.RunYarrp6(targets, YarrpOptions{
 					Rate: 10000, MaxTTL: 16, Key: 99, Fill: true, Shards: shards,
@@ -310,8 +327,13 @@ func BenchmarkCampaignSharded(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StopTimer()
+				allocs += mallocsNow() - m0
+				b.StartTimer()
 				sent += res.ProbesSent
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(allocs)/float64(sent), "allocs/probe")
 			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
 		})
 	}
@@ -345,7 +367,9 @@ func BenchmarkYarrp6Throughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var sent int64
+	b.ReportAllocs()
 	b.ResetTimer()
+	m0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		in.Reset()
 		v := in.NewVantage("throughput")
@@ -355,6 +379,8 @@ func BenchmarkYarrp6Throughput(b *testing.B) {
 		}
 		sent += res.ProbesSent
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(mallocsNow()-m0)/float64(sent), "allocs/probe")
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
 	_ = netip.Addr{}
 }

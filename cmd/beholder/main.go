@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"beholder"
@@ -19,13 +21,43 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 2018, "determinism seed")
-		scale = flag.Float64("scale", 1.0, "seed-list scale (1.0 = campaign scale)")
-		small = flag.Bool("small", false, "use the small universe (quick look)")
-		rate  = flag.Float64("rate", 1000, "campaign probing rate (pps)")
-		out   = flag.String("out", "", "output file (default stdout)")
+		seed    = flag.Int64("seed", 2018, "determinism seed")
+		scale   = flag.Float64("scale", 1.0, "seed-list scale (1.0 = campaign scale)")
+		small   = flag.Bool("small", false, "use the small universe (quick look)")
+		rate    = flag.Float64("rate", 1000, "campaign probing rate (pps)")
+		out     = flag.String("out", "", "output file (default stdout)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (post-suite) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "beholder:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "beholder:", err)
+			}
+		}()
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {

@@ -1,0 +1,192 @@
+// Command bench measures the repository's three hot-path benchmarks —
+// Yarrp6 campaign throughput, the sharded campaign engine, and
+// aliased-prefix detection — and writes the results as JSON
+// (BENCH_PR3.json by default): probes per wall-clock second and
+// allocations per probe for each, alongside the recorded pre-fast-path
+// baseline the speedup is judged against.
+//
+// With -check it instead enforces the zero-allocation invariant: the
+// run fails if any benchmark's steady-state allocs/probe exceeds
+// -max-allocs. CI runs `go run ./cmd/bench -benchtime 150ms -check` so a
+// regression on the packet fast path fails the build; `make bench`
+// writes the full JSON artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"beholder"
+)
+
+// baseline is the pre-PR measurement (commit c17cfec, the parallel
+// campaign engine, Intel Xeon @ 2.10GHz, go1.24, -benchtime 1.5s)
+// recorded before the packet fast path landed. The acceptance bar for
+// the fast-path PR is ≥ 2x Yarrp6Throughput probes/s over this record.
+var baseline = map[string]Result{
+	"Yarrp6Throughput": {ProbesPerSec: 645821, AllocsPerProbe: 3.08},
+	"CampaignSharded4": {ProbesPerSec: 838285, AllocsPerProbe: 2.04},
+	"AliasDetect":      {ProbesPerSec: 787487, AllocsPerProbe: 1.46},
+}
+
+// Result is one benchmark's headline numbers.
+type Result struct {
+	ProbesPerSec   float64 `json:"probes_per_sec"`
+	AllocsPerProbe float64 `json:"allocs_per_probe"`
+	ProbesPerOp    float64 `json:"probes_per_op,omitempty"`
+	NsPerOp        int64   `json:"ns_per_op,omitempty"`
+}
+
+// Report is the BENCH_PR3.json document.
+type Report struct {
+	Note     string             `json:"note"`
+	Current  map[string]Result  `json:"current"`
+	Baseline map[string]Result  `json:"baseline_pre_fastpath"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// measure runs fn under testing.Benchmark. fn probes the simulator and
+// returns how many probes the iteration sent; allocations are counted
+// around the probing work only (setup excluded by the caller keeping it
+// out of fn).
+func measure(fn func() int64) Result {
+	var sent int64
+	var allocs uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		sent, allocs = 0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m0 := mallocs()
+			n := fn()
+			allocs += mallocs() - m0
+			sent += n
+		}
+	})
+	probesPerOp := float64(sent) / float64(r.N)
+	return Result{
+		ProbesPerSec:   float64(sent) / r.T.Seconds(),
+		AllocsPerProbe: float64(allocs) / float64(sent),
+		ProbesPerOp:    probesPerOp,
+		NsPerOp:        r.NsPerOp(),
+	}
+}
+
+func main() {
+	testing.Init()
+	var (
+		out       = flag.String("out", "BENCH_PR3.json", "output JSON path (empty: stdout only)")
+		benchtime = flag.String("benchtime", "1.5s", "per-benchmark measuring time (testing -benchtime syntax)")
+		check     = flag.Bool("check", false, "enforce the allocs/probe bound instead of writing the artifact")
+		maxAllocs = flag.Float64("max-allocs", 0.75, "with -check: fail when any benchmark exceeds this allocs/probe")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	cur := make(map[string]Result)
+
+	// Yarrp6 campaign throughput: raw prober packet construction plus
+	// simulator forwarding (mirrors BenchmarkYarrp6Throughput).
+	thrIn := beholder.NewSmallInternet(5)
+	thrTargets, err := thrIn.TargetSet("caida", 64, "lowbyte1", 0.3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	key := uint64(0)
+	cur["Yarrp6Throughput"] = measure(func() int64 {
+		thrIn.Reset()
+		v := thrIn.NewVantage("throughput")
+		key++
+		res, err := v.RunYarrp6(thrTargets, beholder.YarrpOptions{Rate: 10000, MaxTTL: 16, Key: key})
+		if err != nil {
+			panic(err)
+		}
+		return res.ProbesSent
+	})
+
+	// Sharded campaign engine at 4 shards, fill mode on (mirrors
+	// BenchmarkCampaignSharded/shards=4; universe construction counts
+	// into wall time here, matching a cold campaign start).
+	shTargets, err := beholder.NewSmallInternet(5).TargetSet("fdns_any", 64, "fixediid", 0.5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	cur["CampaignSharded4"] = measure(func() int64 {
+		run := beholder.NewSmallInternet(5)
+		v := run.NewVantage("campaign-bench")
+		res, err := v.RunYarrp6(shTargets, beholder.YarrpOptions{
+			Rate: 10000, MaxTTL: 16, Key: 99, Fill: true, Shards: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.ProbesSent
+	})
+
+	// Aliased-prefix detection (mirrors BenchmarkAliasDetect).
+	apdIn := beholder.NewSmallInternet(9)
+	truth := apdIn.AliasedGroundTruth(8)
+	apdTargets, err := apdIn.TargetSet("fdns_any", 64, "fixediid", 0.3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	cands := append(beholder.AliasCandidates(apdTargets), truth...)
+	cur["AliasDetect"] = measure(func() int64 {
+		apdIn.Reset()
+		v := apdIn.NewVantage("apd-bench")
+		aliases := v.DetectAliases(cands, beholder.AliasOptions{Rate: 10000})
+		return aliases.ProbesSent()
+	})
+
+	rep := Report{
+		Note:     "probes/s and steady-state allocs/probe for the hot-path benchmarks; baseline_pre_fastpath is the recorded pre-PR measurement on the same hardware",
+		Current:  cur,
+		Baseline: baseline,
+		Speedup:  make(map[string]float64),
+	}
+	for name, b := range baseline {
+		if c, ok := cur[name]; ok && b.ProbesPerSec > 0 {
+			rep.Speedup[name] = c.ProbesPerSec / b.ProbesPerSec
+		}
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+
+	if *check {
+		failed := false
+		for name, r := range cur {
+			if r.AllocsPerProbe > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "bench: %s allocs/probe %.3f exceeds bound %.3f\n", name, r.AllocsPerProbe, *maxAllocs)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: allocs/probe within bound on all hot-path benchmarks")
+		return
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}

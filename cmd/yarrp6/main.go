@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"beholder"
@@ -38,8 +40,25 @@ func main() {
 		shards    = flag.Int("shards", 1, "concurrent prober instances splitting the permutation domain")
 		vantage   = flag.String("vantage", "US-EDU-1", "vantage name")
 		hops      = flag.Bool("hops", false, "print per-target hop listings")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-campaign) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProf)
 
 	var in *beholder.Internet
 	if *small {
@@ -96,6 +115,24 @@ func main() {
 		for _, a := range ifaces {
 			fmt.Println(a)
 		}
+	}
+}
+
+// writeMemProfile dumps a garbage-collected heap profile, so hot-path
+// allocation regressions can be diagnosed without editing code.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yarrp6:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "yarrp6:", err)
 	}
 }
 

@@ -18,9 +18,9 @@ import (
 
 // allCampaigns runs the full Table 7 matrix: every vantage, every
 // campaign seed, both aggregation levels. The cells are independent
-// (each on a private universe) and run concurrently, up to
-// ExpOptions.Workers at a time; results are identical at any worker
-// count.
+// (a shared read-only universe, a private cloned vantage each) and run
+// concurrently, up to ExpOptions.Workers at a time; results are
+// identical at any worker count.
 func (e *Experiments) allCampaigns() []*campResult {
 	var cells []campCell
 	for vidx := range vantageSpecs {

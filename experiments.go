@@ -26,10 +26,11 @@ type ExpOptions struct {
 	Small bool    // use the small universe (tests, quick benches)
 	Rate  float64 // campaign probing rate in pps (default 1000)
 	// Workers bounds how many campaign-matrix cells (Table 7, Figures
-	// 6/7) run concurrently. Each cell gets a private simulated universe
-	// (topology construction is a pure function of the configuration),
-	// so cells share no mutable state and the rendered tables are
-	// identical at any worker count. Default: GOMAXPROCS.
+	// 6/7) run concurrently. Cells share one universe that is read-only
+	// on the packet path (event counters are atomic) and each probes
+	// through its own cloned vantage owning all mutable state, so cells
+	// race nothing and the rendered tables are identical at any worker
+	// count. Default: GOMAXPROCS.
 	Workers int
 }
 
@@ -210,9 +211,9 @@ type campCell struct {
 }
 
 // runCampaigns executes the given matrix cells, up to Workers at a time,
-// returning results in cell order. Cells are independent — private
-// universes, cache writes under the mutex — so the result is identical
-// at any worker count.
+// returning results in cell order. Cells are independent — a shared
+// read-only universe with per-cell cloned vantages, cache writes under
+// the mutex — so the result is identical at any worker count.
 func (e *Experiments) runCampaigns(cells []campCell) []*campResult {
 	out := make([]*campResult, len(cells))
 	workers := e.opt.Workers

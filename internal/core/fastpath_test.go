@@ -1,0 +1,62 @@
+package core
+
+// Shard × plan-cache determinism matrix. The sharded campaign engine
+// replays the single-prober schedule, and the simulator's flow-plan
+// cache stores pure-function values — so every combination of shard
+// count and cache setting must merge to the same store. Uses the
+// campaign tests' non-saturating rate-limit regime: shard equality only
+// holds exactly when token buckets never empty (they are epoch-scoped
+// per shard, see Campaign's package comment).
+
+import (
+	"testing"
+	"time"
+
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+)
+
+// runShardedCache is runSharded with an explicit plan-cache override on
+// the parent vantage; clones (one per shard) inherit it.
+func runShardedCache(t *testing.T, seed int64, shards int, planCache int) *probe.Store {
+	t.Helper()
+	targets := campaignTargets(t, seed, 64)
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	v.SetPlanCache(planCache)
+	camp := NewCampaign(CampaignConfig{
+		Config:      campaignCfg(targets),
+		Shards:      shards,
+		RecordPaths: true,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, _, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestCampaignShardCacheMatrix: {1, 4} shards × {default cache, cache
+// off, tiny cache} all produce probe.Store-equal results — determinism
+// is not traded for speed.
+func TestCampaignShardCacheMatrix(t *testing.T) {
+	const seed = 77
+	ref := runShardedCache(t, seed, 1, 1<<13)
+	cases := []struct {
+		name      string
+		shards    int
+		planCache int
+	}{
+		{"1shard-off", 1, 0},
+		{"1shard-tiny", 1, 16},
+		{"4shard-default", 4, 1 << 13},
+		{"4shard-off", 4, 0},
+		{"4shard-tiny", 4, 16},
+	}
+	for _, tc := range cases {
+		got := runShardedCache(t, seed, tc.shards, tc.planCache)
+		if !got.Equal(ref) {
+			t.Fatalf("%s: store differs from 1-shard default-cache reference", tc.name)
+		}
+	}
+}

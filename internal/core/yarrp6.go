@@ -161,6 +161,10 @@ func (y *Yarrp6) initCodec() error {
 		return err
 	}
 	y.codec = probe.NewCodec(y.conn, y.cfg.Proto, y.cfg.Instance)
+	// Each target is probed at every TTL in the randomized range with an
+	// identical flow identity; the template cache turns all but the
+	// first build per target into a copy-and-patch.
+	y.codec.SetProbeCache(8192)
 	return nil
 }
 
@@ -193,9 +197,12 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	// Sample the discovery curve on a monotonic probe-count threshold:
 	// fill-mode probes advance the counter inside handleReply, so a
 	// modulo check would skip sample points whenever a fill lands
-	// between two loop iterations.
+	// between two loop iterations. The curve is bounded by the step
+	// arithmetic at ~129 samples plus the final point; preallocating it
+	// keeps append off the steady-state send path.
 	curveStep := int64((end-start)/128) + 1
 	nextCurve := curveStep
+	y.stats.Curve = make([]CurvePoint, 0, 132)
 
 	it := p.Resume(start)
 	for it.Pos() < end {
@@ -280,7 +287,11 @@ func (y *Yarrp6) handleReply(b []byte, store *probe.Store) {
 	// Fill mode: a response from at or past the maximum randomized TTL
 	// extends the trace sequentially toward the destination. Fills are
 	// uncommon and land at path tails, where sequential probing has the
-	// least rate-limiting impact (Section 4.1).
+	// least rate-limiting impact (Section 4.1). The fill probe is built
+	// in the prober's own packet buffer (y.pkt via sendProbe) — safe
+	// even though b still holds the triggering reply, because the
+	// parsed Reply carries no slices into either buffer — so fills
+	// allocate nothing.
 	if y.cfg.Fill && r.Kind == probe.KindTimeExceeded && r.StateRecovered &&
 		r.TTL >= y.cfg.MaxTTL && r.TTL < y.cfg.FillLimit && r.Target.IsValid() {
 		if err := y.sendProbe(r.Target, r.TTL+1); err == nil {

@@ -79,6 +79,14 @@ type Config struct {
 	// pollution that follow-on work (6Prob) dealiases.
 	CDNPercent        int // percent of hosting ASes operating CDN-style front ends
 	AliasedLANPercent int // percent of provisioned /64s in CDN ASes that are aliased
+
+	// PlanCacheSize is the per-vantage flow-plan cache size in
+	// direct-mapped slots: 0 selects the library default, negative
+	// disables caching. Purely a speed/memory trade — cached plans are
+	// pure functions of (seed, flow identity), so results are
+	// byte-identical at any setting. Vantage.SetPlanCache overrides it
+	// per vantage.
+	PlanCacheSize int
 }
 
 // DefaultConfig returns a campaign-scale universe: large enough that
@@ -124,5 +132,8 @@ func TestConfig(seed int64) Config {
 	c.NumASes = 120
 	c.NumTier1 = 4
 	c.Tier2Frac = 10
+	// Small universes probe small target sets; a few thousand slots keep
+	// the per-vantage footprint down without costing hit rate.
+	c.PlanCacheSize = 1 << 13
 	return c
 }

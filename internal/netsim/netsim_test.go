@@ -731,3 +731,54 @@ func TestAliasedLANAnswersEcho(t *testing.T) {
 		t.Errorf("aliased LAN answered %d/%d random-IID echoes", replies, probes)
 	}
 }
+
+// TestOversizedEchoProbe sends an echo request whose payload exceeds
+// what a MinMTU reply can mirror: the reply path must cap the echoed
+// payload at the MinMTU bound (the pool's buffer size) instead of
+// overrunning a recycled reply buffer.
+func TestOversizedEchoProbe(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "bigecho", Kind: KindUniversity, ChainLen: 3})
+	rng := rand.New(rand.NewSource(7))
+	var as *AS
+	for {
+		as = u.RandomAS(rng, KindHosting)
+		if !as.BlockEcho {
+			break
+		}
+	}
+	lan, ok := u.RandomLAN(rng, as)
+	if !ok {
+		t.Fatal("no LAN")
+	}
+	dst := u.GatewayAddr(lan, as)
+
+	payload := make([]byte, 2000) // far beyond MinMTU-48
+	pkt := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(payload))
+	// A handful of distinct flow identities sidesteps the per-packet
+	// loss draw without weakening the overflow check.
+	for id := uint16(1); id <= 8; id++ {
+		hdr := wire.IPv6Header{HopLimit: 64, Src: v.LocalAddr(), Dst: dst}
+		icmp := wire.ICMPv6Header{Type: wire.ICMPv6EchoRequest, ID: id, Seq: 80}
+		n := wire.BuildPacket(pkt, &hdr, wire.ProtoICMPv6, nil, nil, &icmp, payload)
+		if err := v.Send(pkt[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Sleep(3 * time.Second)
+	buf := make([]byte, wire.MinMTU)
+	rn, ok := v.Recv(buf)
+	if !ok {
+		t.Fatal("no reply to oversized echo (could be loss; rerun with new seed)")
+	}
+	if rn > wire.MinMTU {
+		t.Fatalf("reply length %d exceeds MinMTU", rn)
+	}
+	var d wire.Decoded
+	if err := d.Decode(buf[:rn]); err != nil {
+		t.Fatal(err)
+	}
+	if d.ICMPv6.Type != wire.ICMPv6EchoReply {
+		t.Fatalf("reply type %d want echo reply", d.ICMPv6.Type)
+	}
+}

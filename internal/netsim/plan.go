@@ -21,22 +21,34 @@ type planLevel struct {
 	den  uint64 // provisioned fraction denominator
 }
 
+// Per-kind subnet hierarchies, constructed once: planFor sits on the
+// per-probe descent path, where returning a fresh slice literal per call
+// used to be a measurable share of the allocation volume.
+var (
+	planEyeball    = []planLevel{{40, 1, 6}, {48, 1, 4}, {56, 1, 10}, {64, 1, 3}}
+	planHosting    = []planLevel{{40, 1, 8}, {48, 1, 3}, {56, 1, 6}, {64, 1, 2}}
+	planEnterprise = []planLevel{{56, 1, 5}, {64, 1, 3}}
+	planUniversity = []planLevel{{40, 1, 12}, {48, 1, 6}, {56, 1, 8}, {64, 1, 3}}
+	planTransit    = []planLevel{{48, 1, 24}, {64, 1, 16}}
+)
+
 // planFor returns the subnet hierarchy of an AS kind. Fractions shape how
 // deep blind probing gets: dense plans (hosting) reward fine-grained
 // probing; sparse plans make most of the space unrouted — the central
-// tension of Table 3.
+// tension of Table 3. The returned slice is shared and must not be
+// mutated.
 func planFor(kind ASKind) []planLevel {
 	switch kind {
 	case KindEyeballISP:
-		return []planLevel{{40, 1, 6}, {48, 1, 4}, {56, 1, 10}, {64, 1, 3}}
+		return planEyeball
 	case KindHosting:
-		return []planLevel{{40, 1, 8}, {48, 1, 3}, {56, 1, 6}, {64, 1, 2}}
+		return planHosting
 	case KindEnterprise:
-		return []planLevel{{56, 1, 5}, {64, 1, 3}}
+		return planEnterprise
 	case KindUniversity:
-		return []planLevel{{40, 1, 12}, {48, 1, 6}, {56, 1, 8}, {64, 1, 3}}
+		return planUniversity
 	default: // transit: sparse service LANs
-		return []planLevel{{48, 1, 24}, {64, 1, 16}}
+		return planTransit
 	}
 }
 
@@ -141,7 +153,14 @@ func (u *Universe) HostExists(addr netip.Addr) bool {
 	if !full || len(chain) == 0 {
 		return false
 	}
-	lan := chain[len(chain)-1]
+	return u.hostOnLAN(addr, chain[len(chain)-1], as)
+}
+
+// hostOnLAN is the host-population half of HostExists: it assumes lan is
+// addr's fully provisioned /64 in as's plan. The vantage flow-plan cache
+// calls it directly with the descent chain it already computed, so the
+// per-probe host check costs no second routing lookup or plan descent.
+func (u *Universe) hostOnLAN(addr netip.Addr, lan netip.Prefix, as *AS) bool {
 	if u.LANAliased(lan, as) {
 		// The front end terminates every address in the LAN.
 		return true

@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"beholder/internal/ipv6"
+	"beholder/internal/wire"
+)
+
+// Flow-plan cache. plan computation — access chain, BFS walk over the AS
+// graph, routing-table lookup, subnet descent — is a pure function of
+// (universe seed, destination, transport, flow hash): the hop limit only
+// selects where along the planned path a probe dies, and Yarrp6 holds the
+// flow identity constant per target across all ~16 TTLs precisely so that
+// ECMP routers keep it on one path. The cache exploits that: the first
+// probe toward a flow materializes the full plan (router step keys, step
+// ASes, outcome, error index, a prefix-summed RTT table, and the host
+// lookup), and the remaining probes of the same flow reuse it.
+//
+// Eviction is deterministic and allocation-bounded: the cache is a
+// fixed-size, direct-mapped slot array indexed by the flow hash. A miss
+// overwrites whatever occupied the slot, reusing its backing arrays when
+// they fit and carving exact-size replacements from per-vantage arenas
+// otherwise. No map iteration, no clock, no randomness is consulted, so
+// a replayed campaign touches slots in an identical sequence — and
+// because every cached value equals what a fresh computation would
+// produce, results are byte-identical at ANY cache size, including zero
+// (cache disabled). Shard determinism is preserved structurally, not
+// probabilistically.
+
+// planCacheDefaultEntries sizes the per-vantage slot array when the
+// universe Config leaves PlanCacheSize zero. Direct-mapped hit rate decays
+// like e^(-targets/slots) under Yarrp6's randomized permutation, so the
+// default comfortably covers campaign-scale target sets; TestConfig trims
+// it for small universes.
+const planCacheDefaultEntries = 1 << 16
+
+// routerStep is one hop of a materialized path plan. r memoizes the
+// vantage's materialized router for the step after its first touch, so
+// repeated probes of a cached flow skip the router-map lookup; it starts
+// nil and is filled lazily (see Vantage.stepRouter), never shared across
+// vantages. rtt carries the prefix-summed round-trip table inline:
+// steps[i].rtt is the doubled one-way latency over steps 0..i, so the
+// former per-reply pathRTT loop is a single O(1) field load.
+type routerStep struct {
+	key RouterKey
+	as  *AS
+	r   *Router
+	rtt time.Duration
+}
+
+// planEntry is one cached flow plan. The zero value is an empty slot.
+// The struct is entirely pointer-free — the destination is raw address
+// words, the destination AS an index, and the step list an offset/length
+// pair into the vantage's contiguous step store — so the whole slot
+// array is a single no-scan allocation the garbage collector never
+// walks.
+type planEntry struct {
+	// Cache key: destination, transport, and the per-flow ECMP hash
+	// (which itself folds src, dst, proto, ports/checksum/identifier,
+	// and flow label — the key triple fully determines the plan).
+	dst   ipv6.U128
+	fh    uint64
+	proto uint8
+	used  bool
+
+	outcome outcomeKind
+	reject  bool // reject-route rather than no-route
+	exists  bool // outcome == outHost: destination is a live host
+
+	n        uint16 // number of router steps
+	errorIdx uint16 // step originating a destination-unreachable
+	stepOff  uint32 // start of the step list in Vantage.stepStore
+	stepCap  uint16 // reserved slots at stepOff (size-class rounded)
+	destAS   int32  // index into Universe.ases; -1 when unrouted
+}
+
+// Step-store pages: fixed-size, never moved, lazily allocated. A
+// reservation never crosses a page boundary (the tail of a page is
+// padded when a plan would not fit), so offset arithmetic addresses one
+// page. Paths are bounded by the AS-path walk at a few hundred steps —
+// far below the page size.
+const (
+	stepPageShift = 11
+	stepPageSize  = 1 << stepPageShift
+	stepPageMask  = stepPageSize - 1
+)
+
+// stepAt returns the step at global offset off.
+func (v *Vantage) stepAt(off uint32) *routerStep {
+	return &v.stepPages[off>>stepPageShift][off&stepPageMask]
+}
+
+// stepsAt returns the n-step list starting at global offset off.
+func (v *Vantage) stepsAt(off uint32, n int) []routerStep {
+	i := off & stepPageMask
+	return v.stepPages[off>>stepPageShift][i : int(i)+n]
+}
+
+// reserveSteps reserves cls contiguous step slots, returning their
+// global offset. Reservations are size-class rounded so evictions can
+// reuse them in place.
+func (v *Vantage) reserveSteps(cls int) uint32 {
+	if rem := stepPageSize - int(v.stepNext&stepPageMask); rem < cls {
+		v.stepNext += uint32(rem) // pad out the page tail
+	}
+	for int(v.stepNext>>stepPageShift) >= len(v.stepPages) {
+		v.stepPages = append(v.stepPages, make([]routerStep, stepPageSize))
+	}
+	off := v.stepNext
+	v.stepNext += uint32(cls)
+	return off
+}
+
+// lookupPlan returns the plan for the decoded probe, from cache when
+// possible. The returned entry is owned by the vantage and valid until
+// the next lookupPlan call.
+func (v *Vantage) lookupPlan(d *wire.Decoded) *planEntry {
+	dstU := ipv6.FromAddr(d.IPv6.Dst)
+	fh := flowHashU(v.u.seed, v.srcU, dstU, d)
+	if v.planSize <= 0 {
+		v.Stats.PlanMisses++
+		v.computePlan(d, dstU, fh, &v.planScratch)
+		return &v.planScratch
+	}
+	if v.planSlots == nil {
+		v.planSlots = make([]planEntry, v.planSize)
+	}
+	e := &v.planSlots[fh%uint64(v.planSize)]
+	if e.used && e.fh == fh && e.proto == d.Proto && e.dst == dstU {
+		v.Stats.PlanHits++
+		return e
+	}
+	v.Stats.PlanMisses++
+	v.computePlan(d, dstU, fh, e)
+	return e
+}
+
+// SetPlanCache resizes this vantage's flow-plan cache to the given number
+// of direct-mapped slots; entries <= 0 disables caching (every probe
+// replans into a reused scratch entry). Results are byte-identical at any
+// setting — the cache stores pure-function values — so this knob trades
+// only memory against speed: disable it for workloads whose flows never
+// repeat (aliased-prefix detection probes each random address once).
+// Existing cached plans are discarded. Clones inherit the parent's
+// configured size with a private (initially empty) cache.
+func (v *Vantage) SetPlanCache(entries int) {
+	if entries < 0 {
+		entries = 0
+	}
+	v.planSize = entries
+	v.planSlots = nil
+}
+
+// PlanCacheSize returns the configured slot count (0 when disabled).
+func (v *Vantage) PlanCacheSize() int { return v.planSize }
+
+// computePlan materializes the router path for the decoded probe into e.
+// The path is laid out in the vantage's compute scratch and then stored
+// with exact-size backing (reusing e's arrays when they fit). It mirrors
+// the planning the simulator did per probe before the cache existed;
+// keeping it a pure function of (seed, dst, proto, fh) is what licenses
+// caching it.
+func (v *Vantage) computePlan(d *wire.Decoded, dstU ipv6.U128, fh uint64, e *planEntry) {
+	u := v.u
+	steps := v.scratchSteps[:0]
+	oldOff, oldCap := e.stepOff, e.stepCap
+	*e = planEntry{dst: dstU, fh: fh, proto: d.Proto, used: true, destAS: -1}
+
+	// On-premise access chain.
+	for i := 0; i < v.spec.ChainLen; i++ {
+		steps = append(steps, routerStep{key: RouterKey{ASN: v.as.ASN, Class: classAccess, K1: v.id, K2: uint64(i)}, as: v.as})
+	}
+
+	rt, ok := u.table.Lookup(d.IPv6.Dst)
+	if !ok {
+		// Unrouted destination: the border router reports no-route.
+		e.outcome = outNoRoute
+		v.storePlan(e, steps, oldOff, oldCap, len(steps)-1)
+		return
+	}
+	destAS := u.byASN[rt.Origin]
+	e.destAS = int32(destAS.Idx)
+
+	// AS-level path from the BFS tree (vantage → ... → destination AS).
+	var asPath [64]int
+	pl := 0
+	for cur := destAS.Idx; cur != v.as.Idx && pl < len(asPath); cur = int(v.parent[cur]) {
+		if v.parent[cur] < 0 {
+			break
+		}
+		asPath[pl] = cur
+		pl++
+	}
+	prevASN := v.as.ASN
+	filtered := false
+	filterIdx := 0
+	filterAdmin := false
+	for i := pl - 1; i >= 0; i-- {
+		as := u.ases[asPath[i]]
+		hops := 1
+		if as.Tier <= 2 {
+			hops = 1 + int(h(u.seed, 33, uint64(as.ASN), uint64(prevASN))%3)
+		}
+		var lbSel uint64
+		if as.LoadBalanced {
+			lbSel = fh % uint64(as.LBWays)
+		}
+		ingress := h(u.seed, 34, uint64(prevASN), lbSel)
+		for j := 0; j < hops; j++ {
+			steps = append(steps, routerStep{key: RouterKey{ASN: as.ASN, Class: classBackbone, K1: ingress, K2: uint64(j)}, as: as})
+		}
+		// Transport filtering at the destination AS border.
+		if as == destAS && !filtered {
+			if (d.Proto == wire.ProtoUDP && as.BlockUDP) || (d.Proto == wire.ProtoTCP && as.BlockTCP) {
+				filtered = true
+				filterIdx = len(steps) - 1
+				filterAdmin = h(u.seed, 35, uint64(as.ASN))%2 == 0
+			}
+		}
+		prevASN = as.ASN
+	}
+	if filtered {
+		e.outcome = outFilteredSilent
+		if filterAdmin {
+			e.outcome = outFilteredAdmin
+		}
+		// Steps past the filter can never be traversed; drop them so the
+		// cached plan holds exactly the reachable prefix of the path.
+		v.storePlan(e, steps[:filterIdx+1], oldOff, oldCap, filterIdx)
+		return
+	}
+
+	// Intra-AS descent through the destination's subnet hierarchy.
+	var buf [8]netip.Prefix
+	chain, full := u.descent(destAS, rt.Prefix, d.IPv6.Dst, buf[:])
+	for _, sub := range chain {
+		steps = append(steps, routerStep{key: RouterKey{
+			ASN:   destAS.ASN,
+			Class: classLevel,
+			K1:    ipv6.FromAddr(sub.Addr()).Hi,
+			K2:    uint64(sub.Bits()),
+		}, as: destAS})
+	}
+	if !full {
+		e.outcome = outNoRoute
+		e.reject = destAS.RejectRoute
+		v.storePlan(e, steps, oldOff, oldCap, len(steps)-1)
+		return
+	}
+	e.outcome = outHost
+	e.exists = len(chain) > 0 && u.hostOnLAN(d.IPv6.Dst, chain[len(chain)-1], destAS)
+	v.storePlan(e, steps, oldOff, oldCap, len(steps)-1)
+}
+
+// storePlan installs the step list (held in the compute scratch) into e
+// and fills the inline prefix-summed RTT field: steps[i].rtt is the
+// doubled one-way latency across steps 0..i. The bytes live in the
+// vantage's contiguous step store at a size-class-rounded reservation;
+// an evicted entry's reservation is reused whenever the new plan fits,
+// so store growth is bounded by the slot count times the handful of
+// size classes, not by campaign length.
+func (v *Vantage) storePlan(e *planEntry, steps []routerStep, oldOff uint32, oldCap uint16, errorIdx int) {
+	v.scratchSteps = steps[:0] // keep the (possibly grown) scratch array
+	n := len(steps)
+	e.n = uint16(n)
+	e.errorIdx = uint16(errorIdx)
+
+	if int(oldCap) >= n {
+		e.stepOff, e.stepCap = oldOff, oldCap
+	} else {
+		cls := (n + 7) &^ 7 // size class: round up to 8 steps
+		e.stepOff = v.reserveSteps(cls)
+		e.stepCap = uint16(cls)
+	}
+	dst := v.stepsAt(e.stepOff, n)
+	copy(dst, steps)
+	var oneWay time.Duration
+	for i := 0; i < n; i++ {
+		oneWay += v.u.linkLatency(dst[i].key)
+		dst[i].rtt = 2 * oneWay
+		dst[i].r = nil
+	}
+}

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"net/netip"
@@ -28,16 +27,22 @@ type VantageSpec struct {
 // selection, loss, jitter, unreachable generation — is a pure function
 // of the universe seed, the probe bytes, and the probe's virtual send
 // time. Combined with per-vantage ownership of all mutable state (clock,
-// router token buckets, delivery queue, scratch buffers), this makes
-// concurrent vantages race-free and their results independent of
-// goroutine scheduling: a sharded campaign that reproduces a single
+// router token buckets, delivery queue, plan cache, buffer free list),
+// this makes concurrent vantages race-free and their results independent
+// of goroutine scheduling: a sharded campaign that reproduces a single
 // prober's (packet, time) schedule reproduces its replies.
+//
+// The packet path is allocation-free at steady state: path plans come
+// from the per-vantage flow-plan cache (see plancache.go), reply buffers
+// cycle through a free list that Recv refills, and the delivery queue is
+// an unboxed min-heap of value entries.
 type Vantage struct {
 	u    *Universe
 	spec VantageSpec
 	id   uint64
 	as   *AS
 	addr netip.Addr
+	srcU ipv6.U128 // addr's raw words, pre-extracted for per-probe hashing
 
 	// clk is the vantage's virtual clock. Vantages created with
 	// NewVantage share the universe clock (the single-prober regime);
@@ -59,8 +64,39 @@ type Vantage struct {
 	queue deliveryQueue
 	dec   wire.Decoded // scratch decoder reused across Send calls
 
-	stepKeys []RouterKey // scratch path plan
-	stepAS   []*AS
+	// Flow-plan cache (plancache.go). planSlots is allocated lazily on
+	// the first Send so idle vantages cost nothing; planScratch serves
+	// cache-disabled operation without allocating per probe. The arenas
+	// feed step/RTT backing arrays to cache slots in bulk, so a cache
+	// miss — even a compulsory miss on a never-reused flow — costs no
+	// per-probe allocation.
+	planSize     int
+	planSlots    []planEntry
+	planScratch  planEntry
+	scratchSteps []routerStep
+
+	// stepPages back every cached plan's step list, addressed by
+	// offset/length from the (pointer-free) cache slots. Pages are
+	// fixed-size and never move, so offsets stay valid as the store
+	// grows without the copy churn of a single growing slice; evicted
+	// entries' reservations are reused in place, so the store converges
+	// to roughly one size-class reservation per occupied slot.
+	stepPages [][]routerStep
+	stepNext  uint32
+
+	// Reply-buffer pool: bufs owns every buffer ever issued at this
+	// vantage; the free stacks hold the indices available for reuse, one
+	// per size class. Send-side builders draw a buffer sized to the
+	// reply they are about to emit, Recv returns it after copying the
+	// reply out. Nearly every reply fits the small class (errors quote
+	// ~128-byte probes); the full wire.MinMTU class covers maximal
+	// quotations without a tenfold memory bill on the rate×RTT product
+	// of in-flight replies. Deliveries reference buffers by index,
+	// keeping queue entries pointer-free (heap sifts then move 16-byte
+	// values with no GC write barriers).
+	bufs      [][]byte
+	freeSmall []int32
+	freeFull  []int32
 
 	// Stats counts prober-visible events at this vantage.
 	Stats VantageStats
@@ -70,6 +106,11 @@ type Vantage struct {
 type VantageStats struct {
 	Sent     int64
 	Received int64
+	// PlanHits and PlanMisses count flow-plan cache outcomes; with the
+	// cache disabled every probe is a miss. Cache effectiveness is
+	// observable here without affecting results (cached plans are pure).
+	PlanHits   int64
+	PlanMisses int64
 }
 
 // NewVantage attaches a vantage to a deterministic AS of spec.Kind.
@@ -92,40 +133,51 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	}
 	as := pool[h(u.seed, 31, nameKey)%uint64(len(pool))]
 	v := &Vantage{
-		u:       u,
-		spec:    spec,
-		id:      nameKey,
-		as:      as,
-		addr:    ipv6.WithIID(ipv6.NthSubprefix(as.Prefixes[0], 64, 0xbeef).Addr(), 0x1),
-		clk:     &u.clock,
-		routers: make(map[RouterKey]*Router),
+		u:        u,
+		spec:     spec,
+		id:       nameKey,
+		as:       as,
+		addr:     ipv6.WithIID(ipv6.NthSubprefix(as.Prefixes[0], 64, 0xbeef).Addr(), 0x1),
+		clk:      &u.clock,
+		routers:  make(map[RouterKey]*Router),
+		planSize: u.planCacheSize(),
 	}
+	v.srcU = ipv6.FromAddr(v.addr)
 	v.parent = u.bfsTree(as.Idx)
-	v.stepKeys = make([]RouterKey, 0, 64)
-	v.stepAS = make([]*AS, 0, 64)
 	return v
+}
+
+// planCacheSize resolves the configured flow-plan cache size.
+func (u *Universe) planCacheSize() int {
+	switch {
+	case u.cfg.PlanCacheSize > 0:
+		return u.cfg.PlanCacheSize
+	case u.cfg.PlanCacheSize < 0:
+		return 0
+	}
+	return planCacheDefaultEntries
 }
 
 // Clone returns a shard vantage with the same identity — name, hosting
 // AS, source address, access-chain router keys — but private mutable
 // state: its own clock opened at virtual time start, its own delivery
-// queue, scratch buffers, counters, and router token buckets. The
-// clone's clock joins the parent's ClockGroup so the campaign's
-// coordinated watermark covers it. Clones must be created before the
-// shards start running (Clone mutates the parent's group).
+// queue, buffer free list, plan cache, counters, and router token
+// buckets. The clone's clock joins the parent's ClockGroup so the
+// campaign's coordinated watermark covers it. Clones must be created
+// before the shards start running (Clone mutates the parent's group).
 func (v *Vantage) Clone(start time.Duration) *Vantage {
 	nv := &Vantage{
-		u:       v.u,
-		spec:    v.spec,
-		id:      v.id,
-		as:      v.as,
-		addr:    v.addr,
-		clk:     NewClockAt(start),
-		parent:  v.parent, // read-only after construction
-		routers: make(map[RouterKey]*Router),
+		u:        v.u,
+		spec:     v.spec,
+		id:       v.id,
+		as:       v.as,
+		addr:     v.addr,
+		srcU:     v.srcU,
+		clk:      NewClockAt(start),
+		parent:   v.parent, // read-only after construction
+		routers:  make(map[RouterKey]*Router),
+		planSize: v.planSize,
 	}
-	nv.stepKeys = make([]RouterKey, 0, 64)
-	nv.stepAS = make([]*AS, 0, 64)
 	if v.group == nil {
 		v.group = &ClockGroup{}
 	}
@@ -195,6 +247,19 @@ func (v *Vantage) router(key RouterKey, as *AS) *Router {
 	return r
 }
 
+// stepRouter resolves (and memoizes into the plan step) the router for
+// plan step idx. The memo lives inside the cached plan entry, so a hit
+// flow's probes touch the router with a single pointer load instead of a
+// map lookup; the routers map remains the authority, so every plan entry
+// holding the same key resolves to the same (vantage-owned) router.
+func (v *Vantage) stepRouter(plan *planEntry, idx int) *Router {
+	st := v.stepAt(plan.stepOff + uint32(idx))
+	if st.r == nil {
+		st.r = v.router(st.key, st.as)
+	}
+	return st.r
+}
+
 // outcomes of path planning.
 type outcomeKind uint8
 
@@ -205,23 +270,21 @@ const (
 	outFilteredAdmin
 )
 
-type pathPlan struct {
-	n        int // number of router steps
-	outcome  outcomeKind
-	errorIdx int          // step originating a destination-unreachable
-	lan      netip.Prefix // destination /64 when outcome == outHost
-	destAS   *AS          // nil when unrouted
-	reject   bool         // reject-route rather than no-route
-}
-
 // flowHash computes the per-flow load-balancing key the way the paper
 // describes deployed routers doing it: addresses, protocol, and for
 // TCP/UDP the port pair — but for ICMPv6 the checksum and identifier,
 // which is precisely why Yarrp6 must hold its checksum constant per
 // target via payload fudge.
 func flowHash(seed uint64, d *wire.Decoded) uint64 {
-	s := ipv6.FromAddr(d.IPv6.Src)
-	t := ipv6.FromAddr(d.IPv6.Dst)
+	return flowHashU(seed, ipv6.FromAddr(d.IPv6.Src), ipv6.FromAddr(d.IPv6.Dst), d)
+}
+
+// flowHashU is flowHash with the address words already extracted; the
+// vantage fast path supplies its cached source words and the destination
+// words it needs anyway for the plan-cache key. The mix chain is written
+// out with fixed arity — same sequence and values as the variadic h —
+// because this runs once per routed packet.
+func flowHashU(seed uint64, s, t ipv6.U128, d *wire.Decoded) uint64 {
 	var extra uint64
 	switch d.Proto {
 	case wire.ProtoTCP:
@@ -231,7 +294,14 @@ func flowHash(seed uint64, d *wire.Decoded) uint64 {
 	case wire.ProtoICMPv6:
 		extra = uint64(d.ICMPv6.Checksum)<<16 | uint64(d.ICMPv6.ID)
 	}
-	return h(seed, s.Hi, s.Lo, t.Hi, t.Lo, uint64(d.Proto)<<32|uint64(d.IPv6.FlowLabel), extra)
+	acc := mix64(seed + sm64Gamma)
+	acc = mix64(acc ^ (s.Hi + sm64Gamma))
+	acc = mix64(acc ^ (s.Lo + sm64Gamma))
+	acc = mix64(acc ^ (t.Hi + sm64Gamma))
+	acc = mix64(acc ^ (t.Lo + sm64Gamma))
+	acc = mix64(acc ^ (uint64(d.Proto)<<32 | uint64(d.IPv6.FlowLabel) + sm64Gamma))
+	acc = mix64(acc ^ (extra + sm64Gamma))
+	return acc
 }
 
 // Per-packet stochastic draws. Loss, jitter, and unreachable generation
@@ -250,112 +320,9 @@ const (
 	drawND      = 44
 )
 
-// pktKey folds the probe's flow identity and hop limit into the draw key.
-func (v *Vantage) pktKey(d *wire.Decoded) uint64 {
-	return h(flowHash(v.u.seed, d), 40, uint64(d.IPv6.HopLimit))
-}
-
 // hashFloat maps a hash key to a uniform float64 in [0, 1).
 func hashFloat(key uint64) float64 {
 	return float64(key>>11) / (1 << 53)
-}
-
-// plan computes the router path for the decoded probe, filling the
-// vantage's scratch buffers.
-func (v *Vantage) plan(d *wire.Decoded) pathPlan {
-	u := v.u
-	v.stepKeys = v.stepKeys[:0]
-	v.stepAS = v.stepAS[:0]
-	push := func(k RouterKey, as *AS) {
-		v.stepKeys = append(v.stepKeys, k)
-		v.stepAS = append(v.stepAS, as)
-	}
-	// On-premise access chain.
-	for i := 0; i < v.spec.ChainLen; i++ {
-		push(RouterKey{ASN: v.as.ASN, Class: classAccess, K1: v.id, K2: uint64(i)}, v.as)
-	}
-
-	rt, ok := u.table.Lookup(d.IPv6.Dst)
-	if !ok {
-		// Unrouted destination: the border router reports no-route.
-		return pathPlan{n: len(v.stepKeys), outcome: outNoRoute, errorIdx: len(v.stepKeys) - 1}
-	}
-	destAS := u.byASN[rt.Origin]
-
-	// AS-level path from the BFS tree (vantage → ... → destination AS).
-	var asPath [64]int
-	pl := 0
-	for cur := destAS.Idx; cur != v.as.Idx && pl < len(asPath); cur = int(v.parent[cur]) {
-		if v.parent[cur] < 0 {
-			break
-		}
-		asPath[pl] = cur
-		pl++
-	}
-	fh := flowHash(u.seed, d)
-	prevASN := v.as.ASN
-	filtered := false
-	filterIdx := 0
-	filterAdmin := false
-	for i := pl - 1; i >= 0; i-- {
-		as := u.ases[asPath[i]]
-		hops := 1
-		if as.Tier <= 2 {
-			hops = 1 + int(h(u.seed, 33, uint64(as.ASN), uint64(prevASN))%3)
-		}
-		var lbSel uint64
-		if as.LoadBalanced {
-			lbSel = fh % uint64(as.LBWays)
-		}
-		ingress := h(u.seed, 34, uint64(prevASN), lbSel)
-		for j := 0; j < hops; j++ {
-			push(RouterKey{ASN: as.ASN, Class: classBackbone, K1: ingress, K2: uint64(j)}, as)
-		}
-		// Transport filtering at the destination AS border.
-		if as == destAS && !filtered {
-			if (d.Proto == wire.ProtoUDP && as.BlockUDP) || (d.Proto == wire.ProtoTCP && as.BlockTCP) {
-				filtered = true
-				filterIdx = len(v.stepKeys) - 1
-				filterAdmin = h(u.seed, 35, uint64(as.ASN))%2 == 0
-			}
-		}
-		prevASN = as.ASN
-	}
-	if filtered {
-		out := outFilteredSilent
-		if filterAdmin {
-			out = outFilteredAdmin
-		}
-		return pathPlan{n: filterIdx + 1, outcome: out, errorIdx: filterIdx, destAS: destAS}
-	}
-
-	// Intra-AS descent through the destination's subnet hierarchy.
-	var buf [8]netip.Prefix
-	chain, full := u.descent(destAS, rt.Prefix, d.IPv6.Dst, buf[:])
-	for _, sub := range chain {
-		push(RouterKey{
-			ASN:   destAS.ASN,
-			Class: classLevel,
-			K1:    ipv6.FromAddr(sub.Addr()).Hi,
-			K2:    uint64(sub.Bits()),
-		}, destAS)
-	}
-	if !full {
-		return pathPlan{
-			n:        len(v.stepKeys),
-			outcome:  outNoRoute,
-			errorIdx: len(v.stepKeys) - 1,
-			destAS:   destAS,
-			reject:   destAS.RejectRoute,
-		}
-	}
-	return pathPlan{
-		n:        len(v.stepKeys),
-		outcome:  outHost,
-		errorIdx: len(v.stepKeys) - 1,
-		lan:      chain[len(chain)-1],
-		destAS:   destAS,
-	}
 }
 
 // Send routes one wire-format probe through the simulated internetwork,
@@ -368,19 +335,22 @@ func (v *Vantage) Send(pkt []byte) error {
 	v.Stats.Sent++
 	atomic.AddInt64(&v.u.Stats.PacketsRouted, 1)
 
-	plan := v.plan(d)
+	plan := v.lookupPlan(d)
+	planN := int(plan.n)
 	ttl := int(d.IPv6.HopLimit)
 	now := v.clk.Now()
-	pk := v.pktKey(d)
+	// The per-packet draw key folds the cached flow hash with the hop
+	// limit (the pktKey of old: h(flowHash(...), 40, hopLimit)).
+	pk := h(plan.fh, 40, uint64(d.IPv6.HopLimit))
 
 	// Hop-limit expiry before the path plan ends: Time Exceeded.
-	if ttl <= plan.n {
+	if ttl <= planN {
 		idx := ttl - 1
 		if v.lost(pk, now, 2*ttl) {
 			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 			return nil
 		}
-		r := v.router(v.stepKeys[idx], v.stepAS[idx])
+		r := v.stepRouter(plan, idx)
 		if r.unresponsive {
 			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
 			return nil
@@ -390,7 +360,7 @@ func (v *Vantage) Send(pkt []byte) error {
 			return nil
 		}
 		atomic.AddInt64(&v.u.Stats.TimeExceededSent, 1)
-		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, idx, now, pk)
+		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, plan, idx, now, pk)
 		return nil
 	}
 
@@ -403,12 +373,12 @@ func (v *Vantage) Send(pkt []byte) error {
 			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
 			return nil
 		}
-		idx := plan.errorIdx
+		idx := int(plan.errorIdx)
 		if v.lost(pk, now, 2*(idx+1)) {
 			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 			return nil
 		}
-		r := v.router(v.stepKeys[idx], v.stepAS[idx])
+		r := v.stepRouter(plan, idx)
 		if r.unresponsive {
 			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
 			return nil
@@ -424,7 +394,7 @@ func (v *Vantage) Send(pkt []byte) error {
 			code = wire.CodeRejectRoute
 		}
 		atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
-		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, idx, now, pk)
+		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, plan, idx, now, pk)
 		return nil
 
 	case outFilteredSilent:
@@ -433,41 +403,48 @@ func (v *Vantage) Send(pkt []byte) error {
 	}
 
 	// Destination /64 reached.
-	if v.lost(pk, now, 2*(plan.n+1)) {
+	if v.lost(pk, now, 2*(planN+1)) {
 		atomic.AddInt64(&v.u.Stats.LossDropped, 1)
 		return nil
 	}
-	exists := v.u.HostExists(d.IPv6.Dst)
-	rtt := v.pathRTT(plan.n) + v.jitter(pk, now)
+	rtt := v.stepAt(plan.stepOff+uint32(planN-1)).rtt + v.jitter(pk, now)
 	switch {
-	case exists && d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest:
-		if plan.destAS.BlockEcho {
+	case plan.exists && d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest:
+		if v.u.ases[plan.destAS].BlockEcho {
 			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
 			return nil
 		}
 		atomic.AddInt64(&v.u.Stats.EchoRepliesSent, 1)
-		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(d.Payload))
-		n := wire.BuildEchoReply(buf, d.IPv6.Dst, v.addr, &d.ICMPv6, d.Payload, 64)
-		v.deliver(buf[:n], now+rtt)
-	case exists && d.Proto == wire.ProtoUDP:
+		payload := d.Payload
+		if max := wire.MinMTU - wire.IPv6HeaderLen - wire.ICMPv6HeaderLen; len(payload) > max {
+			// The return path, like the quote path, is MinMTU-bound (the
+			// simulator does not model fragmentation), and every prober
+			// Recv buffer is MinMTU-sized, so the tail was never
+			// observable; capping also keeps the reply inside any pool
+			// buffer.
+			payload = payload[:max]
+		}
+		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(payload))
+		n := wire.BuildEchoReply(v.bufs[bi], d.IPv6.Dst, v.addr, &d.ICMPv6, payload, 64)
+		v.deliver(bi, n, now+rtt)
+	case plan.exists && d.Proto == wire.ProtoUDP:
 		atomic.AddInt64(&v.u.Stats.PortUnreachSent, 1)
-		buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(pkt))
-		n := wire.BuildICMPv6Error(buf, wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
-		v.deliver(buf[:n], now+rtt)
-	case exists && d.Proto == wire.ProtoTCP:
+		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(pkt))
+		n := wire.BuildICMPv6Error(v.bufs[bi], wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
+		v.deliver(bi, n, now+rtt)
+	case plan.exists && d.Proto == wire.ProtoTCP:
 		atomic.AddInt64(&v.u.Stats.TCPRstsSent, 1)
-		buf := make([]byte, wire.IPv6HeaderLen+wire.TCPHeaderLen)
-		n := wire.BuildTCPRst(buf, d.IPv6.Dst, v.addr, &d.TCP, 64)
-		v.deliver(buf[:n], now+rtt)
+		bi := v.getBuf(wire.IPv6HeaderLen + wire.TCPHeaderLen)
+		n := wire.BuildTCPRst(v.bufs[bi], d.IPv6.Dst, v.addr, &d.TCP, 64)
+		v.deliver(bi, n, now+rtt)
 	default:
 		// No such host: the gateway's neighbor discovery fails and it
 		// reports address-unreachable some of the time (rate-limited).
 		if hashFloat(h(pk, drawND, uint64(now))) < 0.6 {
-			idx := plan.errorIdx
-			r := v.router(v.stepKeys[idx], v.stepAS[idx])
+			r := v.stepRouter(plan, int(plan.errorIdx))
 			if !r.unresponsive && r.allowICMP(now) {
 				atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
-				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, idx, now, pk)
+				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, plan, int(plan.errorIdx), now, pk)
 			} else {
 				atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
 			}
@@ -478,7 +455,7 @@ func (v *Vantage) Send(pkt []byte) error {
 
 // scheduleError builds and enqueues an ICMPv6 error from router r quoting
 // the probe, arriving after the round-trip to step idx.
-func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx int, now time.Duration, pk uint64) {
+func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, plan *planEntry, idx int, now time.Duration, pk uint64) {
 	quote := probe
 	if r.truncateQuote && len(quote) > 48 {
 		// Legacy gear quoting IPv4-style: header plus 8 bytes.
@@ -487,19 +464,10 @@ func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, idx in
 	if max := wire.MinMTU - wire.IPv6HeaderLen - wire.ICMPv6HeaderLen; len(quote) > max {
 		quote = quote[:max]
 	}
-	buf := make([]byte, wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+len(quote))
-	n := wire.BuildICMPv6Error(buf, typ, code, r.Addr, v.addr, quote, 64)
-	rtt := v.pathRTT(idx+1) + v.jitter(pk, now)
-	v.deliver(buf[:n], now+rtt)
-}
-
-// pathRTT sums link latencies over the first n steps, doubled.
-func (v *Vantage) pathRTT(n int) time.Duration {
-	var oneWay time.Duration
-	for i := 0; i < n && i < len(v.stepKeys); i++ {
-		oneWay += v.u.linkLatency(v.stepKeys[i])
-	}
-	return 2 * oneWay
+	bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(quote))
+	n := wire.BuildICMPv6Error(v.bufs[bi], typ, code, r.Addr, v.addr, quote, 64)
+	rtt := v.stepAt(plan.stepOff+uint32(idx)).rtt + v.jitter(pk, now)
+	v.deliver(bi, n, now+rtt)
 }
 
 // jitter returns the probe's return-path delay variation.
@@ -518,41 +486,119 @@ func (v *Vantage) lost(pk uint64, now time.Duration, hops int) bool {
 	return hashFloat(h(pk, drawLoss, uint64(now))) > survive
 }
 
-// deliver enqueues reply bytes for Recv at time t.
-func (v *Vantage) deliver(b []byte, t time.Duration) {
-	heap.Push(&v.queue, delivery{at: t, data: b})
+// smallBufSize is the small reply-buffer class: ample for every reply
+// generated from this module's own probes (echo replies, RSTs, and
+// errors quoting ≤128-byte probes).
+const smallBufSize = 256
+
+// getBuf returns the index of a free reply buffer able to hold n bytes,
+// growing the pool only when no recycled buffer of the class is
+// available.
+func (v *Vantage) getBuf(n int) int32 {
+	free := &v.freeSmall
+	size := smallBufSize
+	if n > smallBufSize {
+		free = &v.freeFull
+		size = wire.MinMTU
+	}
+	if k := len(*free); k > 0 {
+		bi := (*free)[k-1]
+		*free = (*free)[:k-1]
+		return bi
+	}
+	v.bufs = append(v.bufs, make([]byte, size))
+	return int32(len(v.bufs) - 1)
+}
+
+// putBuf returns pool buffer bi to its size-class free stack.
+func (v *Vantage) putBuf(bi int32) {
+	if len(v.bufs[bi]) > smallBufSize {
+		v.freeFull = append(v.freeFull, bi)
+	} else {
+		v.freeSmall = append(v.freeSmall, bi)
+	}
+}
+
+// deliver enqueues n reply bytes held in pool buffer bi (ownership
+// transfers to the queue) for Recv at time t.
+func (v *Vantage) deliver(bi int32, n int, t time.Duration) {
+	v.queue.push(delivery{at: t, buf: bi, n: int32(n)})
 }
 
 // Recv copies the next reply whose delivery time has arrived into buf,
-// returning its length. ok is false when nothing is pending at the
-// current virtual time.
+// returning its length, and recycles the reply's internal buffer. ok is
+// false when nothing is pending at the current virtual time. Callers own
+// only the bytes copied into buf; the simulator's buffer is reused by a
+// subsequent Send.
 func (v *Vantage) Recv(buf []byte) (int, bool) {
 	if len(v.queue) == 0 || v.queue[0].at > v.clk.Now() {
 		return 0, false
 	}
-	d := heap.Pop(&v.queue).(delivery)
+	d := v.queue.pop()
 	v.Stats.Received++
-	return copy(buf, d.data), true
+	n := copy(buf, v.bufs[d.buf][:d.n])
+	v.putBuf(d.buf)
+	return n, true
 }
 
 // Pending reports how many replies are queued (delivered or in flight).
 func (v *Vantage) Pending() int { return len(v.queue) }
 
+// delivery is one scheduled reply: a pool buffer index plus its valid
+// length. Entries are unboxed, 16-byte, pointer-free values — no
+// interface conversions and no GC write barriers on the packet path.
 type delivery struct {
-	at   time.Duration
-	data []byte
+	at  time.Duration
+	buf int32
+	n   int32
 }
 
+// deliveryQueue is a binary min-heap on arrival time, operated directly
+// on the slice. The sift order replicates container/heap exactly (strict
+// less-than comparisons, identical swap sequence), so replacing the boxed
+// heap changed no delivery order — not even among equal timestamps.
 type deliveryQueue []delivery
 
-func (q deliveryQueue) Len() int            { return len(q) }
-func (q deliveryQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
-func (q deliveryQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *deliveryQueue) Push(x interface{}) { *q = append(*q, x.(delivery)) }
-func (q *deliveryQueue) Pop() interface{} {
+func (q *deliveryQueue) push(it delivery) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *deliveryQueue) pop() delivery {
 	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	q.down(0, n)
+	it := old[n]
+	*q = old[:n]
 	return it
+}
+
+func (q deliveryQueue) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if q[i].at <= q[j].at {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q deliveryQueue) down(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].at < q[j1].at {
+			j = j2
+		}
+		if q[i].at <= q[j].at {
+			return
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"beholder/internal/ipv6"
 	"beholder/internal/wire"
 )
 
@@ -31,15 +32,64 @@ type Codec struct {
 	dec   wire.Decoded
 	inner wire.Decoded
 
+	// Probe-template cache (see BuildProbe): a direct-mapped,
+	// pointer-free slot array of fully serialized per-target probes.
+	// Opt-in via SetProbeCache — probers whose targets repeat (Yarrp6's
+	// ~16 TTLs per target, the stateful tracers' per-destination walks)
+	// enable it; one-shot workloads like alias detection leave it off.
+	tmpl       []probeTmpl
+	tmplSize   int
+	payloadOff int
+
 	// NotMine counts replies that failed the magic/instance/identifier
 	// authentication.
 	NotMine int64
 }
 
+// tmplPktMax bounds cacheable probe sizes; the module's own probes are
+// 60-72 bytes (40 header + 8-20 transport + 12 payload).
+const tmplPktMax = 80
+
+// probeTmpl is one cached serialized probe. The variable bytes — hop
+// limit, payload TTL, elapsed timestamp, checksum fudge — are stored
+// zeroed, and sBase is the folded ones'-complement sum of everything
+// else (pseudo-header, constant bytes, and the forced checksum value),
+// so a cache hit re-derives the fudge with a few integer adds instead of
+// re-checksumming the packet. The struct is pointer-free: the slot array
+// is a single no-scan allocation.
+type probeTmpl struct {
+	dst   ipv6.U128
+	used  bool
+	n     int32
+	sBase uint32
+	pkt   [tmplPktMax]byte
+}
+
+// SetProbeCache resizes the codec's probe-template cache to the given
+// number of direct-mapped slots (entries <= 0 disables it, the default).
+// Cached probes are byte-identical to freshly built ones — the cache is
+// purely a speed/memory trade.
+func (c *Codec) SetProbeCache(entries int) {
+	if entries < 0 {
+		entries = 0
+	}
+	c.tmplSize = entries
+	c.tmpl = nil
+}
+
 // NewCodec creates a codec for the given transport, anchored at the
 // connection's current time.
 func NewCodec(conn Conn, proto, instance uint8) *Codec {
-	return &Codec{conn: conn, proto: proto, instance: instance, epoch: conn.Now()}
+	c := &Codec{conn: conn, proto: proto, instance: instance, epoch: conn.Now()}
+	switch proto {
+	case wire.ProtoUDP:
+		c.payloadOff = wire.IPv6HeaderLen + wire.UDPHeaderLen
+	case wire.ProtoTCP:
+		c.payloadOff = wire.IPv6HeaderLen + wire.TCPHeaderLen
+	default:
+		c.payloadOff = wire.IPv6HeaderLen + wire.ICMPv6HeaderLen
+	}
+	return c
 }
 
 // Epoch returns the campaign time origin used for RTT timestamps.
@@ -56,9 +106,50 @@ func targetSum(target netip.Addr) uint16 {
 }
 
 // BuildProbe constructs the wire packet for (target, ttl) into buf,
-// returning its length.
+// returning its length. With the probe cache enabled, repeat targets are
+// served from a serialized template: only the hop limit, the payload TTL
+// byte, the elapsed timestamp, and the checksum fudge differ between a
+// target's probes, and the fudge follows from the template's precomputed
+// base sum by ones'-complement arithmetic — no header marshalling and no
+// byte checksumming on a hit, byte-identical output either way.
 func (c *Codec) BuildProbe(buf []byte, target netip.Addr, ttl uint8) int {
 	elapsed := uint32((c.conn.Now() - c.epoch) / time.Microsecond)
+	if c.tmplSize > 0 {
+		if c.tmpl == nil {
+			c.tmpl = make([]probeTmpl, c.tmplSize)
+		}
+		tu := ipv6.FromAddr(target)
+		slot := &c.tmpl[tmplMix(tu)%uint64(c.tmplSize)]
+		if slot.used && slot.dst == tu {
+			n := int(slot.n)
+			copy(buf[:n], slot.pkt[:n])
+			c.patchProbe(buf[:n], ttl, elapsed, slot.sBase)
+			return n
+		}
+		n := c.buildProbeSlow(buf, target, ttl, elapsed)
+		if n <= tmplPktMax {
+			slot.dst = tu
+			slot.used = true
+			slot.n = int32(n)
+			copy(slot.pkt[:n], buf[:n])
+			c.templatize(slot, target, n)
+		}
+		return n
+	}
+	return c.buildProbeSlow(buf, target, ttl, elapsed)
+}
+
+// tmplMix spreads structured address words over the template slots.
+func tmplMix(u ipv6.U128) uint64 {
+	x := u.Hi*0x9e3779b97f4a7c15 ^ u.Lo
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	return x ^ x>>32
+}
+
+// buildProbeSlow is the full serialization path: header and transport
+// marshalling, checksum, and fudge forcing.
+func (c *Codec) buildProbeSlow(buf []byte, target netip.Addr, ttl uint8, elapsed uint32) int {
 	var payload [PayloadLen]byte
 	binary.BigEndian.PutUint32(payload[0:4], Magic)
 	payload[4] = c.instance
@@ -80,15 +171,52 @@ func (c *Codec) BuildProbe(buf []byte, target netip.Addr, ttl uint8) int {
 		icmp = wire.ICMPv6Header{Type: wire.ICMPv6EchoRequest, ID: sum, Seq: 80}
 	}
 	n := wire.BuildPacket(buf, &hdr, c.proto, &udp, &tcp, &icmp, payload[:])
-	c.forceChecksum(buf[:n], hdr.Src, target, sum)
+	c.forceChecksum(buf[:n], sum)
 	return n
+}
+
+// templatize zeroes the template's variable bytes (hop limit, payload
+// TTL, elapsed, fudge) and records the folded sum of everything that
+// remains — the per-target constant the per-probe fudge is derived from.
+func (c *Codec) templatize(slot *probeTmpl, target netip.Addr, n int) {
+	po := c.payloadOff
+	slot.pkt[7] = 0 // hop limit (outside the transport checksum, but patched per probe)
+	for i := po + 5; i < po+PayloadLen; i++ {
+		slot.pkt[i] = 0
+	}
+	var cs wire.Checksummer
+	cs.AddPseudoHeader(c.conn.LocalAddr(), target, n-wire.IPv6HeaderLen, c.proto)
+	cs.Add(slot.pkt[wire.IPv6HeaderLen:n])
+	slot.sBase = uint32(cs.RawSum())
+}
+
+// patchProbe writes the per-probe variable bytes into a template copy.
+// The fudge keeps the forced checksum valid: the new segment sum is
+// sBase plus the three freshly written words, and the fudge is its
+// complement deficit — the same value a full rebuild would solve for.
+func (c *Codec) patchProbe(pkt []byte, ttl uint8, elapsed uint32, sBase uint32) {
+	po := c.payloadOff
+	pkt[7] = ttl
+	pkt[po+5] = ttl
+	binary.BigEndian.PutUint32(pkt[po+6:po+10], elapsed)
+	raw := sBase + uint32(ttl) + elapsed>>16 + elapsed&0xffff
+	raw = raw>>16 + raw&0xffff
+	raw = raw>>16 + raw&0xffff
+	fudge := 0xffff - uint16(raw)
+	pkt[po+10] = byte(fudge >> 8)
+	pkt[po+11] = byte(fudge)
 }
 
 // forceChecksum rewrites the transport checksum to want and solves the
 // payload fudge so the checksum verifies: with the wanted value
 // installed, the ones'-complement sum over pseudo-header and segment must
 // come to 0xffff, so the fudge is its complement deficit.
-func (c *Codec) forceChecksum(pkt []byte, src, dst netip.Addr, want uint16) {
+//
+// No bytes are re-summed: BuildPacket already installed the true
+// checksum over a zeroed checksum field and zeroed fudge, and its
+// complement IS the folded segment sum, so the deficit follows
+// arithmetically. This halves the per-probe checksum work.
+func (c *Codec) forceChecksum(pkt []byte, want uint16) {
 	var ckOff int
 	switch c.proto {
 	case wire.ProtoUDP:
@@ -99,15 +227,12 @@ func (c *Codec) forceChecksum(pkt []byte, src, dst netip.Addr, want uint16) {
 		ckOff = wire.IPv6HeaderLen + 2
 	}
 	fudgeOff := len(pkt) - 2
-	pkt[fudgeOff] = 0
-	pkt[fudgeOff+1] = 0
+	have := uint16(pkt[ckOff])<<8 | uint16(pkt[ckOff+1])
+	raw := uint32(^have) + uint32(want)
+	raw = raw>>16 + raw&0xffff
+	fudge := 0xffff - uint16(raw)
 	pkt[ckOff] = byte(want >> 8)
 	pkt[ckOff+1] = byte(want)
-	var sum wire.Checksummer
-	seg := pkt[wire.IPv6HeaderLen:]
-	sum.AddPseudoHeader(src, dst, len(seg), c.proto)
-	sum.Add(seg)
-	fudge := 0xffff - sum.RawSum()
 	pkt[fudgeOff] = byte(fudge >> 8)
 	pkt[fudgeOff+1] = byte(fudge)
 }

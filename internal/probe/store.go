@@ -69,6 +69,21 @@ type Store struct {
 	traces      map[netip.Addr]*Trace
 	interfaces  map[netip.Addr]struct{}
 
+	// lastTarget/lastTrace memoize the most recent trace touched by Add.
+	// Replies cluster by target (fill-mode follow-ups, the sequential
+	// baseline's per-destination bursts), so the memo removes the
+	// per-reply map lookup for the common repeat case. Trace pointers
+	// are stable for the store's lifetime, so the memo never dangles.
+	lastTarget netip.Addr
+	lastTrace  *Trace
+
+	// block and hopSlab are slabs handed out in fixed pieces, so the
+	// reply fold path allocates once per 64 discovered targets instead
+	// of once per target, and hop lists grow through a shared block
+	// instead of the 1-2-4-8 reallocation ladder per trace.
+	block   []Trace
+	hopSlab []HopEntry
+
 	// Response mix (Table 4): ICMPv6 type/code counts.
 	TimeExceeded      int64
 	EchoReplies       int64
@@ -106,10 +121,11 @@ func (s *Store) Add(r Reply) (newInterface bool) {
 	switch r.Kind {
 	case KindTimeExceeded:
 		s.TimeExceeded++
-		if _, seen := s.interfaces[r.From]; !seen {
-			s.interfaces[r.From] = struct{}{}
-			newInterface = true
-		}
+		// Insert unconditionally and detect novelty from the size delta:
+		// one map operation instead of a lookup followed by an insert.
+		before := len(s.interfaces)
+		s.interfaces[r.From] = struct{}{}
+		newInterface = len(s.interfaces) != before
 	case KindEchoReply:
 		s.EchoReplies++
 	case KindTCPRst:
@@ -120,10 +136,27 @@ func (s *Store) Add(r Reply) (newInterface bool) {
 	if !s.recordPaths || !r.Target.IsValid() {
 		return newInterface
 	}
-	t := s.traces[r.Target]
-	if t == nil {
-		t = &Trace{Target: r.Target}
-		s.traces[r.Target] = t
+	t := s.lastTrace
+	if t == nil || s.lastTarget != r.Target {
+		t = s.traces[r.Target]
+		if t == nil {
+			if len(s.block) == 0 {
+				s.block = make([]Trace, 64)
+			}
+			t = &s.block[0]
+			s.block = s.block[1:]
+			t.Target = r.Target
+			// Pre-back the hop list with a slab piece covering the
+			// default randomized TTL range; deeper traces (fill mode)
+			// regrow normally.
+			if len(s.hopSlab) < 16 {
+				s.hopSlab = make([]HopEntry, 16*128)
+			}
+			t.Hops = s.hopSlab[:0:16]
+			s.hopSlab = s.hopSlab[16:]
+			s.traces[r.Target] = t
+		}
+		s.lastTarget, s.lastTrace = r.Target, t
 	}
 	switch r.Kind {
 	case KindTimeExceeded:

@@ -8,7 +8,10 @@
 // Serialization writes fixed-layout headers into caller-provided buffers.
 package wire
 
-import "net/netip"
+import (
+	"encoding/binary"
+	"net/netip"
+)
 
 // Protocol numbers used by the study (IANA assigned).
 const (
@@ -26,12 +29,33 @@ type Checksummer struct {
 
 // Add folds data into the running sum, handling odd-length chunks so that
 // byte alignment is preserved across calls.
+//
+// The bulk of the input is consumed eight bytes per iteration: the
+// ones'-complement sum is invariant under any word partition (carries
+// into a higher 16-bit lane are congruent to 1 modulo 0xffff, which the
+// end-around folds restore), so wide accumulation produces bit-identical
+// checksums to the byte-pair reference loop at roughly a quarter of the
+// cost — this is the hottest function on the reply-synthesis path, where
+// every ICMPv6 error checksums up to a full quoted probe.
 func (c *Checksummer) Add(data []byte) {
 	i := 0
 	if c.odd && len(data) > 0 {
 		c.sum += uint32(data[0])
 		i = 1
 		c.odd = false
+	}
+	if len(data)-i >= 16 {
+		// acc collects 32-bit big-endian halves; packets are far below
+		// the ~2^31 iterations that could overflow the accumulator.
+		var acc uint64
+		for ; i+8 <= len(data); i += 8 {
+			v := binary.BigEndian.Uint64(data[i:])
+			acc += v>>32 + v&0xffffffff
+		}
+		for acc > 0xffff {
+			acc = acc>>16 + acc&0xffff
+		}
+		c.sum += uint32(acc)
 	}
 	for ; i+1 < len(data); i += 2 {
 		c.sum += uint32(data[i])<<8 | uint32(data[i+1])
@@ -48,13 +72,28 @@ func (c *Checksummer) AddUint16(v uint16) {
 	c.sum += uint32(v)
 }
 
+// addrFold returns the ones'-complement partial sum of an address's
+// sixteen bytes, folded to 16 bits (same wide-word congruence argument
+// as Add).
+func addrFold(a netip.Addr) uint32 {
+	b := a.As16()
+	hi := binary.BigEndian.Uint64(b[0:8])
+	lo := binary.BigEndian.Uint64(b[8:16])
+	acc := hi>>32 + hi&0xffffffff + lo>>32 + lo&0xffffffff
+	// Three unrolled end-around folds reach 16 bits from any 34-bit sum
+	// (folding a value at or below 0xffff is the identity), keeping the
+	// function loop-free and inlinable into its per-probe callers.
+	acc = acc>>16 + acc&0xffff
+	acc = acc>>16 + acc&0xffff
+	acc = acc>>16 + acc&0xffff
+	return uint32(acc)
+}
+
 // AddPseudoHeader folds the IPv6 pseudo-header for the given addresses,
-// upper-layer payload length, and next-header value.
+// upper-layer payload length, and next-header value. It must be called
+// at an even byte offset (in practice: on a fresh Checksummer).
 func (c *Checksummer) AddPseudoHeader(src, dst netip.Addr, length int, nextHeader uint8) {
-	s := src.As16()
-	d := dst.As16()
-	c.Add(s[:])
-	c.Add(d[:])
+	c.sum += addrFold(src) + addrFold(dst)
 	c.sum += uint32(length >> 16)
 	c.sum += uint32(length & 0xffff)
 	c.sum += uint32(nextHeader)
@@ -94,10 +133,8 @@ func Checksum(payload []byte, src, dst netip.Addr, nextHeader uint8) uint16 {
 // AddrChecksum computes the 16-bit Internet checksum over a single IPv6
 // address. Yarrp6 stores this value in the TCP/UDP source port or ICMPv6
 // identifier so that replies whose quoted destination was rewritten by a
-// middlebox can be detected (Section 4.1).
+// middlebox can be detected (Section 4.1). It runs once per probe build
+// and once per reply authentication, hence the direct fold.
 func AddrChecksum(a netip.Addr) uint16 {
-	b := a.As16()
-	var c Checksummer
-	c.Add(b[:])
-	return c.Sum()
+	return ^uint16(addrFold(a))
 }
