@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check fmt vet
+.PHONY: test race bench bench-check fmt vet fuzz-smoke cover
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -26,3 +26,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# fuzz-smoke gives each native fuzz target a short budget beyond its
+# checked-in seed corpus (testdata/fuzz); bump FUZZTIME for a real hunt.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz '^FuzzBuildDecodeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz '^FuzzParseReply$$' -fuzztime $(FUZZTIME) ./internal/probe
+	$(GO) test -run xxx -fuzz '^FuzzProbeCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/probe
+
+# cover writes the aggregate coverage profile and prints the total; CI
+# fails if the total drops below its recorded baseline.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -24,6 +24,7 @@ import (
 
 	"beholder/internal/alias"
 	"beholder/internal/core"
+	"beholder/internal/graph"
 	"beholder/internal/ipv6"
 	"beholder/internal/netsim"
 	"beholder/internal/probe"
@@ -186,6 +187,13 @@ type YarrpOptions struct {
 	// final totals (per-shard curves are in Result.ShardStats).
 	// Default 1.
 	Shards int
+	// Graph enables streaming topology-graph construction: an observer
+	// on the prober (one per shard) folds every reply into the
+	// interface-level multigraph while the campaign runs, so
+	// Result.Graph() costs nothing extra at any store size. Without it,
+	// Result.Graph() falls back to a post-hoc batch build over the
+	// trace store — same graph, but a full store scan.
+	Graph bool
 }
 
 func transportProto(name string) (uint8, error) {
@@ -215,7 +223,10 @@ type Result struct {
 	// campaign; nil for single-instance runs.
 	ShardStats []core.Stats
 
-	store *probe.Store
+	store   *probe.Store
+	graph   *graph.Graph
+	vantage string
+	proto   uint8
 }
 
 // NumInterfaces returns the count of unique router interface addresses
@@ -248,6 +259,37 @@ func (r *Result) Discovered(addr netip.Addr) bool { return r.store.AddrSeen(addr
 // Store exposes the underlying result store for analysis.
 func (r *Result) Store() *probe.Store { return r.store }
 
+// Graph returns the campaign's interface-level topology graph. With
+// YarrpOptions.Graph it is the streaming graph built during the run
+// (shard subgraphs already merged); otherwise it is batch-built from
+// the trace store on first call and cached — the two constructions are
+// equivalent. The graph supports canonical NDJSON/DOT export, router
+// collapse against alias-detection results, and cross-vantage union via
+// UnionGraphs.
+func (r *Result) Graph() *graph.Graph {
+	if r.graph == nil {
+		r.graph = graph.FromStore(r.store, r.vantage, r.proto)
+	}
+	return r.graph
+}
+
+// UnionGraphs folds campaign graphs from any number of vantages (or
+// protocols) into one topology graph. The merge is commutative and
+// shard-safe; inputs are not modified.
+func UnionGraphs(gs ...*graph.Graph) *graph.Graph { return graph.Union(gs...) }
+
+// CollapseGraph folds a graph's interfaces into router nodes using
+// detected aliased prefixes: every interface beneath one aliased prefix
+// becomes a single router. aliases may be nil, making the collapse the
+// identity.
+func CollapseGraph(g *graph.Graph, aliases *AliasSet) *graph.RouterGraph {
+	var st *alias.Store
+	if aliases != nil {
+		st = aliases.res.Aliased
+	}
+	return g.Collapse(graph.StoreResolver(st))
+}
+
 // RunYarrp6 probes targets with the randomized stateless prober. With
 // opt.Shards > 1 the permutation domain is split across that many
 // concurrent prober instances, each on its own cloned vantage
@@ -270,11 +312,23 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 	if opt.Shards > 1 {
 		v.v.BeginShardGroup()
 		epoch := v.v.Now()
-		camp := core.NewCampaign(core.CampaignConfig{
+		// With streaming graph construction, every shard folds replies
+		// into its own subgraph; the subgraphs merge after the run into
+		// exactly the graph one unsharded prober would have built.
+		var builders []*graph.Graph
+		ccfg := core.CampaignConfig{
 			Config:      cfg,
 			Shards:      opt.Shards,
 			RecordPaths: true,
-		}, func(_ int, start time.Duration) probe.Conn {
+		}
+		if opt.Graph {
+			builders = make([]*graph.Graph, opt.Shards)
+			ccfg.NewObserver = func(s int) probe.Observer {
+				builders[s] = graph.New(v.v.Name())
+				return builders[s]
+			}
+		}
+		camp := core.NewCampaign(ccfg, func(_ int, start time.Duration) probe.Conn {
 			return v.v.Clone(epoch + start)
 		})
 		store, stats, err := camp.Run()
@@ -285,6 +339,10 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		// mirror that here so follow-up operations on this vantage see
 		// the same virtual time at any shard count.
 		v.v.Sleep(stats.Elapsed)
+		var g *graph.Graph
+		if opt.Graph {
+			g = graph.Union(builders...)
+		}
 		return &Result{
 			ProbesSent: stats.ProbesSent,
 			Fills:      stats.Fills,
@@ -293,7 +351,15 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 			Curve:      stats.Curve,
 			ShardStats: stats.PerShard,
 			store:      store,
+			graph:      g,
+			vantage:    v.v.Name(),
+			proto:      proto,
 		}, nil
+	}
+	var g *graph.Graph
+	if opt.Graph {
+		g = graph.New(v.v.Name())
+		cfg.Observer = g
 	}
 	store := probe.NewStore(true)
 	stats, err := core.New(v.v, cfg).Run(store)
@@ -307,6 +373,9 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		Elapsed:    stats.Elapsed,
 		Curve:      stats.Curve,
 		store:      store,
+		graph:      g,
+		vantage:    v.v.Name(),
+		proto:      proto,
 	}, nil
 }
 
@@ -326,7 +395,8 @@ func (v *Vantage) RunSequential(targets []netip.Addr, opt SequentialOptions) *Re
 		MaxTTL: uint8(opt.MaxTTL),
 	})
 	stats := s.Run(targets, store)
-	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store}
+	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store,
+		vantage: v.v.Name(), proto: wire.ProtoICMPv6}
 }
 
 // DoubletreeOptions parameterizes the Doubletree baseline.
@@ -347,7 +417,8 @@ func (v *Vantage) RunDoubletree(targets []netip.Addr, opt DoubletreeOptions) *Re
 		MaxTTL:   uint8(opt.MaxTTL),
 	})
 	stats := d.Run(targets, store)
-	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store}
+	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store,
+		vantage: v.v.Name(), proto: wire.ProtoICMPv6}
 }
 
 // Subnet is one inferred subnet candidate.

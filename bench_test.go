@@ -384,3 +384,36 @@ func BenchmarkYarrp6Throughput(b *testing.B) {
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
 	_ = netip.Addr{}
 }
+
+// BenchmarkYarrp6GraphObserver is BenchmarkYarrp6Throughput with the
+// streaming topology-graph observer attached: the observer must stay
+// within the fast path's allocs/probe budget (the same bound
+// make bench-check enforces).
+func BenchmarkYarrp6GraphObserver(b *testing.B) {
+	in := NewSmallInternet(5)
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sent int64
+	var edges int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	m0 := mallocsNow()
+	for i := 0; i < b.N; i++ {
+		in.Reset()
+		v := in.NewVantage("throughput")
+		res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 10000, MaxTTL: 16, Key: uint64(i), Graph: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += res.ProbesSent
+		edges += int64(res.Graph().NumEdges())
+	}
+	b.StopTimer()
+	if edges == 0 {
+		b.Fatal("graph observer built no edges")
+	}
+	b.ReportMetric(float64(mallocsNow()-m0)/float64(sent), "allocs/probe")
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
+}

@@ -17,17 +17,19 @@ import (
 	"time"
 
 	"beholder"
+	"beholder/internal/graph"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 2018, "determinism seed")
-		scale   = flag.Float64("scale", 1.0, "seed-list scale (1.0 = campaign scale)")
-		small   = flag.Bool("small", false, "use the small universe (quick look)")
-		rate    = flag.Float64("rate", 1000, "campaign probing rate (pps)")
-		out     = flag.String("out", "", "output file (default stdout)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (post-suite) to this file")
+		seed     = flag.Int64("seed", 2018, "determinism seed")
+		scale    = flag.Float64("scale", 1.0, "seed-list scale (1.0 = campaign scale)")
+		small    = flag.Bool("small", false, "use the small universe (quick look)")
+		rate     = flag.Float64("rate", 1000, "campaign probing rate (pps)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		graphOut = flag.String("graph", "", "also export the graph study's cross-vantage union topology graph to this file (.ndjson for NDJSON, anything else for Graphviz DOT)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-suite) to this file")
 	)
 	flag.Parse()
 
@@ -82,4 +84,14 @@ func main() {
 		fmt.Fprintln(w, r.Render())
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *graphOut != "" {
+		// The graph study's union graph (campaign graphs are already
+		// built and cached by All), AS-annotated from the simulated BGP
+		// table.
+		if err := graph.WriteFile(*graphOut, e.GraphUnion(), e.Internet().Universe().Table()); err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -117,6 +117,24 @@ func main() {
 		return res.ProbesSent
 	})
 
+	// The same campaign with the streaming topology-graph observer
+	// attached (mirrors BenchmarkYarrp6GraphObserver): graph ingest must
+	// stay within the fast-path allocs/probe bound, so -check gates it
+	// alongside the bare run.
+	cur["Yarrp6Graph"] = measure(func() int64 {
+		thrIn.Reset()
+		v := thrIn.NewVantage("throughput")
+		key++
+		res, err := v.RunYarrp6(thrTargets, beholder.YarrpOptions{Rate: 10000, MaxTTL: 16, Key: key, Graph: true})
+		if err != nil {
+			panic(err)
+		}
+		if res.Graph().NumEdges() == 0 {
+			panic("bench: graph observer built no edges")
+		}
+		return res.ProbesSent
+	})
+
 	// Sharded campaign engine at 4 shards, fill mode on (mirrors
 	// BenchmarkCampaignSharded/shards=4; universe construction counts
 	// into wall time here, matching a cold campaign start).

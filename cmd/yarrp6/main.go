@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"beholder"
+	"beholder/internal/graph"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "concurrent prober instances splitting the permutation domain")
 		vantage   = flag.String("vantage", "US-EDU-1", "vantage name")
 		hops      = flag.Bool("hops", false, "print per-target hop listings")
+		graphOut  = flag.String("graph", "", "export the topology graph to this file (.ndjson for NDJSON, anything else for Graphviz DOT); the graph is built streaming during the run")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (post-campaign) to this file")
 	)
@@ -89,7 +91,7 @@ func main() {
 
 	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
 		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
-		Shards: *shards,
+		Shards: *shards, Graph: *graphOut != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yarrp6:", err)
@@ -98,6 +100,16 @@ func main() {
 
 	fmt.Printf("probes %d fills %d replies %d interfaces %d elapsed %s\n",
 		res.ProbesSent, res.Fills, res.Replies, res.NumInterfaces(), res.Elapsed)
+	if *graphOut != "" {
+		// AS-annotated from the simulator's BGP table; NDJSON or DOT by
+		// file extension.
+		if err := graph.WriteFile(*graphOut, res.Graph(), in.Universe().Table()); err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		g := res.Graph()
+		fmt.Fprintf(os.Stderr, "yarrp6: graph %s: %d nodes, %d edges\n", *graphOut, g.NumNodes(), g.NumEdges())
+	}
 	if *hops {
 		for _, t := range targets {
 			path := res.Path(t)

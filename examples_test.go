@@ -1,0 +1,52 @@
+package beholder
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every examples/* program: each must build,
+// exit 0, and produce non-empty output, so the examples in the README
+// cannot silently rot as the API moves. The programs run in parallel;
+// each finishes in a few seconds of wall time on the small universe.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run whole campaigns; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		ran++
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.ToSlash(filepath.Join("examples", name)))
+			cmd.Dir = root
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("examples/%s failed: %v\nstderr:\n%s", name, err, stderr.String())
+			}
+			if stdout.Len() == 0 && stderr.Len() == 0 {
+				t.Fatalf("examples/%s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}

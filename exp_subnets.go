@@ -145,6 +145,6 @@ func (e *Experiments) All() []Renderable {
 	out = append(out, f5a, f5b, e.ProtocolComparison(), e.DoubletreeStudy(), e.Table6())
 	out = append(out, e.Table7(), e.Figure6(), e.Figure7(), e.PlatformValidation())
 	f8a, f8b := e.Figure8()
-	out = append(out, f8a, f8b, e.SubnetValidation(), e.AliasStudy())
+	out = append(out, f8a, f8b, e.SubnetValidation(), e.AliasStudy(), e.GraphStudy())
 	return out
 }

@@ -9,6 +9,7 @@ import (
 
 	"beholder/internal/analysis"
 	"beholder/internal/core"
+	"beholder/internal/graph"
 	"beholder/internal/netsim"
 	"beholder/internal/probe"
 	"beholder/internal/seeds"
@@ -66,6 +67,10 @@ type Experiments struct {
 	targetSets map[string]*target.Set
 
 	campaigns map[string]*campResult // key: vantage + "/" + set name
+
+	// graphs holds the graph study's per-vantage campaign graphs, in
+	// vantageSpecs order, built once by graphCampaigns.
+	graphs []*graph.Graph
 }
 
 // Renderable is either a Table or a Figure.

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"beholder/internal/graph"
+)
+
+// simpleEdge is a directed interface pair with annotation (gap,
+// protocol, vantage) stripped — the unit the paper's cross-vantage
+// comparisons count, since two vantages "share" a link whenever both
+// observed the pair at all.
+type simpleEdge struct {
+	src, dst netip.Addr
+}
+
+// simpleEdges folds a graph's multigraph down to its distinct directed
+// interface pairs.
+func simpleEdges(g *graph.Graph) map[simpleEdge]struct{} {
+	out := make(map[simpleEdge]struct{}, g.NumEdges())
+	g.ForEachEdge(func(e graph.Edge, _ int64) {
+		out[simpleEdge{e.Src, e.Dst}] = struct{}{}
+	})
+	return out
+}
+
+// GraphMetrics summarizes one topology graph.
+type GraphMetrics struct {
+	Nodes      int   // all nodes
+	IfaceNodes int   // Time Exceeded sources
+	DestNodes  int   // reached destinations (periphery)
+	Edges      int   // distinct annotated edges (gap/proto/vantage kept)
+	LinkEdges  int   // distinct directed interface pairs
+	DestEdges  int   // annotated edges into reached destinations
+	Traversals int64 // sum of multi-edge counts
+	MaxOut     int   // maximum simple out-degree
+	MaxIn      int   // maximum simple in-degree
+	// DegreeDist histograms simple total degree (in+out): index d holds
+	// the node count with degree d, the last bucket folding everything
+	// at or past it.
+	DegreeDist [9]int
+}
+
+// MetricsOf computes summary metrics for a graph.
+func MetricsOf(g *graph.Graph) GraphMetrics {
+	var m GraphMetrics
+	m.Nodes = g.NumNodes()
+	m.Edges = g.NumEdges()
+	m.Traversals = g.Traversals()
+	g.ForEachNode(func(_ netip.Addr, fl graph.NodeFlags) {
+		if fl&graph.NodeInterface != 0 {
+			m.IfaceNodes++
+		}
+		if fl&graph.NodeDest != 0 {
+			m.DestNodes++
+		}
+	})
+	links := simpleEdges(g)
+	m.LinkEdges = len(links)
+	outDeg := make(map[netip.Addr]int)
+	inDeg := make(map[netip.Addr]int)
+	for se := range links {
+		outDeg[se.src]++
+		inDeg[se.dst]++
+	}
+	g.ForEachEdge(func(e graph.Edge, _ int64) {
+		if e.Gap == graph.DestGap {
+			m.DestEdges++
+		}
+	})
+	g.ForEachNode(func(a netip.Addr, _ graph.NodeFlags) {
+		o, i := outDeg[a], inDeg[a]
+		if o > m.MaxOut {
+			m.MaxOut = o
+		}
+		if i > m.MaxIn {
+			m.MaxIn = i
+		}
+		d := o + i
+		if d >= len(m.DegreeDist) {
+			d = len(m.DegreeDist) - 1
+		}
+		m.DegreeDist[d]++
+	})
+	return m
+}
+
+// GraphDelta is one step of a marginal-contribution walk.
+type GraphDelta struct {
+	Name     string
+	NewNodes int // nodes this graph adds to the union so far
+	NewLinks int // directed interface pairs this graph adds
+}
+
+// MarginalContribution walks the graphs in order, reporting how many
+// nodes and links each adds beyond the union of its predecessors — the
+// paper's "does another vantage still grow the topology" analysis.
+func MarginalContribution(names []string, gs []*graph.Graph) []GraphDelta {
+	seenNodes := make(map[netip.Addr]struct{})
+	seenLinks := make(map[simpleEdge]struct{})
+	out := make([]GraphDelta, len(gs))
+	for i, g := range gs {
+		d := GraphDelta{Name: names[i]}
+		g.ForEachNode(func(a netip.Addr, _ graph.NodeFlags) {
+			if _, ok := seenNodes[a]; !ok {
+				seenNodes[a] = struct{}{}
+				d.NewNodes++
+			}
+		})
+		for se := range simpleEdges(g) {
+			if _, ok := seenLinks[se]; !ok {
+				seenLinks[se] = struct{}{}
+				d.NewLinks++
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// ExclusiveLinks returns, per named graph, how many directed interface
+// pairs appear in that graph only — the graph-level "Exclusive" columns.
+func ExclusiveLinks(names []string, gs []*graph.Graph) map[string]int {
+	mult := make(map[simpleEdge]int)
+	sets := make([]map[simpleEdge]struct{}, len(gs))
+	for i, g := range gs {
+		sets[i] = simpleEdges(g)
+		for se := range sets[i] {
+			mult[se]++
+		}
+	}
+	out := make(map[string]int, len(gs))
+	for i, name := range names {
+		n := 0
+		for se := range sets[i] {
+			if mult[se] == 1 {
+				n++
+			}
+		}
+		out[name] = n
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+
+	"beholder/internal/graph"
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+func gte(target, from string, ttl uint8) probe.Reply {
+	return probe.Reply{
+		Kind: probe.KindTimeExceeded, From: netip.MustParseAddr(from),
+		Target: netip.MustParseAddr(target), TTL: ttl,
+		Proto: wire.ProtoICMPv6, StateRecovered: true,
+	}
+}
+
+func buildGraph(name string, replies ...probe.Reply) *graph.Graph {
+	g := graph.New(name)
+	for _, r := range replies {
+		g.OnReply(r)
+	}
+	return g
+}
+
+func TestGraphMetricsAndVantageAnalysis(t *testing.T) {
+	// Vantage A: 1 -> 2 -> 3 toward t1, target reached.
+	a := buildGraph("A",
+		gte("2001:db8::1", "2001:db8:a::1", 1),
+		gte("2001:db8::1", "2001:db8:a::2", 2),
+		gte("2001:db8::1", "2001:db8:a::3", 3),
+		probe.Reply{Kind: probe.KindEchoReply, From: netip.MustParseAddr("2001:db8::1"),
+			Target: netip.MustParseAddr("2001:db8::1"), Proto: wire.ProtoICMPv6},
+	)
+	// Vantage B shares the a::2 -> a::3 link and adds one of its own.
+	b := buildGraph("B",
+		gte("2001:db8::1", "2001:db8:a::2", 4),
+		gte("2001:db8::1", "2001:db8:a::3", 5),
+		gte("2001:db8::2", "2001:db8:b::1", 1),
+		gte("2001:db8::2", "2001:db8:a::3", 2),
+	)
+
+	ma := MetricsOf(a)
+	if ma.Nodes != 4 || ma.IfaceNodes != 3 || ma.DestNodes != 1 {
+		t.Fatalf("A metrics: %+v", ma)
+	}
+	if ma.LinkEdges != 3 || ma.DestEdges != 1 {
+		t.Fatalf("A links=%d destEdges=%d, want 3/1", ma.LinkEdges, ma.DestEdges)
+	}
+	if ma.DegreeDist[0] != 0 || ma.MaxOut != 1 {
+		t.Fatalf("A degree stats: %+v", ma)
+	}
+
+	names := []string{"A", "B"}
+	gs := []*graph.Graph{a, b}
+	marg := MarginalContribution(names, gs)
+	if marg[0].NewNodes != 4 || marg[0].NewLinks != 3 {
+		t.Fatalf("A marginal: %+v", marg[0])
+	}
+	// B adds node b::1 only, and links b::1->a::3 (the a::2->a::3 link
+	// is shared with A).
+	if marg[1].NewNodes != 1 || marg[1].NewLinks != 1 {
+		t.Fatalf("B marginal: %+v", marg[1])
+	}
+
+	excl := ExclusiveLinks(names, gs)
+	if excl["A"] != 2 || excl["B"] != 1 {
+		t.Fatalf("exclusive links: %v", excl)
+	}
+
+	u := graph.Union(a, b)
+	mu := MetricsOf(u)
+	if mu.Nodes != 5 || mu.LinkEdges != 4 {
+		t.Fatalf("union metrics: %+v", mu)
+	}
+	// The shared link carries two annotated edges (different vantages,
+	// different gaps would too) but one simple link.
+	if mu.Edges <= mu.LinkEdges {
+		t.Fatalf("union annotated edges %d should exceed links %d", mu.Edges, mu.LinkEdges)
+	}
+}

@@ -48,6 +48,14 @@ type CampaignConfig struct {
 	// RecordPaths enables per-target trace retention in the merged
 	// store (and the per-shard stores feeding it).
 	RecordPaths bool
+	// NewObserver, when non-nil, builds the per-shard reply observer:
+	// shard s's prober calls NewObserver(s)'s OnReply for every stored
+	// reply, on the shard goroutine. The factory runs serially before
+	// any shard starts; the caller folds whatever the observers built
+	// (per-shard topology subgraphs, say) after Run returns. Config's
+	// own Observer field must be left nil — shards may not share one
+	// unsynchronized observer.
+	NewObserver func(shard int) probe.Observer
 }
 
 // CampaignStats extends the merged campaign counters with the per-shard
@@ -93,6 +101,9 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	if cfg.PermStart != 0 || cfg.PermEnd != 0 {
 		return nil, CampaignStats{}, fmt.Errorf("yarrp6: campaign owns the permutation split; clear PermStart/PermEnd")
 	}
+	if cfg.Config.Observer != nil {
+		return nil, CampaignStats{}, fmt.Errorf("yarrp6: campaign shards may not share one observer; use NewObserver")
+	}
 	domain := Domain(&cfg.Config)
 	if uint64(cfg.Shards) > domain {
 		cfg.Shards = int(domain)
@@ -111,6 +122,9 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 		scfg := cfg.Config
 		scfg.Instance = cfg.Instance + uint8(s)
 		scfg.PermStart, scfg.PermEnd = lo, hi
+		if cfg.NewObserver != nil {
+			scfg.Observer = cfg.NewObserver(s)
+		}
 		// The factory runs serially: connection construction may mutate
 		// shared vantage state (clock-group registration).
 		conn := c.connOf(s, time.Duration(lo)*gap)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"beholder/internal/graph"
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+// graphCampaign runs one campaign with per-shard streaming graph
+// observers on a fresh non-scarce universe (see campaignUniverse) and
+// returns the merged graph's canonical NDJSON bytes plus the merged
+// store.
+func graphCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, planCache int) ([]byte, *probe.Store) {
+	t.Helper()
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	v.SetPlanCache(planCache)
+	builders := make([]*graph.Graph, shards)
+	camp := NewCampaign(CampaignConfig{
+		Config:      campaignCfg(targets),
+		Shards:      shards,
+		RecordPaths: true,
+		NewObserver: func(s int) probe.Observer {
+			builders[s] = graph.New("US-EDU-1")
+			return builders[s]
+		},
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, _, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Union(builders...)
+	var buf bytes.Buffer
+	if err := g.WriteNDJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("campaign built an empty graph")
+	}
+	// The streamed+merged graph must equal the batch build over the
+	// merged store — the store is already proven shard-invariant.
+	if !g.Equal(graph.FromStore(store, "US-EDU-1", wire.ProtoICMPv6)) {
+		t.Fatal("streamed shard graphs do not merge to the store-derived graph")
+	}
+	return buf.Bytes(), store
+}
+
+// TestGraphShardCacheMatrix is the PR's acceptance criterion at the
+// engine level: for the same seed and key, the merged campaign graph is
+// byte-identical under canonical NDJSON export across shard counts
+// {1, 2, 4} and plan cache on/off. The -race CI job runs this test too,
+// certifying the per-shard observers share nothing.
+func TestGraphShardCacheMatrix(t *testing.T) {
+	const seed = 909
+	targets := campaignTargets(t, seed, 96)
+	ref, refStore := graphCampaign(t, seed, targets, 1, 0)
+	for _, shards := range []int{1, 2, 4} {
+		for _, cache := range []int{0, 4096} {
+			if shards == 1 && cache == 0 {
+				continue
+			}
+			got, store := graphCampaign(t, seed, targets, shards, cache)
+			if !store.Equal(refStore) {
+				t.Fatalf("store differs at shards=%d planCache=%d", shards, cache)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Errorf("graph differs at shards=%d planCache=%d (ref: 1 shard, cache off)", shards, cache)
+			}
+		}
+	}
+}

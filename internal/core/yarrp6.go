@@ -67,6 +67,10 @@ type Config struct {
 	// DrainTimeout is how long to keep collecting replies after the last
 	// probe. Default 2s.
 	DrainTimeout time.Duration
+	// Observer, when non-nil, receives every stored reply as it
+	// arrives — the streaming hook the topology-graph builder attaches
+	// through. It runs on the prober goroutine, after the store fold.
+	Observer probe.Observer
 }
 
 func (c *Config) setDefaults() error {
@@ -281,6 +285,9 @@ func (y *Yarrp6) handleReply(b []byte, store *probe.Store) {
 	}
 	y.stats.Replies++
 	newIface := store.Add(r)
+	if y.cfg.Observer != nil {
+		y.cfg.Observer.OnReply(r)
+	}
 	if newIface && r.TTL != 0 && r.TTL <= y.cfg.NeighborhoodTTL {
 		y.lastNew[r.TTL] = y.conn.Now()
 	}

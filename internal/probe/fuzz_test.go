@@ -1,0 +1,112 @@
+package probe
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"beholder/internal/wire"
+)
+
+// fuzzConn is a minimal stationary Conn for codec fuzzing: fixed source
+// address, frozen clock, discarded sends.
+type fuzzConn struct {
+	addr netip.Addr
+	now  time.Duration
+}
+
+func (c *fuzzConn) LocalAddr() netip.Addr   { return c.addr }
+func (c *fuzzConn) Send([]byte) error       { return nil }
+func (c *fuzzConn) Recv([]byte) (int, bool) { return 0, false }
+func (c *fuzzConn) Now() time.Duration      { return c.now }
+func (c *fuzzConn) Sleep(d time.Duration)   { c.now += d }
+
+// FuzzParseReply feeds arbitrary bytes to the reply parser — the code
+// that faces the raw network — and checks it never panics and never
+// attributes garbage: any accepted reply must carry a valid source
+// address and a self-consistent kind.
+func FuzzParseReply(f *testing.F) {
+	conn := &fuzzConn{addr: netip.MustParseAddr("2001:db8:100::1")}
+	codec := NewCodec(conn, wire.ProtoICMPv6, 7)
+
+	// Seed with a genuine quoted Time Exceeded for a probe this codec
+	// built, plus truncations (middlebox behaviour) and the bare probe.
+	var probe [128]byte
+	target := netip.MustParseAddr("2001:db8:200::2")
+	n := codec.BuildProbe(probe[:], target, 9)
+	f.Add(append([]byte(nil), probe[:n]...))
+	var errBuf [wire.MinMTU]byte
+	router := netip.MustParseAddr("2001:db8:300::3")
+	en := wire.BuildICMPv6Error(errBuf[:], wire.ICMPv6TimeExceeded, 0, router, conn.addr, probe[:n], 60)
+	f.Add(append([]byte(nil), errBuf[:en]...))
+	f.Add(append([]byte(nil), errBuf[:en-PayloadLen]...)) // truncated quotation
+	f.Add(append([]byte(nil), errBuf[:wire.IPv6HeaderLen+wire.ICMPv6HeaderLen+8]...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, ok := codec.ParseReply(data)
+		if !ok {
+			return
+		}
+		if !r.From.IsValid() {
+			t.Fatal("accepted reply with invalid source")
+		}
+		switch r.Kind {
+		case KindTimeExceeded, KindDestUnreach, KindEchoReply, KindTCPRst:
+		default:
+			t.Fatalf("accepted reply with kind %d", r.Kind)
+		}
+		if r.Kind == KindEchoReply && r.Target != r.From {
+			t.Fatal("echo reply target must be its source")
+		}
+		// A store must absorb anything the parser accepts.
+		NewStore(true).Add(r)
+	})
+}
+
+// FuzzProbeCacheEquivalence is the checksum-fudge equivalence check:
+// for any (target, ttl, proto), the template-cached build — which
+// derives the checksum fudge by ones'-complement arithmetic from the
+// template's base sum — must produce a byte-identical packet to the
+// full serialization path, and both must carry a verifying transport
+// checksum.
+func FuzzProbeCacheEquivalence(f *testing.F) {
+	f.Add([]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 1}, uint8(1), uint8(0), uint8(0))
+	f.Add([]byte{0x20, 0x01, 0xff, 0xff}, uint8(16), uint8(1), uint8(200))
+	f.Add([]byte{0x3f, 0xfe}, uint8(255), uint8(2), uint8(63))
+
+	f.Fuzz(func(t *testing.T, targetSeed []byte, ttl, protoSel, sleepMs uint8) {
+		proto := []uint8{wire.ProtoICMPv6, wire.ProtoUDP, wire.ProtoTCP}[int(protoSel)%3]
+		var tb [16]byte
+		copy(tb[:], targetSeed)
+		tb[0] |= 0x20
+		target := netip.AddrFrom16(tb)
+
+		plain := &fuzzConn{addr: netip.MustParseAddr("2001:db8:100::1")}
+		cached := &fuzzConn{addr: netip.MustParseAddr("2001:db8:100::1")}
+		slow := NewCodec(plain, proto, 7)
+		fast := NewCodec(cached, proto, 7)
+		fast.SetProbeCache(64)
+
+		var a, b, c [128]byte
+		// Prime the template, then advance both clocks identically so
+		// the cached rebuild patches a nonzero elapsed timestamp.
+		fast.BuildProbe(c[:], target, ttl)
+		plain.Sleep(time.Duration(sleepMs) * time.Millisecond)
+		cached.Sleep(time.Duration(sleepMs) * time.Millisecond)
+
+		na := slow.BuildProbe(a[:], target, ttl)
+		nb := fast.BuildProbe(b[:], target, ttl)
+		if na != nb || !bytes.Equal(a[:na], b[:nb]) {
+			t.Fatalf("cached probe differs from full rebuild for %s ttl %d proto %d", target, ttl, proto)
+		}
+		var d wire.Decoded
+		if err := d.Decode(b[:nb]); err != nil {
+			t.Fatalf("built probe does not decode: %v", err)
+		}
+		if !d.VerifyTransportChecksum(b[:nb]) {
+			t.Fatal("arithmetic checksum fudge does not verify against full recompute")
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// propReplies builds a deterministic reply stream shaped like a fill
+// campaign's: Time Exceeded hops across shared routers, echo replies,
+// unreachables, and the occasional unparseable reply.
+func propReplies(seed int64, targets int) []Reply {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(tag byte, i int) netip.Addr {
+		var b [16]byte
+		b[0], b[1], b[2] = 0x20, 0x01, tag
+		b[14], b[15] = byte(i>>8), byte(i)
+		return netip.AddrFrom16(b)
+	}
+	var out []Reply
+	for i := 0; i < targets; i++ {
+		tgt := mk(0xd0, i)
+		for ttl := uint8(1); ttl <= 14; ttl++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			out = append(out, Reply{
+				Kind: KindTimeExceeded, From: mk(0xae, rng.Intn(50)),
+				Target: tgt, TTL: ttl, StateRecovered: rng.Intn(10) != 0,
+			})
+		}
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, Reply{Kind: KindEchoReply, From: tgt, Target: tgt})
+		case 1:
+			out = append(out, Reply{Kind: KindDestUnreach, From: mk(0xae, rng.Intn(50)),
+				Target: tgt, Code: uint8(rng.Intn(5))})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// shardStores partitions replies into n stores the way campaign shards
+// do — disjoint (target, TTL) ownership — and folds each partition.
+func shardStores(replies []Reply, n int, recordPaths bool) []*Store {
+	out := make([]*Store, n)
+	for i := range out {
+		out[i] = NewStore(recordPaths)
+	}
+	for _, r := range replies {
+		h := (int(r.Target.As16()[15]) + int(r.TTL)) % n
+		out[h].Add(r)
+	}
+	return out
+}
+
+// TestMergeCommutativeAssociative is the determinism-seam property
+// test: over shard-disjoint stores, Merge must yield the same store for
+// every merge order and grouping, and that store must equal the one a
+// single unsharded fold builds. Both path-recording modes are covered.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	for _, recordPaths := range []bool{true, false} {
+		for trial := int64(0); trial < 5; trial++ {
+			replies := propReplies(100+trial, 60)
+			full := NewStore(recordPaths)
+			for _, r := range replies {
+				full.Add(r)
+			}
+			shards := shardStores(replies, 4, recordPaths)
+
+			fold := func(order []int, grouped bool) *Store {
+				if grouped {
+					// ((a+b) + (c+d)) via intermediate stores.
+					left, right := NewStore(recordPaths), NewStore(recordPaths)
+					left.Merge(shards[order[0]])
+					left.Merge(shards[order[1]])
+					right.Merge(shards[order[2]])
+					right.Merge(shards[order[3]])
+					left.Merge(right)
+					return left
+				}
+				m := NewStore(recordPaths)
+				for _, i := range order {
+					m.Merge(shards[i])
+				}
+				return m
+			}
+
+			orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+			for _, ord := range orders {
+				for _, grouped := range []bool{false, true} {
+					m := fold(ord, grouped)
+					if !m.Equal(full) || !full.Equal(m) {
+						t.Fatalf("recordPaths=%v trial=%d order=%v grouped=%v: merged store differs from unsharded fold",
+							recordPaths, trial, ord, grouped)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeEmptyIdentity: merging an empty store is the identity, in
+// both directions.
+func TestMergeEmptyIdentity(t *testing.T) {
+	replies := propReplies(42, 30)
+	full := NewStore(true)
+	for _, r := range replies {
+		full.Add(r)
+	}
+	onto := NewStore(true)
+	onto.Merge(full)
+	if !onto.Equal(full) {
+		t.Fatal("merge into empty store differs from source")
+	}
+	full.Merge(NewStore(true))
+	if !full.Equal(onto) {
+		t.Fatal("merging an empty store changed the target")
+	}
+}

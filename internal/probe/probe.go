@@ -62,3 +62,15 @@ type Reply struct {
 
 // IsTimeExceeded reports whether the reply is an ICMPv6 Time Exceeded.
 func (r *Reply) IsTimeExceeded() bool { return r.Kind == KindTimeExceeded }
+
+// Observer receives every parsed reply a prober folds into its store,
+// in arrival order, on the prober's own goroutine. It is the streaming
+// hook derived artifacts (the topology graph) are built through during
+// a run instead of by post-hoc store scans. Implementations must not
+// retain r's address values beyond the call any differently than a
+// store would — Reply carries no slices into packet buffers, so
+// retaining the struct itself is safe — and must stay allocation-light:
+// they run on the packet fast path.
+type Observer interface {
+	OnReply(r Reply)
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the zero-allocation packet
+// decoder: it must never panic, and whatever it accepts must be
+// internally consistent (payload bounded by the declared length,
+// checksum verification callable on the same bytes).
+func FuzzDecode(f *testing.F) {
+	// Seed with each transport's well-formed probe packet and a few
+	// truncations of it.
+	var buf [128]byte
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	payload := []byte("yarrp6-fuzz-seed")
+	for _, proto := range []uint8{ProtoICMPv6, ProtoUDP, ProtoTCP} {
+		hdr := IPv6Header{HopLimit: 8, Src: src, Dst: dst}
+		n := BuildPacket(buf[:], &hdr, proto,
+			&UDPHeader{SrcPort: 4242, DstPort: 80},
+			&TCPHeader{SrcPort: 4242, DstPort: 80, Flags: TCPSyn},
+			&ICMPv6Header{Type: ICMPv6EchoRequest, ID: 4242, Seq: 80}, payload)
+		f.Add(append([]byte(nil), buf[:n]...))
+		f.Add(append([]byte(nil), buf[:n/2]...))
+		f.Add(append([]byte(nil), buf[:IPv6HeaderLen+1]...))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 60))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoded
+		if err := d.Decode(data); err != nil {
+			return
+		}
+		if int(d.IPv6.PayloadLength) > len(data)-IPv6HeaderLen {
+			t.Fatalf("accepted payload length %d beyond input %d", d.IPv6.PayloadLength, len(data))
+		}
+		if d.Proto != 0 && len(d.Payload) > int(d.IPv6.PayloadLength) {
+			t.Fatalf("payload slice %d exceeds declared %d", len(d.Payload), d.IPv6.PayloadLength)
+		}
+		// Must not panic regardless of outcome.
+		d.VerifyTransportChecksum(data)
+	})
+}
+
+// FuzzBuildDecodeRoundTrip builds a packet from fuzzed field values and
+// decodes it back: every accepted build must round-trip its header
+// fields exactly and carry a valid transport checksum.
+func FuzzBuildDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(8), []byte{0x20, 0x01, 0x0d, 0xb8}, []byte("payload"))
+	f.Add(uint8(1), uint8(1), []byte{0xfe, 0x80, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}, []byte{})
+	f.Add(uint8(2), uint8(255), []byte{0xff}, bytes.Repeat([]byte{7}, 64))
+
+	f.Fuzz(func(t *testing.T, protoSel, hopLimit uint8, addrSeed, payload []byte) {
+		proto := []uint8{ProtoICMPv6, ProtoUDP, ProtoTCP}[int(protoSel)%3]
+		var sb, db [16]byte
+		copy(sb[:], addrSeed)
+		sb[0] |= 0x20 // keep out of the unspecified/multicast corners
+		for i := range db {
+			db[i] = sb[15-i] ^ 0x5a
+		}
+		db[0] |= 0x20
+		src, dst := netip.AddrFrom16(sb), netip.AddrFrom16(db)
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+
+		buf := make([]byte, IPv6HeaderLen+TCPHeaderLen+len(payload)+8)
+		hdr := IPv6Header{HopLimit: hopLimit, Src: src, Dst: dst}
+		n := BuildPacket(buf, &hdr, proto,
+			&UDPHeader{SrcPort: 1000, DstPort: 80},
+			&TCPHeader{SrcPort: 1000, DstPort: 80, Flags: TCPSyn, Window: 65535},
+			&ICMPv6Header{Type: ICMPv6EchoRequest, ID: 1000, Seq: 80}, payload)
+
+		var d Decoded
+		if err := d.Decode(buf[:n]); err != nil {
+			t.Fatalf("built packet does not decode: %v", err)
+		}
+		if d.IPv6.Src != src || d.IPv6.Dst != dst || d.IPv6.HopLimit != hopLimit {
+			t.Fatalf("header fields did not round-trip: %+v", d.IPv6)
+		}
+		if d.Proto != proto {
+			t.Fatalf("proto %d decoded as %d", proto, d.Proto)
+		}
+		if !bytes.Equal(d.Payload, payload) {
+			t.Fatal("payload did not round-trip")
+		}
+		if !d.VerifyTransportChecksum(buf[:n]) {
+			t.Fatal("built packet fails checksum verification")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+// gencorpus writes the checked-in fuzz seed corpora for internal/wire
+// and internal/probe in Go's corpus file format.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+func write(dir, name string, lines ...string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	out := "go test fuzz v1\n"
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(out), 0o644); err != nil {
+		panic(err)
+	}
+}
+
+func bs(b []byte) string { return "[]byte(" + strconv.Quote(string(b)) + ")" }
+func by(v uint8) string  { return "byte(" + strconv.QuoteRuneToASCII(rune(v)) + ")" }
+
+type frozenConn struct {
+	addr netip.Addr
+	now  time.Duration
+}
+
+func (c *frozenConn) LocalAddr() netip.Addr   { return c.addr }
+func (c *frozenConn) Send([]byte) error       { return nil }
+func (c *frozenConn) Recv([]byte) (int, bool) { return 0, false }
+func (c *frozenConn) Now() time.Duration      { return c.now }
+func (c *frozenConn) Sleep(d time.Duration)   { c.now += d }
+
+func main() {
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("2001:db8::2")
+	var buf [256]byte
+
+	// wire: FuzzDecode — one well-formed packet per transport plus a
+	// truncation.
+	wd := "internal/wire/testdata/fuzz/FuzzDecode"
+	names := map[uint8]string{wire.ProtoICMPv6: "icmp6", wire.ProtoUDP: "udp", wire.ProtoTCP: "tcp"}
+	for proto, name := range names {
+		hdr := wire.IPv6Header{HopLimit: 8, Src: src, Dst: dst}
+		n := wire.BuildPacket(buf[:], &hdr, proto,
+			&wire.UDPHeader{SrcPort: 4242, DstPort: 80},
+			&wire.TCPHeader{SrcPort: 4242, DstPort: 80, Flags: wire.TCPSyn},
+			&wire.ICMPv6Header{Type: wire.ICMPv6EchoRequest, ID: 4242, Seq: 80},
+			[]byte("yarrp6-corpus"))
+		write(wd, "seed-"+name, bs(buf[:n]))
+		write(wd, "seed-"+name+"-truncated", bs(buf[:n/2]))
+	}
+
+	// wire: FuzzBuildDecodeRoundTrip — (protoSel, hopLimit, addrSeed,
+	// payload).
+	wr := "internal/wire/testdata/fuzz/FuzzBuildDecodeRoundTrip"
+	write(wr, "seed-icmp6", by(0), by(8), bs([]byte{0x20, 0x01, 0x0d, 0xb8}), bs([]byte("payload")))
+	write(wr, "seed-udp", by(1), by(1), bs([]byte{0xfe, 0x80, 9, 9}), bs(nil))
+	write(wr, "seed-tcp", by(2), by(64), bs([]byte{0x26, 0x07}), bs([]byte{1, 2, 3, 4}))
+
+	// probe: FuzzParseReply — a quoted Time Exceeded for a real probe,
+	// a truncated quotation, and the bare probe.
+	conn := &frozenConn{addr: netip.MustParseAddr("2001:db8:100::1")}
+	codec := probe.NewCodec(conn, wire.ProtoICMPv6, 7)
+	target := netip.MustParseAddr("2001:db8:200::2")
+	pn := codec.BuildProbe(buf[:], target, 9)
+	var errBuf [wire.MinMTU]byte
+	router := netip.MustParseAddr("2001:db8:300::3")
+	en := wire.BuildICMPv6Error(errBuf[:], wire.ICMPv6TimeExceeded, 0, router, conn.addr, buf[:pn], 60)
+	pd := "internal/probe/testdata/fuzz/FuzzParseReply"
+	write(pd, "seed-time-exceeded", bs(errBuf[:en]))
+	write(pd, "seed-truncated-quote", bs(errBuf[:en-probe.PayloadLen]))
+	write(pd, "seed-bare-probe", bs(buf[:pn]))
+
+	// probe: FuzzProbeCacheEquivalence — (targetSeed, ttl, protoSel,
+	// sleepMs).
+	pe := "internal/probe/testdata/fuzz/FuzzProbeCacheEquivalence"
+	write(pe, "seed-icmp6", bs([]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 1}), by(1), by(0), by(0))
+	write(pe, "seed-udp", bs([]byte{0x20, 0x01, 0xff, 0xff}), by(16), by(1), by(200))
+	write(pe, "seed-tcp", bs([]byte{0x3f, 0xfe}), by(255), by(2), by(63))
+
+	fmt.Println("corpus written")
+}
