@@ -10,14 +10,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes BENCH_PR3.json: probes/s and allocs/probe for the three
-# hot-path benchmarks, plus the recorded pre-fast-path baseline and the
-# speedup over it.
+# bench writes BENCH_PR5.json: probes/s and allocs/probe for the
+# hot-path benchmarks, the shard-scaling sweep (shards x batch sizes,
+# engine time only) with core-normalized parallel efficiency, and the
+# recorded PR 3 baseline with the speedup over it.
 bench:
-	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR5.json
 
 # bench-check is the CI gate: short-form run that fails when any hot
-# benchmark's steady-state allocs/probe exceeds the bound.
+# benchmark's steady-state allocs/probe exceeds the bound, or when
+# 4-shard parallel efficiency falls below 0.6.
 bench-check:
 	$(GO) run ./cmd/bench -benchtime 150ms -check
 

@@ -123,6 +123,19 @@ func (in *Internet) GroundTruthSubnets(maxBits, perASLimit int) []netip.Prefix {
 type Vantage struct {
 	in *Internet
 	v  *netsim.Vantage
+
+	// clk tracks this vantage's own campaign timeline. Vantages created
+	// on one universe share the underlying simulator clock (the
+	// single-prober regime); a sharded campaign's shard clones get
+	// private clocks opened relative to the campaign epoch, and that
+	// epoch must not depend on what OTHER vantages concurrently did to
+	// the shared clock — per-packet draws are keyed on absolute virtual
+	// send time, so a racing epoch read would make results depend on
+	// goroutine scheduling. For a lone vantage, clk equals the shared
+	// clock at every point the old Now()-read did, so behaviour is
+	// unchanged; for concurrent vantages it pins each family's schedule
+	// deterministically.
+	clk time.Duration
 }
 
 // NewVantage attaches a vantage by name. Names map deterministically to
@@ -148,7 +161,8 @@ func (in *Internet) NewVantageAt(name, kind string, chainLen int) *Vantage {
 	default:
 		k = netsim.KindTransit
 	}
-	return &Vantage{in: in, v: in.u.NewVantage(netsim.VantageSpec{Name: name, Kind: k, ChainLen: chainLen})}
+	nv := in.u.NewVantage(netsim.VantageSpec{Name: name, Kind: k, ChainLen: chainLen})
+	return &Vantage{in: in, v: nv, clk: nv.Now()}
 }
 
 // Addr returns the vantage's probing source address.
@@ -183,10 +197,17 @@ type YarrpOptions struct {
 	// deterministic at any shard count, and identical to a 1-shard run
 	// except that rate-limit-saturated routers may yield a few extra
 	// replies near shard-window starts (token buckets are epoch-scoped
-	// per shard — see core.Campaign), and Result.Curve carries only the
-	// final totals (per-shard curves are in Result.ShardStats).
+	// per shard — see core.Campaign). Result.Curve is the global
+	// discovery curve interleaved from the shard windows by virtual
+	// time; the per-window curves remain in Result.ShardStats.
 	// Default 1.
 	Shards int
+	// Batch is the probe-pipeline send-batch size: permutation draw,
+	// probe build, and simulator routing are dispatched Batch probes at
+	// a time. Batching never changes the virtual schedule — results are
+	// byte-identical at any value. Zero selects the engine default
+	// (core.DefaultBatch); one disables batching.
+	Batch int
 	// Graph enables streaming topology-graph construction: an observer
 	// on the prober (one per shard) folds every reply into the
 	// interface-level multigraph while the campaign runs, so
@@ -214,10 +235,10 @@ type Result struct {
 	Fills      int64
 	Replies    int64
 	Elapsed    time.Duration
-	// Curve samples discovery progress. For a sharded campaign the
-	// global curve cannot be reconstructed from per-shard windows, so
-	// it holds only the final totals; the per-window curves live in
-	// ShardStats.
+	// Curve samples discovery progress. For a sharded campaign it is
+	// the global curve interleaved from the per-shard windows by
+	// virtual time (exact in probes and in unique-interface counts);
+	// the per-window curves live in ShardStats.
 	Curve []core.CurvePoint
 	// ShardStats holds the per-shard counter breakdown of a sharded
 	// campaign; nil for single-instance runs.
@@ -308,10 +329,11 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		Proto:   proto,
 		Key:     opt.Key,
 		Fill:    opt.Fill,
+		Batch:   opt.Batch,
 	}
 	if opt.Shards > 1 {
 		v.v.BeginShardGroup()
-		epoch := v.v.Now()
+		epoch := v.clk
 		// With streaming graph construction, every shard folds replies
 		// into its own subgraph; the subgraphs merge after the run into
 		// exactly the graph one unsharded prober would have built.
@@ -337,8 +359,11 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		}
 		// The serial path drives v's own clock through the campaign;
 		// mirror that here so follow-up operations on this vantage see
-		// the same virtual time at any shard count.
+		// the same virtual time at any shard count. The vantage's own
+		// timeline advances with it — never from another vantage's
+		// concurrent activity on the shared clock.
 		v.v.Sleep(stats.Elapsed)
+		v.clk = epoch + stats.Elapsed
 		var g *graph.Graph
 		if opt.Graph {
 			g = graph.Union(builders...)
@@ -366,6 +391,7 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	v.clk = v.v.Now()
 	return &Result{
 		ProbesSent: stats.ProbesSent,
 		Fills:      stats.Fills,
@@ -395,6 +421,7 @@ func (v *Vantage) RunSequential(targets []netip.Addr, opt SequentialOptions) *Re
 		MaxTTL: uint8(opt.MaxTTL),
 	})
 	stats := s.Run(targets, store)
+	v.clk = v.v.Now()
 	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store,
 		vantage: v.v.Name(), proto: wire.ProtoICMPv6}
 }
@@ -417,6 +444,7 @@ func (v *Vantage) RunDoubletree(targets []netip.Addr, opt DoubletreeOptions) *Re
 		MaxTTL:   uint8(opt.MaxTTL),
 	})
 	stats := d.Run(targets, store)
+	v.clk = v.v.Now()
 	return &Result{ProbesSent: stats.ProbesSent, Elapsed: stats.Elapsed, store: store,
 		vantage: v.v.Name(), proto: wire.ProtoICMPv6}
 }
@@ -502,7 +530,9 @@ func (v *Vantage) DetectAliases(candidates []netip.Prefix, opt AliasOptions) *Al
 		Instance:   alias.DefaultParams().Instance,
 	})
 	rng := rand.New(rand.NewSource(v.in.seed ^ 0xa11a5))
-	return &AliasSet{res: det.Detect(candidates, rng)}
+	res := det.Detect(candidates, rng)
+	v.clk = v.v.Now()
+	return &AliasSet{res: res}
 }
 
 // DealiasStats re-exports the dealiasing summary.
@@ -534,3 +564,7 @@ const FixedIID = target.FixedIIDValue
 // MustAddr parses an IPv6 address, panicking on error; a convenience for
 // examples and tests.
 func MustAddr(s string) netip.Addr { return ipv6.MustAddr(s) }
+
+// SharedPlanHits returns how many private plan-cache misses were served
+// from the campaign-shared plan-core cache instead of a fresh compute.
+func (v *Vantage) SharedPlanHits() int64 { return v.v.Stats.SharedPlanHits }

@@ -298,8 +298,9 @@ func BenchmarkAliasStudy(b *testing.B) {
 // and 4 shards over the campaign-scale suite: same permutation domain,
 // same virtual schedule, split across concurrent prober instances.
 // probes/s is wall-clock throughput; on an N-core machine the 4-shard
-// case approaches 4x the 1-shard case (shards share no mutable state —
-// the only cross-shard writes are atomic simulator counters).
+// case approaches 4x the 1-shard case (shards share no mutable state
+// beyond the read-mostly plan-core and template stores — the only
+// cross-shard writes are atomics).
 func BenchmarkCampaignSharded(b *testing.B) {
 	in := NewSmallInternet(5)
 	targets, err := in.TargetSet("fdns_any", 64, "fixediid", 0.5)
@@ -354,6 +355,36 @@ func BenchmarkCampaignMatrixWorkers(b *testing.B) {
 					b.Fatalf("rows = %d", len(t.Rows))
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkYarrp6Batch compares the probe pipeline at batch sizes 1
+// (the historical per-probe loop) and the engine default: identical
+// results by construction — see core.Config.Batch — so the delta is
+// pure dispatch overhead.
+func BenchmarkYarrp6Batch(b *testing.B) {
+	in := NewSmallInternet(5)
+	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 64} {
+		b.Run("batch="+itoa(batch), func(b *testing.B) {
+			var sent int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.Reset()
+				v := in.NewVantage("throughput")
+				res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 10000, MaxTTL: 16, Key: uint64(i), Batch: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent += res.ProbesSent
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "probes/s")
 		})
 	}
 }

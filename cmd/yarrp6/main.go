@@ -39,6 +39,7 @@ func main() {
 		fill      = flag.Bool("fill", false, "enable fill mode")
 		key       = flag.Uint64("key", 0x6b657921, "permutation key")
 		shards    = flag.Int("shards", 1, "concurrent prober instances splitting the permutation domain")
+		batch     = flag.Int("batch", 0, "probe-pipeline send batch size (0 = engine default; results are identical at any value)")
 		vantage   = flag.String("vantage", "US-EDU-1", "vantage name")
 		hops      = flag.Bool("hops", false, "print per-target hop listings")
 		graphOut  = flag.String("graph", "", "export the topology graph to this file (.ndjson for NDJSON, anything else for Graphviz DOT); the graph is built streaming during the run")
@@ -91,7 +92,7 @@ func main() {
 
 	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
 		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
-		Shards: *shards, Graph: *graphOut != "",
+		Shards: *shards, Batch: *batch, Graph: *graphOut != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yarrp6:", err)

@@ -102,17 +102,23 @@ func TestConcurrentVantagesSharedUniverse(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Vantage creation is serial — like campaign shard construction, it
+	// anchors the vantage's timeline on the shared clock — and only the
+	// probing itself races.
+	vantages := make([]*Vantage, workers)
+	for i := 0; i < workers; i++ {
+		// Distinct names land in distinct ASes; shards clone the
+		// vantage, giving each goroutine private clocks while the
+		// universe (topology, routing, ground truth) is shared.
+		vantages[i] = shared.NewVantageAt(fmt.Sprintf("races-%d", i), "university", 4)
+	}
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			// Distinct names land in distinct ASes; shards clone the
-			// vantage, giving each goroutine private clocks while the
-			// universe (topology, routing, ground truth) is shared.
-			v := shared.NewVantageAt(fmt.Sprintf("races-%d", i), "university", 4)
-			res, err := v.RunYarrp6(targets, YarrpOptions{Rate: 8000, MaxTTL: 16, Key: 7, Shards: 2})
+			res, err := vantages[i].RunYarrp6(targets, YarrpOptions{Rate: 8000, MaxTTL: 16, Key: 7, Shards: 2})
 			if err != nil {
 				t.Error(err)
 				return

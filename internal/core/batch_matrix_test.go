@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"beholder/internal/graph"
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+// batchCampaign runs one campaign at the given shard count and send
+// batch size, with per-shard streaming graph observers, and returns the
+// merged store, the merged graph's canonical NDJSON, and the campaign
+// stats.
+func batchCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, batch int) (*probe.Store, []byte, CampaignStats) {
+	t.Helper()
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	cfg := campaignCfg(targets)
+	cfg.Batch = batch
+	builders := make([]*graph.Graph, shards)
+	camp := NewCampaign(CampaignConfig{
+		Config:      cfg,
+		Shards:      shards,
+		RecordPaths: true,
+		NewObserver: func(s int) probe.Observer {
+			builders[s] = graph.New("US-EDU-1")
+			return builders[s]
+		},
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, stats, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Union(builders...)
+	var buf bytes.Buffer
+	if err := g.WriteNDJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(graph.FromStore(store, "US-EDU-1", wire.ProtoICMPv6)) {
+		t.Fatal("streamed shard graphs do not merge to the store-derived graph")
+	}
+	return store, buf.Bytes(), stats
+}
+
+// TestCampaignShardBatchMatrix is the PR's central acceptance test: for
+// every (shards, batch-size) cell — including batch sizes that do not
+// divide the shard windows — the merged store, the canonical graph
+// export, and the campaign counters are byte-identical to the serial
+// (1-shard, batch-1) run. Batch size changes how probes are dispatched,
+// never the virtual schedule. The -race CI job runs this matrix too.
+func TestCampaignShardBatchMatrix(t *testing.T) {
+	const seed = 1213
+	// 61 targets × 12 TTLs = a 732-slot domain: not divisible by 7 or
+	// 64, and shard windows of 732/2 and 732/4 are not divisible either.
+	targets := campaignTargets(t, seed, 61)
+	refStore, refGraph, refStats := batchCampaign(t, seed, targets, 1, 1)
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 7, 64} {
+			if shards == 1 && batch == 1 {
+				continue
+			}
+			store, g, stats := batchCampaign(t, seed, targets, shards, batch)
+			if !store.Equal(refStore) {
+				t.Fatalf("store differs at shards=%d batch=%d", shards, batch)
+			}
+			if !bytes.Equal(g, refGraph) {
+				t.Errorf("graph differs at shards=%d batch=%d", shards, batch)
+			}
+			if stats.ProbesSent != refStats.ProbesSent || stats.Fills != refStats.Fills ||
+				stats.Replies != refStats.Replies || stats.NotMine != refStats.NotMine {
+				t.Fatalf("stats differ at shards=%d batch=%d: %+v vs %+v",
+					shards, batch, stats.Stats, refStats.Stats)
+			}
+			if shards == 1 {
+				// Single-shard curves must match the serial reference
+				// point for point regardless of batch size.
+				if len(stats.Curve) != len(refStats.Curve) {
+					t.Fatalf("curve length differs at batch=%d: %d vs %d", batch, len(stats.Curve), len(refStats.Curve))
+				}
+				for i := range stats.Curve {
+					if stats.Curve[i] != refStats.Curve[i] {
+						t.Fatalf("curve point %d differs at batch=%d: %+v vs %+v",
+							i, batch, stats.Curve[i], refStats.Curve[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignMergedCurve: a sharded campaign's global discovery curve —
+// interleaved from the per-shard curves by virtual time — must be
+// monotone in probes, instants, and interfaces, and must land exactly on
+// the campaign totals; its interface counts must agree with the serial
+// curve wherever both sample the same virtual instant.
+func TestCampaignMergedCurve(t *testing.T) {
+	const seed = 77
+	targets := campaignTargets(t, seed, 64)
+	_, _, serial := batchCampaign(t, seed, targets, 1, 1)
+	store, _, stats := batchCampaign(t, seed, targets, 4, 64)
+
+	curve := stats.Curve
+	if len(curve) < 8 {
+		t.Fatalf("merged curve has only %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].At < curve[i-1].At || curve[i].Probes < curve[i-1].Probes ||
+			curve[i].Interfaces < curve[i-1].Interfaces {
+			t.Fatalf("merged curve not monotone at point %d: %+v after %+v", i, curve[i], curve[i-1])
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.Probes != stats.ProbesSent {
+		t.Fatalf("final curve probes %d != campaign probes %d", last.Probes, stats.ProbesSent)
+	}
+	if last.Interfaces != store.NumInterfaces() {
+		t.Fatalf("final curve interfaces %d != merged store interfaces %d", last.Interfaces, store.NumInterfaces())
+	}
+	// The serial curve samples a subset of the same virtual trajectory:
+	// at any instant both curves sample, the discovery state is the
+	// same, so interface counts must agree.
+	byAt := make(map[time.Duration]int, len(curve))
+	for _, p := range curve {
+		byAt[p.At] = p.Interfaces
+	}
+	checked := 0
+	for _, p := range serial.Curve {
+		if n, ok := byAt[p.At]; ok {
+			if n != p.Interfaces {
+				t.Fatalf("at %v: merged curve has %d interfaces, serial %d", p.At, n, p.Interfaces)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("serial and merged curves share no sample instants; cannot cross-check")
+	}
+}

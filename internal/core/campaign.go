@@ -24,7 +24,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"net/netip"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -117,11 +122,19 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	stores := make([]*probe.Store, cfg.Shards)
 	results := make([]shardResult, cfg.Shards)
 	probers := make([]*Yarrp6, cfg.Shards)
+	// One template store for the whole campaign: shard codecs differ
+	// only by instance byte, which templates hold variable, so each
+	// target's probe template is built once instead of once per shard.
+	var tmpl *probe.TmplStore
+	if cfg.Shards > 1 {
+		tmpl = probe.NewTmplStore(tmplCacheSize(len(cfg.Targets)))
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		lo, hi := shardRange(domain, s, cfg.Shards)
 		scfg := cfg.Config
 		scfg.Instance = cfg.Instance + uint8(s)
 		scfg.PermStart, scfg.PermEnd = lo, hi
+		scfg.sharedTmpl = tmpl
 		if cfg.NewObserver != nil {
 			scfg.Observer = cfg.NewObserver(s)
 		}
@@ -132,18 +145,35 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 		stores[s] = probe.NewStore(cfg.RecordPaths)
 	}
 
+	// Per-shard interface first-seen tracking feeds the global
+	// discovery-curve merge; single-shard runs keep the shard curve
+	// as-is and skip the bookkeeping.
+	var tracks []*ifaceTimes
+	if cfg.Shards > 1 {
+		tracks = make([]*ifaceTimes, cfg.Shards)
+		for s := 0; s < cfg.Shards; s++ {
+			tracks[s] = &ifaceTimes{inner: probers[s].cfg.Observer, first: make(map[netip.Addr]time.Duration)}
+			probers[s].cfg.Observer = tracks[s]
+		}
+	}
+
 	var wg sync.WaitGroup
+	batchLabel := strconv.Itoa(cfg.Batch)
 	for s := 0; s < cfg.Shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			stats, err := probers[s].Run(stores[s])
-			results[s] = shardResult{stats: stats, err: err}
+			// Label the shard goroutine so -cpuprofile output from the
+			// drivers attributes campaign time to (shard, batch) without
+			// any manual goroutine archaeology in pprof.
+			pprof.Do(context.Background(), pprof.Labels("yarrp6-shard", strconv.Itoa(s), "yarrp6-batch", batchLabel), func(context.Context) {
+				stats, err := probers[s].Run(stores[s])
+				results[s] = shardResult{stats: stats, err: err}
+			})
 		}(s)
 	}
 	wg.Wait()
 
-	merged := probe.NewStore(cfg.RecordPaths)
 	var out CampaignStats
 	out.PerShard = make([]Stats, cfg.Shards)
 	var end time.Duration
@@ -162,19 +192,134 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 		if t := time.Duration(lo)*gap + st.Elapsed; t > end {
 			end = t
 		}
-		merged.Merge(stores[s])
 	}
+	// Fold the shard stores with a parallel tree merge: pairwise
+	// probe.Store.Merge on worker goroutines, halving the list each
+	// level, so merge latency is O(log N) pairwise merges instead of a
+	// serial O(N) fold. Merge is commutative and associative (property
+	// tests in internal/probe pin this), and shards own disjoint
+	// permutation slices, so the tree shape cannot change the result;
+	// pairing adjacent shards additionally keeps the fold in
+	// virtual-time order, preserving the documented first-answer rule
+	// even for overlapping ad-hoc inputs.
+	merged := mergeStoreTree(stores)
 	// Elapsed spans the whole virtual schedule: from the campaign epoch
 	// to the last shard's drain deadline.
 	out.Elapsed = end
 	if cfg.Shards == 1 {
 		out.Curve = results[0].stats.Curve
 	} else {
-		// Per-shard curves chart disjoint windows and cannot be
-		// interleaved into one global discovery curve after the fact;
-		// they remain in PerShard. The merged curve carries the final
-		// totals.
-		out.Curve = []CurvePoint{{out.ProbesSent, merged.NumInterfaces()}}
+		out.Curve = mergeCurves(out.PerShard, tracks)
 	}
 	return merged, out, nil
+}
+
+// mergeStoreTree folds the shard stores pairwise on goroutines until
+// one remains, consuming the slice. Level k merges shard blocks of
+// size 2^k into their left neighbors, so the surviving store is
+// stores[0] with every other shard folded in, in shard order.
+func mergeStoreTree(stores []*probe.Store) *probe.Store {
+	for len(stores) > 1 {
+		pairs := len(stores) / 2
+		var wg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				stores[2*i].Merge(stores[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		next := stores[:0]
+		for i := 0; i < len(stores); i += 2 {
+			next = append(next, stores[i])
+		}
+		stores = next
+	}
+	return stores[0]
+}
+
+// ifaceTimes is the per-shard reply tap behind the global discovery
+// curve: it records the first virtual instant each interface address
+// was seen at, then forwards the reply to the user's observer. One
+// map lookup per Time Exceeded reply; insertions are bounded by the
+// shard's unique-interface count.
+type ifaceTimes struct {
+	inner probe.Observer
+	first map[netip.Addr]time.Duration
+}
+
+func (o *ifaceTimes) OnReply(r probe.Reply) {
+	if r.Kind == probe.KindTimeExceeded {
+		if _, ok := o.first[r.From]; !ok {
+			o.first[r.From] = r.At
+		}
+	}
+	if o.inner != nil {
+		o.inner.OnReply(r)
+	}
+}
+
+// mergeCurves interleaves the per-shard discovery curves — which chart
+// disjoint permutation windows — into one global curve ordered by
+// virtual time. Shard curve samples already carry their virtual
+// instants (each shard's clock opens at lo×gap, so CurvePoint.At is
+// campaign-global time); the global probe count at an instant is the
+// sum of every shard's latest sample at or before it, and the global
+// interface count is the number of distinct addresses whose first
+// sighting — minimized across shards — is at or before it. The final
+// point therefore lands exactly on (total probes, merged unique
+// interfaces).
+func mergeCurves(perShard []Stats, tracks []*ifaceTimes) []CurvePoint {
+	// Global first-seen instants, minimized across shards, sorted.
+	first := make(map[netip.Addr]time.Duration)
+	for _, tr := range tracks {
+		for a, at := range tr.first {
+			if cur, ok := first[a]; !ok || at < cur {
+				first[a] = at
+			}
+		}
+	}
+	seenAt := make([]time.Duration, 0, len(first))
+	for _, at := range first {
+		seenAt = append(seenAt, at)
+	}
+	sort.Slice(seenAt, func(i, j int) bool { return seenAt[i] < seenAt[j] })
+
+	type event struct {
+		at     time.Duration
+		shard  int
+		probes int64
+	}
+	var events []event
+	for s := range perShard {
+		for _, p := range perShard[s].Curve {
+			events = append(events, event{at: p.At, shard: s, probes: p.Probes})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].shard < events[j].shard
+	})
+
+	probesBy := make([]int64, len(perShard))
+	var total int64
+	out := make([]CurvePoint, 0, len(events))
+	ifaces := 0
+	for i, ev := range events {
+		total += ev.probes - probesBy[ev.shard]
+		probesBy[ev.shard] = ev.probes
+		// Emit one point per distinct instant, after folding every
+		// shard sample taken at it.
+		if i+1 < len(events) && events[i+1].at == ev.at {
+			continue
+		}
+		for ifaces < len(seenAt) && seenAt[ifaces] <= ev.at {
+			ifaces++
+		}
+		out = append(out, CurvePoint{Probes: total, Interfaces: ifaces, At: ev.at})
+	}
+	return out
 }

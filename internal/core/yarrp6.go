@@ -54,6 +54,17 @@ type Config struct {
 	// way. The slice selects which probes are sent, not when: pacing
 	// still counts from the connection's current time.
 	PermStart, PermEnd uint64
+	// Batch is the send-batch size: how many probes are built and
+	// handed to the connection per batch call when it supports batching
+	// (probe.BatchConn). Batching changes only how probes are
+	// processed, never the virtual schedule — every probe departs at
+	// the same instant, every reply is drained at the same instant, and
+	// all results are byte-identical at any batch size. Zero selects
+	// DefaultBatch; values below one (and connections without batch
+	// support, and runs using the neighborhood heuristic, whose skip
+	// decisions are taken per probe instant) degrade to one probe per
+	// call.
+	Batch int
 	// Fill enables fill mode: a response from hop h >= MaxTTL triggers
 	// an immediate probe at h+1, up to FillLimit (Section 4.1).
 	Fill      bool
@@ -71,6 +82,13 @@ type Config struct {
 	// arrives — the streaming hook the topology-graph builder attaches
 	// through. It runs on the prober goroutine, after the store fold.
 	Observer probe.Observer
+
+	// sharedTmpl routes probe-template caching through a campaign-shared
+	// store instead of a per-prober cache: shard codecs differ only by
+	// instance byte, which templates hold variable, so each target's
+	// template is built once per campaign rather than once per shard.
+	// Campaign sets it; zero means a private per-prober cache.
+	sharedTmpl *probe.TmplStore
 }
 
 func (c *Config) setDefaults() error {
@@ -97,6 +115,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.FillLimit == 0 {
 		c.FillLimit = 32
+	}
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 2 * time.Second
@@ -129,7 +153,24 @@ type Stats struct {
 type CurvePoint struct {
 	Probes     int64
 	Interfaces int
+	// At is the virtual instant the sample was taken. Campaign uses it
+	// to interleave per-shard curves — which chart disjoint permutation
+	// windows — into one global discovery curve by virtual time.
+	At time.Duration
 }
+
+// DefaultBatch is the send-batch size used when Config.Batch is zero:
+// probes are built and routed DefaultBatch at a time through
+// batch-capable connections, amortizing per-probe dispatch without
+// changing the virtual schedule.
+const DefaultBatch = 64
+
+// probeStride is the per-slot width of the batched send ring; the
+// module's own probes are 60-72 bytes.
+const probeStride = 128
+
+// recvBatch bounds how many replies one RecvBatch call drains.
+const recvBatch = 32
 
 // Yarrp6 is a configured prober bound to a vantage connection.
 type Yarrp6 struct {
@@ -137,8 +178,22 @@ type Yarrp6 struct {
 	cfg   Config
 	codec *probe.Codec
 
+	// bc is the connection's batched fast path, nil when the connection
+	// only implements the single-packet contract.
+	bc probe.BatchConn
+
 	pkt  []byte
 	rbuf []byte
+
+	// Batched-pipeline state: idx is the permutation index buffer
+	// NextBatch fills, ring backs one pre-built packet per batch slot,
+	// pkts aliases the built packets, and rbatch/rsizes receive drained
+	// replies recvBatch at a time. All are allocated once per Run.
+	idx    []uint64
+	ring   []byte
+	pkts   [][]byte
+	rbatch []byte
+	rsizes []int
 
 	stats Stats
 
@@ -167,9 +222,29 @@ func (y *Yarrp6) initCodec() error {
 	y.codec = probe.NewCodec(y.conn, y.cfg.Proto, y.cfg.Instance)
 	// Each target is probed at every TTL in the randomized range with an
 	// identical flow identity; the template cache turns all but the
-	// first build per target into a copy-and-patch.
-	y.codec.SetProbeCache(8192)
+	// first build per target into a copy-and-patch. Campaign shards
+	// share one template store (templates are instance-neutral); a solo
+	// prober gets a private cache sized to the target set (quarter
+	// loaded, capped — slots beyond that only cost arena zeroing per
+	// run, and a collision merely rebuilds).
+	if y.cfg.sharedTmpl != nil {
+		y.codec.UseSharedTemplates(y.cfg.sharedTmpl)
+	} else {
+		y.codec.SetProbeCache(tmplCacheSize(len(y.cfg.Targets)))
+	}
 	return nil
+}
+
+// tmplCacheSize picks the probe-template slot count for n targets.
+func tmplCacheSize(n int) int {
+	size := 8192
+	for s := 64; s < size; s <<= 1 {
+		if s >= 4*n {
+			size = s
+			break
+		}
+	}
+	return size
 }
 
 // buildProbe constructs the wire packet for (target, ttl) into buf.
@@ -178,6 +253,17 @@ func (y *Yarrp6) buildProbe(buf []byte, target netip.Addr, ttl uint8) int {
 }
 
 // Run executes the campaign, folding every recovered reply into store.
+//
+// The inner loop is batched: permutation indices are drawn Batch at a
+// time, the probes for a batch are pre-built into a packet ring — each
+// stamped for its own departure instant — and the whole batch is handed
+// to the connection in one BatchConn.SendBatch call, which paces the
+// packets internally and stops early the moment a reply becomes
+// deliverable so the drain happens at exactly the instant a per-probe
+// loop would have drained. Batching therefore changes dispatch counts
+// only; the virtual schedule — send times, drain times, fill times,
+// curve samples — is identical at every batch size, and identical to
+// the historical one-probe-per-iteration loop.
 func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	if err := y.initCodec(); err != nil {
 		return Stats{}, err
@@ -208,44 +294,166 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	nextCurve := curveStep
 	y.stats.Curve = make([]CurvePoint, 0, 132)
 
+	y.bc, _ = y.conn.(probe.BatchConn)
+	if y.bc != nil {
+		// Batched sends may defer shared-counter updates; publish exact
+		// totals on every exit path so post-run readers see them.
+		defer y.bc.FlushStats()
+	}
+	batch := cfg.Batch
+	if y.bc == nil || cfg.NeighborhoodWindow > 0 {
+		// The fallback shim sends one packet per call anyway, and the
+		// neighborhood heuristic's skip decision must be taken at each
+		// probe's own instant against drain-fresh state.
+		batch = 1
+	}
+
 	it := p.Resume(start)
+	if batch > 1 {
+		err = y.runBatched(store, it, end, gap, batch, curveStep, &nextCurve)
+	} else {
+		err = y.runSerial(store, it, end, gap, curveStep, &nextCurve)
+	}
+	if err != nil {
+		return y.stats, err
+	}
+
+	// Collect stragglers. Stepping by the send gap keeps this drain
+	// schedule on the same virtual instants a longer-running prober
+	// would drain at, so a campaign shard processes its tail replies —
+	// and sends any fill probes they trigger — at exactly the times the
+	// unsharded prober would have. Batch-capable connections expose the
+	// delivery queue, so stretches of virtual time where nothing can
+	// arrive are crossed in one sleep: the clock lands on the same
+	// gap-multiple instants, and every reply is still processed at the
+	// first such instant at or past its delivery time — the stepped
+	// loop's schedule exactly, minus the empty iterations.
+	deadline := y.conn.Now() + cfg.DrainTimeout
+	for {
+		now := y.conn.Now()
+		if now >= deadline {
+			break
+		}
+		steps := int64(1)
+		if y.bc != nil && gap > 0 {
+			kmax := int64((deadline - now + gap - 1) / gap)
+			if at, ok := y.bc.NextDeliveryAt(); !ok {
+				steps = kmax
+			} else if at > now {
+				steps = int64((at - now + gap - 1) / gap)
+				if steps > kmax {
+					steps = kmax
+				}
+			}
+		}
+		y.conn.Sleep(time.Duration(steps) * gap)
+		y.drainAll(store)
+	}
+	y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces(), y.conn.Now()})
+	y.stats.Elapsed = y.conn.Now() - y.codec.Epoch()
+	y.stats.NotMine = y.codec.NotMine
+	return y.stats, nil
+}
+
+// runSerial is the one-probe-per-iteration loop: the path for
+// connections without batch support and for the neighborhood heuristic.
+func (y *Yarrp6) runSerial(store *probe.Store, it *perm.Iterator, end uint64, gap time.Duration, curveStep int64, nextCurve *int64) error {
+	cfg := &y.cfg
+	nt := uint64(len(cfg.Targets))
 	for it.Pos() < end {
 		v, ok := it.Next()
 		if !ok {
 			break
 		}
-		target := cfg.Targets[v%uint64(len(cfg.Targets))]
-		ttl := cfg.MinTTL + uint8(v/uint64(len(cfg.Targets)))
+		target := cfg.Targets[v%nt]
+		ttl := cfg.MinTTL + uint8(v/nt)
 		if y.skipByNeighborhood(ttl) {
 			y.stats.Skipped++
 			continue
 		}
 		if err := y.sendProbe(target, ttl); err != nil {
-			return y.stats, err
+			return err
 		}
 		y.conn.Sleep(gap)
-		y.drain(store)
-		if y.stats.ProbesSent >= nextCurve {
-			y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})
-			for nextCurve <= y.stats.ProbesSent {
-				nextCurve += curveStep
+		// Empty-queue fast path: when the connection can report that
+		// nothing is queued, the drain costs one predicted branch
+		// instead of a Recv dispatch and heap check.
+		if y.bc == nil || y.bc.Pending() > 0 {
+			y.drainAll(store)
+		}
+		y.recordCurve(store, nextCurve, curveStep)
+	}
+	return nil
+}
+
+// runBatched is the batched inner loop over a batch-capable connection.
+func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, gap time.Duration, batch int, curveStep int64, nextCurve *int64) error {
+	cfg := &y.cfg
+	if len(y.idx) < batch {
+		y.idx = make([]uint64, batch)
+		y.ring = make([]byte, batch*probeStride)
+		y.pkts = make([][]byte, batch)
+	}
+	nt := uint64(len(cfg.Targets))
+	for it.Pos() < end {
+		k := uint64(batch)
+		if rem := end - it.Pos(); rem < k {
+			k = rem
+		}
+		n := it.NextBatch(y.idx[:k])
+		if n == 0 {
+			break
+		}
+		// Pre-build the batch, each packet stamped for its own
+		// departure instant. The clock advances by exactly gap per
+		// send — and early-stop drains do not advance it — so the
+		// predicted instants equal the actual ones and the wire bytes
+		// match a build-at-send exactly.
+		t0 := y.conn.Now()
+		for i := 0; i < n; i++ {
+			v := y.idx[i]
+			target := cfg.Targets[v%nt]
+			ttl := cfg.MinTTL + uint8(v/nt)
+			off := i * probeStride
+			m := y.codec.BuildProbeAt(y.ring[off:off+probeStride], target, ttl, t0+time.Duration(i)*gap)
+			y.pkts[i] = y.ring[off : off+m]
+		}
+		sent := 0
+		for sent < n {
+			lim := n
+			// Cap each send run at the next curve threshold so the
+			// sample is taken at exactly the probe count the serial
+			// loop would have sampled it at (within a run the counter
+			// advances by one per probe — drains, and with them fills,
+			// only happen between runs).
+			if toCurve := *nextCurve - y.stats.ProbesSent; int64(lim-sent) > toCurve {
+				lim = sent + int(toCurve)
 			}
+			m, deliverable, err := y.bc.SendBatch(y.pkts[sent:lim], gap)
+			y.stats.ProbesSent += int64(m)
+			sent += m
+			if err != nil {
+				return err
+			}
+			if deliverable {
+				y.drainAll(store)
+			}
+			y.recordCurve(store, nextCurve, curveStep)
 		}
 	}
-	// Collect stragglers. Stepping by the send gap keeps this drain
-	// schedule on the same virtual instants a longer-running prober
-	// would drain at, so a campaign shard processes its tail replies —
-	// and sends any fill probes they trigger — at exactly the times the
-	// unsharded prober would have.
-	deadline := y.conn.Now() + cfg.DrainTimeout
-	for y.conn.Now() < deadline {
-		y.conn.Sleep(gap)
-		y.drain(store)
+	return nil
+}
+
+// recordCurve appends a discovery-curve sample when the probe counter
+// has crossed the next threshold, then advances the threshold past the
+// counter.
+func (y *Yarrp6) recordCurve(store *probe.Store, nextCurve *int64, curveStep int64) {
+	if y.stats.ProbesSent >= *nextCurve {
+		y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces(), y.conn.Now()})
+		for *nextCurve <= y.stats.ProbesSent {
+			*nextCurve += curveStep
+		}
 	}
-	y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces()})
-	y.stats.Elapsed = y.conn.Now() - y.codec.Epoch()
-	y.stats.NotMine = y.codec.NotMine
-	return y.stats, nil
 }
 
 func (y *Yarrp6) skipByNeighborhood(ttl uint8) bool {
@@ -265,8 +473,32 @@ func (y *Yarrp6) sendProbe(target netip.Addr, ttl uint8) error {
 	return nil
 }
 
-// drain processes every deliverable reply.
-func (y *Yarrp6) drain(store *probe.Store) {
+// drainAll processes every deliverable reply, recvBatch at a time on
+// batch-capable connections. Replies come out in delivery order either
+// way, and fills triggered while processing schedule strictly future
+// deliveries, so the batched drain folds exactly what the per-reply
+// Recv loop would have folded.
+func (y *Yarrp6) drainAll(store *probe.Store) {
+	if y.bc != nil {
+		if y.rsizes == nil {
+			y.rbatch = make([]byte, recvBatch*wire.MinMTU)
+			y.rsizes = make([]int, recvBatch)
+		}
+		for {
+			n := y.bc.RecvBatch(y.rbatch, y.rsizes)
+			if n == 0 {
+				return
+			}
+			off := 0
+			for i := 0; i < n; i++ {
+				y.handleReply(y.rbatch[off:off+y.rsizes[i]], store)
+				off += y.rsizes[i]
+			}
+			if n < len(y.rsizes) {
+				return
+			}
+		}
+	}
 	for {
 		n, ok := y.conn.Recv(y.rbuf)
 		if !ok {

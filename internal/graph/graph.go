@@ -28,6 +28,7 @@ package graph
 import (
 	"net/netip"
 	"sort"
+	"sync"
 
 	"beholder/internal/probe"
 )
@@ -135,12 +136,53 @@ func newEmpty() *Graph {
 // modified). Merge is commutative and associative, so the result is
 // independent of argument order up to vantage-table layout, which
 // canonical export normalizes away.
+//
+// Three or more inputs merge as a parallel tree: the first level
+// copy-merges adjacent pairs into fresh graphs on worker goroutines,
+// later levels fold those (now privately owned) intermediates pairwise,
+// so union latency over N shard subgraphs is O(log N) pairwise merges.
+// Adjacent pairing preserves left-to-right vantage interning order, so
+// even the pre-normalization vantage table matches the serial fold.
 func Union(gs ...*Graph) *Graph {
-	out := newEmpty()
-	for _, g := range gs {
-		out.Merge(g)
+	if len(gs) <= 2 {
+		out := newEmpty()
+		for _, g := range gs {
+			out.Merge(g)
+		}
+		return out
 	}
-	return out
+	cur := make([]*Graph, (len(gs)+1)/2)
+	var wg sync.WaitGroup
+	for i := range cur {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := newEmpty()
+			out.Merge(gs[2*i])
+			if 2*i+1 < len(gs) {
+				out.Merge(gs[2*i+1])
+			}
+			cur[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for len(cur) > 1 {
+		pairs := len(cur) / 2
+		for i := 0; i < pairs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cur[2*i].Merge(cur[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		next := cur[:0]
+		for i := 0; i < len(cur); i += 2 {
+			next = append(next, cur[i])
+		}
+		cur = next
+	}
+	return cur[0]
 }
 
 // vantageIndex interns a vantage name.

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"beholder/internal/probe"
+	"beholder/internal/wire"
+)
+
+// TestSendBatchMatchesSerial drives two clones of one vantage through
+// the same probe schedule — one with the serial Send/Sleep/Recv
+// contract, one with SendBatch/RecvBatch — and requires identical reply
+// bytes at identical virtual instants. This is the netsim half of the
+// batching invariant: batch size changes dispatch, never the schedule.
+func TestSendBatchMatchesSerial(t *testing.T) {
+	u := testUniverse(t)
+	parent := u.NewVantage(VantageSpec{Name: "batch-eq", Kind: KindUniversity, ChainLen: 4})
+	serialV := parent.Clone(0)
+	batchV := parent.Clone(0)
+
+	// Pre-build one probe per (target, ttl) slot, stamped for its
+	// departure instant, so both drives send byte-identical packets.
+	rng := rand.New(rand.NewSource(9))
+	gap := 500 * time.Microsecond
+	codec := probe.NewCodec(serialV, wire.ProtoICMPv6, 1)
+	var pkts [][]byte
+	for i := 0; i < 24; i++ {
+		as := u.RandomAS(rng, KindHosting)
+		lan, ok := u.RandomLAN(rng, as)
+		if !ok {
+			continue
+		}
+		dst := u.GatewayAddr(lan, as)
+		for ttl := uint8(1); ttl <= 10; ttl += 3 {
+			buf := make([]byte, 128)
+			n := codec.BuildProbeAt(buf, dst, ttl, time.Duration(len(pkts))*gap)
+			pkts = append(pkts, buf[:n])
+		}
+	}
+	if len(pkts) < 40 {
+		t.Fatalf("only %d probes built", len(pkts))
+	}
+
+	type rec struct {
+		at time.Duration
+		b  []byte
+	}
+	rbuf := make([]byte, wire.MinMTU)
+
+	// Serial drive.
+	var serial []rec
+	drainSerial := func() {
+		for {
+			n, ok := serialV.Recv(rbuf)
+			if !ok {
+				return
+			}
+			serial = append(serial, rec{serialV.Now(), append([]byte(nil), rbuf[:n]...)})
+		}
+	}
+	for _, p := range pkts {
+		if err := serialV.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		serialV.Sleep(gap)
+		drainSerial()
+	}
+	for i := 0; i < 4000; i++ {
+		serialV.Sleep(gap)
+		drainSerial()
+	}
+
+	// Batched drive: uneven batch sizes, RecvBatch drains, and
+	// NextDeliveryAt-guided jumps across the quiet tail.
+	var batched []rec
+	rb := make([]byte, 8*wire.MinMTU)
+	rs := make([]int, 8)
+	drainBatched := func() {
+		for {
+			n := batchV.RecvBatch(rb, rs)
+			if n == 0 {
+				return
+			}
+			off := 0
+			for i := 0; i < n; i++ {
+				batched = append(batched, rec{batchV.Now(), append([]byte(nil), rb[off:off+rs[i]]...)})
+				off += rs[i]
+			}
+			if n < len(rs) {
+				return
+			}
+		}
+	}
+	sizes := []int{1, 7, 3, 16, 5}
+	sent := 0
+	for si := 0; sent < len(pkts); si++ {
+		k := sizes[si%len(sizes)]
+		if sent+k > len(pkts) {
+			k = len(pkts) - sent
+		}
+		for k > 0 {
+			m, deliverable, err := batchV.SendBatch(pkts[sent:sent+k], gap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sent += m
+			k -= m
+			if deliverable {
+				drainBatched()
+			}
+		}
+	}
+	deadline := batchV.Now() + 4000*gap
+	for batchV.Now() < deadline {
+		steps := int64(1)
+		kmax := int64((deadline - batchV.Now() + gap - 1) / gap)
+		if at, ok := batchV.NextDeliveryAt(); !ok {
+			steps = kmax
+		} else if at > batchV.Now() {
+			steps = int64((at - batchV.Now() + gap - 1) / gap)
+			if steps > kmax {
+				steps = kmax
+			}
+		}
+		batchV.Sleep(time.Duration(steps) * gap)
+		drainBatched()
+	}
+	batchV.FlushStats()
+
+	if len(serial) == 0 {
+		t.Fatal("serial drive saw no replies")
+	}
+	if len(batched) != len(serial) {
+		t.Fatalf("reply counts differ: serial %d, batched %d", len(serial), len(batched))
+	}
+	for i := range serial {
+		if serial[i].at != batched[i].at {
+			t.Fatalf("reply %d delivered at %v serially but %v batched", i, serial[i].at, batched[i].at)
+		}
+		if !bytes.Equal(serial[i].b, batched[i].b) {
+			t.Fatalf("reply %d bytes differ between serial and batched drives", i)
+		}
+	}
+	if serialV.Stats.Sent != batchV.Stats.Sent || serialV.Stats.Received != batchV.Stats.Received {
+		t.Fatalf("vantage stats differ: serial %+v, batched %+v", serialV.Stats, batchV.Stats)
+	}
+	if batchV.Pending() != 0 {
+		t.Fatalf("batched drive left %d replies pending", batchV.Pending())
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"beholder/internal/ipv6"
@@ -57,13 +58,17 @@ type routerStep struct {
 // array is a single no-scan allocation the garbage collector never
 // walks.
 type planEntry struct {
-	// Cache key: destination, transport, and the per-flow ECMP hash
-	// (which itself folds src, dst, proto, ports/checksum/identifier,
-	// and flow label — the key triple fully determines the plan).
-	dst   ipv6.U128
-	fh    uint64
-	proto uint8
-	used  bool
+	// Cache key: destination plus the packed flow identity beyond it
+	// (transport, flow label, ports/checksum/identifier — see
+	// flowKeyOf). Matching on these raw fields lets the lookup index
+	// with two mixes instead of deriving the full seven-mix ECMP flow
+	// hash per probe; fh memoizes that hash — which the per-packet
+	// draws and ECMP selection still consume — from the entry's
+	// compute.
+	dst     ipv6.U128
+	flowKey uint64
+	fh      uint64
+	used    bool
 
 	outcome outcomeKind
 	reject  bool // reject-route rather than no-route
@@ -113,27 +118,54 @@ func (v *Vantage) reserveSteps(cls int) uint32 {
 	return off
 }
 
+// flowKeyOf packs the probe's flow identity beyond (src, dst) into one
+// comparable word: ports / checksum+identifier (32 bits), flow label
+// (20 bits), transport (8 bits). Together with the destination words
+// (and the per-vantage source) it fully determines the flow — the same
+// fields the ECMP flow hash folds, held raw so a cache probe needs no
+// hash chain.
+func flowKeyOf(d *wire.Decoded) uint64 {
+	var extra uint64
+	switch d.Proto {
+	case wire.ProtoTCP:
+		extra = uint64(d.TCP.SrcPort)<<16 | uint64(d.TCP.DstPort)
+	case wire.ProtoUDP:
+		extra = uint64(d.UDP.SrcPort)<<16 | uint64(d.UDP.DstPort)
+	case wire.ProtoICMPv6:
+		extra = uint64(d.ICMPv6.Checksum)<<16 | uint64(d.ICMPv6.ID)
+	}
+	return extra<<28 | uint64(d.IPv6.FlowLabel)<<8 | uint64(d.Proto)
+}
+
+// planIdx spreads a flow over direct-mapped plan slots: two mixes in
+// place of the seven-mix ECMP hash. Slot placement affects only which
+// flows evict each other — results are byte-identical under any
+// placement — so the cheaper spread trades nothing.
+func planIdx(d ipv6.U128, flowKey uint64) uint64 {
+	return mix64(d.Hi ^ mix64(d.Lo^flowKey))
+}
+
 // lookupPlan returns the plan for the decoded probe, from cache when
 // possible. The returned entry is owned by the vantage and valid until
 // the next lookupPlan call.
 func (v *Vantage) lookupPlan(d *wire.Decoded) *planEntry {
 	dstU := ipv6.FromAddr(d.IPv6.Dst)
-	fh := flowHashU(v.u.seed, v.srcU, dstU, d)
+	fk := flowKeyOf(d)
 	if v.planSize <= 0 {
 		v.Stats.PlanMisses++
-		v.computePlan(d, dstU, fh, &v.planScratch)
+		v.computePlan(d, dstU, fk, &v.planScratch)
 		return &v.planScratch
 	}
 	if v.planSlots == nil {
 		v.planSlots = make([]planEntry, v.planSize)
 	}
-	e := &v.planSlots[fh%uint64(v.planSize)]
-	if e.used && e.fh == fh && e.proto == d.Proto && e.dst == dstU {
+	e := &v.planSlots[planIdx(dstU, fk)%uint64(v.planSize)]
+	if e.used && e.dst == dstU && e.flowKey == fk {
 		v.Stats.PlanHits++
 		return e
 	}
 	v.Stats.PlanMisses++
-	v.computePlan(d, dstU, fh, e)
+	v.computePlan(d, dstU, fk, e)
 	return e
 }
 
@@ -156,17 +188,137 @@ func (v *Vantage) SetPlanCache(entries int) {
 // PlanCacheSize returns the configured slot count (0 when disabled).
 func (v *Vantage) PlanCacheSize() int { return v.planSize }
 
-// computePlan materializes the router path for the decoded probe into e.
-// The path is laid out in the vantage's compute scratch and then stored
-// with exact-size backing (reusing e's arrays when they fit). It mirrors
-// the planning the simulator did per probe before the cache existed;
-// keeping it a pure function of (seed, dst, proto, fh) is what licenses
-// caching it.
-func (v *Vantage) computePlan(d *wire.Decoded, dstU ipv6.U128, fh uint64, e *planEntry) {
+// planCore is one flow's plan in vantage-independent form: the
+// immutable value a campaign's shard clones share. Everything in it —
+// outcome, step keys, AS indices, prefix-summed RTTs, the ECMP flow
+// hash — is a pure function of (universe seed, vantage identity, flow),
+// and clones inherit the parent's identity, so one clone's compute
+// serves them all. Cores are never mutated after publication; the
+// per-vantage router memo stays in the private step pages.
+type planCore struct {
+	dst      ipv6.U128
+	flowKey  uint64
+	fh       uint64
+	outcome  outcomeKind
+	reject   bool
+	exists   bool
+	n        uint16
+	errorIdx uint16
+	destAS   int32
+	steps    []coreStep
+}
+
+// coreStep is one shared plan step: the router key, the owning AS by
+// index (pointers stay out of the shared value), and the prefix-summed
+// round trip.
+type coreStep struct {
+	key   RouterKey
+	asIdx int32
+	rtt   time.Duration
+}
+
+// sharedPlans is the campaign-scope plan-core cache: a direct-mapped
+// slot array of atomically published immutable cores, shared by a
+// parent vantage and every shard clone. Racing computes of the same
+// flow publish semantically identical values (plans are pure), so
+// last-write-wins needs no locking; a slot collision merely evicts.
+type sharedPlans struct {
+	slots []atomic.Pointer[planCore]
+}
+
+// computePlan materializes the plan for the decoded probe into e: from
+// the campaign-shared core cache when a sibling shard (or an earlier
+// campaign from this vantage family) already planned the flow, freshly
+// otherwise — publishing the fresh result for the siblings.
+func (v *Vantage) computePlan(d *wire.Decoded, dstU ipv6.U128, flowKey uint64, e *planEntry) {
+	var sp *atomic.Pointer[planCore]
+	// The shared cache only serves plan-caching vantages: with the
+	// private cache disabled (one-shot flows like alias detection)
+	// publishing cores would cost allocations per probe for hits that
+	// can never come.
+	if v.shared != nil && v.planSize > 0 {
+		sp = &v.shared.slots[planIdx(dstU, flowKey)%uint64(len(v.shared.slots))]
+		if c := sp.Load(); c != nil && c.dst == dstU && c.flowKey == flowKey {
+			v.Stats.SharedPlanHits++
+			v.fillFromCore(e, c)
+			return
+		}
+	}
+	v.computePlanFresh(d, dstU, flowKey, e)
+	if sp != nil {
+		sp.Store(v.coreOf(e))
+	}
+}
+
+// fillFromCore rehydrates e from a shared core: header fields copied,
+// steps laid into this vantage's private pages (router memos start
+// empty — routers are vantage-owned).
+func (v *Vantage) fillFromCore(e *planEntry, c *planCore) {
+	oldOff, oldCap := e.stepOff, e.stepCap
+	*e = planEntry{
+		dst: c.dst, flowKey: c.flowKey, fh: c.fh, used: true,
+		outcome: c.outcome, reject: c.reject, exists: c.exists,
+		n: c.n, errorIdx: c.errorIdx, destAS: c.destAS,
+	}
+	n := len(c.steps)
+	if int(oldCap) >= n {
+		e.stepOff, e.stepCap = oldOff, oldCap
+	} else {
+		cls := (n + 7) &^ 7
+		e.stepOff = v.reserveSteps(cls)
+		e.stepCap = uint16(cls)
+	}
+	dst := v.stepsAt(e.stepOff, n)
+	for i := 0; i < n; i++ {
+		dst[i] = routerStep{key: c.steps[i].key, as: v.u.ases[c.steps[i].asIdx], rtt: c.steps[i].rtt}
+	}
+}
+
+// coreOf snapshots e (and its laid-out steps) as an immutable shared
+// core. Cores and their step lists are carved from vantage-owned slabs
+// — racing shards publish a few thousand cores per campaign, and slab
+// pieces keep that off the per-flow allocation ledger. Carved pieces
+// are never reused, so published cores stay immutable.
+func (v *Vantage) coreOf(e *planEntry) *planCore {
+	n := int(e.n)
+	if len(v.coreBlock) == 0 {
+		v.coreBlock = make([]planCore, 64)
+	}
+	c := &v.coreBlock[0]
+	v.coreBlock = v.coreBlock[1:]
+	*c = planCore{
+		dst: e.dst, flowKey: e.flowKey, fh: e.fh,
+		outcome: e.outcome, reject: e.reject, exists: e.exists,
+		n: e.n, errorIdx: e.errorIdx, destAS: e.destAS,
+	}
+	if len(v.coreSteps) < n {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		v.coreSteps = make([]coreStep, size)
+	}
+	c.steps = v.coreSteps[:n:n]
+	v.coreSteps = v.coreSteps[n:]
+	src := v.stepsAt(e.stepOff, n)
+	for i := 0; i < n; i++ {
+		c.steps[i] = coreStep{key: src[i].key, asIdx: int32(src[i].as.Idx), rtt: src[i].rtt}
+	}
+	return c
+}
+
+// computePlanFresh materializes the router path for the decoded probe
+// into e. The path is laid out in the vantage's compute scratch and then
+// stored with exact-size backing (reusing e's arrays when they fit). It
+// mirrors the planning the simulator did per probe before the cache
+// existed; keeping it a pure function of (seed, dst, flow identity) is
+// what licenses caching and sharing it.
+func (v *Vantage) computePlanFresh(d *wire.Decoded, dstU ipv6.U128, flowKey uint64, e *planEntry) {
 	u := v.u
+	fh := flowHashU(u.seed, v.srcU, dstU, d)
 	steps := v.scratchSteps[:0]
 	oldOff, oldCap := e.stepOff, e.stepCap
-	*e = planEntry{dst: dstU, fh: fh, proto: d.Proto, used: true, destAS: -1}
+	*e = planEntry{dst: dstU, flowKey: flowKey, fh: fh, used: true, destAS: -1}
 
 	// On-premise access chain.
 	for i := 0; i < v.spec.ChainLen; i++ {

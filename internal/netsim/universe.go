@@ -31,8 +31,10 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"beholder/internal/bgp"
@@ -87,6 +89,21 @@ type Universe struct {
 	table *bgp.Table
 	clock Clock
 
+	// lossSurvive[h] is the probability a probe survives h link
+	// crossings at the configured loss rate — math.Pow outputs
+	// precomputed once so the per-probe loss draw is a table load. Nil
+	// when loss is disabled.
+	lossSurvive []float64
+
+	// planShare hands every vantage of one identity (a named vantage
+	// and all its shard clones, across campaigns) one shared plan-core
+	// cache: plans are pure functions of (seed, identity, flow), so a
+	// later campaign — or a sibling shard — starts from the flows
+	// already planned. Guarded by planShareMu at vantage creation only;
+	// the packet path touches the cache through atomics.
+	planShareMu sync.Mutex
+	planShare   map[uint64]*sharedPlans
+
 	// Stats counts globally observable simulator events; tests assert on
 	// these to validate mechanism behaviour (e.g. rate-limit suppression).
 	// Updated with atomic adds; read them only while no campaign runs.
@@ -125,6 +142,17 @@ func NewUniverse(cfg Config) *Universe {
 	}
 	u.buildASGraph()
 	u.allocateAddressSpace()
+	if cfg.LossPercent > 0 {
+		// Covers every plannable path (the AS walk is bounded at 64
+		// ASes of at most 3 hops plus access chain and descent, and the
+		// loss draw doubles the hop count); longer paths fall back to a
+		// live Pow in Vantage.lost.
+		p := float64(cfg.LossPercent) / 100
+		u.lossSurvive = make([]float64, 1024)
+		for i := range u.lossSurvive {
+			u.lossSurvive[i] = math.Pow(1-p, float64(i))
+		}
+	}
 	return u
 }
 

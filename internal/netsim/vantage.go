@@ -75,6 +75,16 @@ type Vantage struct {
 	planScratch  planEntry
 	scratchSteps []routerStep
 
+	// shared is the campaign-scope plan-core cache (plancache.go):
+	// created on the parent at the first Clone and inherited by every
+	// shard clone, so one shard's plan compute serves the whole
+	// campaign. Nil outside sharded operation — the serial path pays
+	// nothing for it. coreBlock and coreSteps are this vantage's
+	// publication slabs: carved, never reused.
+	shared    *sharedPlans
+	coreBlock []planCore
+	coreSteps []coreStep
+
 	// stepPages back every cached plan's step list, addressed by
 	// offset/length from the (pointer-free) cache slots. Pages are
 	// fixed-size and never move, so offsets stay valid as the store
@@ -98,6 +108,12 @@ type Vantage struct {
 	freeSmall []int32
 	freeFull  []int32
 
+	// pend batches this vantage's universe-stat contributions between
+	// flushes (see SendBatch/FlushStats): the shared SimStats atomics
+	// are the only cross-shard writes on the packet path, so batched
+	// sends defer them.
+	pend simDelta
+
 	// Stats counts prober-visible events at this vantage.
 	Stats VantageStats
 }
@@ -111,6 +127,9 @@ type VantageStats struct {
 	// observable here without affecting results (cached plans are pure).
 	PlanHits   int64
 	PlanMisses int64
+	// SharedPlanHits counts private-cache misses served from the
+	// campaign-shared plan-core cache instead of a fresh compute.
+	SharedPlanHits int64
 }
 
 // NewVantage attaches a vantage to a deterministic AS of spec.Kind.
@@ -144,7 +163,28 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	}
 	v.srcU = ipv6.FromAddr(v.addr)
 	v.parent = u.bfsTree(as.Idx)
+	v.shared = u.sharedPlansFor(nameKey, v.planSize)
 	return v
+}
+
+// sharedPlansFor returns (creating on first use) the plan-core cache
+// shared by every vantage with the given identity key. Nil when plan
+// caching is disabled for the universe.
+func (u *Universe) sharedPlansFor(id uint64, planSize int) *sharedPlans {
+	if planSize <= 0 {
+		return nil
+	}
+	u.planShareMu.Lock()
+	defer u.planShareMu.Unlock()
+	if u.planShare == nil {
+		u.planShare = make(map[uint64]*sharedPlans)
+	}
+	sp := u.planShare[id]
+	if sp == nil {
+		sp = &sharedPlans{slots: make([]atomic.Pointer[planCore], planSize)}
+		u.planShare[id] = sp
+	}
+	return sp
 }
 
 // planCacheSize resolves the configured flow-plan cache size.
@@ -166,6 +206,15 @@ func (u *Universe) planCacheSize() int {
 // campaign's coordinated watermark covers it. Clones must be created
 // before the shards start running (Clone mutates the parent's group).
 func (v *Vantage) Clone(start time.Duration) *Vantage {
+	if v.shared == nil && v.planSize > 0 {
+		// Shard clones share one plan-core cache with the parent (and
+		// with each other): plans are pure functions of the inherited
+		// vantage identity, so the first shard to plan a flow plans it
+		// for all of them. Created once per vantage family; successive
+		// campaigns keep it warm (stale entries stay correct — the
+		// topology is immutable).
+		v.shared = &sharedPlans{slots: make([]atomic.Pointer[planCore], v.planSize)}
+	}
 	nv := &Vantage{
 		u:        v.u,
 		spec:     v.spec,
@@ -177,6 +226,7 @@ func (v *Vantage) Clone(start time.Duration) *Vantage {
 		parent:   v.parent, // read-only after construction
 		routers:  make(map[RouterKey]*Router),
 		planSize: v.planSize,
+		shared:   v.shared,
 	}
 	if v.group == nil {
 		v.group = &ClockGroup{}
@@ -325,15 +375,121 @@ func hashFloat(key uint64) float64 {
 	return float64(key>>11) / (1 << 53)
 }
 
+// simDelta batches a vantage's universe-stat contributions so that the
+// shared SimStats atomics — the only cross-shard writes on the packet
+// path — are touched once per send batch instead of two or three times
+// per probe. Field order mirrors SimStats.
+type simDelta struct {
+	packetsRouted     int64
+	timeExceededSent  int64
+	rateLimitDropped  int64
+	unresponsiveDrops int64
+	errorsSent        int64
+	echoRepliesSent   int64
+	tcpRstsSent       int64
+	portUnreachSent   int64
+	lossDropped       int64
+	filteredDrops     int64
+}
+
+// flush applies the accumulated counts to the shared universe stats,
+// skipping zero fields so an uneventful batch costs one atomic add.
+func (d *simDelta) flush(s *SimStats) {
+	if d.packetsRouted != 0 {
+		atomic.AddInt64(&s.PacketsRouted, d.packetsRouted)
+	}
+	if d.timeExceededSent != 0 {
+		atomic.AddInt64(&s.TimeExceededSent, d.timeExceededSent)
+	}
+	if d.rateLimitDropped != 0 {
+		atomic.AddInt64(&s.RateLimitDropped, d.rateLimitDropped)
+	}
+	if d.unresponsiveDrops != 0 {
+		atomic.AddInt64(&s.UnresponsiveDrops, d.unresponsiveDrops)
+	}
+	if d.errorsSent != 0 {
+		atomic.AddInt64(&s.ErrorsSent, d.errorsSent)
+	}
+	if d.echoRepliesSent != 0 {
+		atomic.AddInt64(&s.EchoRepliesSent, d.echoRepliesSent)
+	}
+	if d.tcpRstsSent != 0 {
+		atomic.AddInt64(&s.TCPRstsSent, d.tcpRstsSent)
+	}
+	if d.portUnreachSent != 0 {
+		atomic.AddInt64(&s.PortUnreachSent, d.portUnreachSent)
+	}
+	if d.lossDropped != 0 {
+		atomic.AddInt64(&s.LossDropped, d.lossDropped)
+	}
+	if d.filteredDrops != 0 {
+		atomic.AddInt64(&s.FilteredDrops, d.filteredDrops)
+	}
+	*d = simDelta{}
+}
+
 // Send routes one wire-format probe through the simulated internetwork,
 // scheduling at most one reply for later Recv. Malformed packets error.
 func (v *Vantage) Send(pkt []byte) error {
+	var st simDelta
+	err := v.send1(pkt, &st)
+	st.flush(&v.u.Stats)
+	return err
+}
+
+// SendBatch routes pkts in order, advancing the virtual clock by gap
+// after each packet — byte- and time-identical to a serial Send/Sleep
+// loop — and stops early as soon as a reply becomes deliverable, so a
+// batched prober drains at exactly the instants a per-probe loop would
+// have. Shared-universe stat atomics are deferred into the vantage's
+// pending delta and flushed every few thousand packets and at
+// FlushStats; the clock itself still advances per packet (per-packet
+// draws are keyed on the exact send time, and clock-group watermarks
+// stay fine-grained).
+func (v *Vantage) SendBatch(pkts [][]byte, gap time.Duration) (int, bool, error) {
+	for i := range pkts {
+		if err := v.send1(pkts[i], &v.pend); err != nil {
+			return i, v.deliverable(), err
+		}
+		v.clk.Sleep(gap)
+		if v.deliverable() {
+			if v.pend.packetsRouted >= pendFlushEvery {
+				v.pend.flush(&v.u.Stats)
+			}
+			return i + 1, true, nil
+		}
+	}
+	if v.pend.packetsRouted >= pendFlushEvery {
+		v.pend.flush(&v.u.Stats)
+	}
+	return len(pkts), false, nil
+}
+
+// pendFlushEvery bounds how many batched sends may accumulate in the
+// pending stat delta before it is pushed to the shared atomics.
+const pendFlushEvery = 4096
+
+// FlushStats publishes the pending batched-send stat delta to the
+// shared universe counters. Yarrp6 calls it when a run ends; universe
+// stats are documented as exact only while no campaign is in flight.
+func (v *Vantage) FlushStats() { v.pend.flush(&v.u.Stats) }
+
+// deliverable reports whether a queued reply's delivery time has
+// arrived.
+func (v *Vantage) deliverable() bool {
+	return len(v.queue) > 0 && v.queue[0].at <= v.clk.Now()
+}
+
+// send1 is the shared routing core of Send and SendBatch: it decodes
+// and routes one probe, accumulating universe-stat contributions into
+// st instead of the shared atomics.
+func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 	if err := v.dec.Decode(pkt); err != nil {
 		return fmt.Errorf("netsim: undecodable probe: %w", err)
 	}
 	d := &v.dec
 	v.Stats.Sent++
-	atomic.AddInt64(&v.u.Stats.PacketsRouted, 1)
+	st.packetsRouted++
 
 	plan := v.lookupPlan(d)
 	planN := int(plan.n)
@@ -347,19 +503,19 @@ func (v *Vantage) Send(pkt []byte) error {
 	if ttl <= planN {
 		idx := ttl - 1
 		if v.lost(pk, now, 2*ttl) {
-			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
+			st.lossDropped++
 			return nil
 		}
 		r := v.stepRouter(plan, idx)
 		if r.unresponsive {
-			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
+			st.unresponsiveDrops++
 			return nil
 		}
 		if !r.allowICMP(now) {
-			atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
+			st.rateLimitDropped++
 			return nil
 		}
-		atomic.AddInt64(&v.u.Stats.TimeExceededSent, 1)
+		st.timeExceededSent++
 		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, plan, idx, now, pk)
 		return nil
 	}
@@ -370,21 +526,21 @@ func (v *Vantage) Send(pkt []byte) error {
 		// Exceeded on the real Internet: many networks blackhole
 		// unallocated space silently.
 		if plan.outcome == outNoRoute && hashFloat(h(pk, drawNoRoute, uint64(now))) < 0.65 {
-			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
+			st.filteredDrops++
 			return nil
 		}
 		idx := int(plan.errorIdx)
 		if v.lost(pk, now, 2*(idx+1)) {
-			atomic.AddInt64(&v.u.Stats.LossDropped, 1)
+			st.lossDropped++
 			return nil
 		}
 		r := v.stepRouter(plan, idx)
 		if r.unresponsive {
-			atomic.AddInt64(&v.u.Stats.UnresponsiveDrops, 1)
+			st.unresponsiveDrops++
 			return nil
 		}
 		if !r.allowICMP(now) {
-			atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
+			st.rateLimitDropped++
 			return nil
 		}
 		code := uint8(wire.CodeNoRoute)
@@ -393,28 +549,28 @@ func (v *Vantage) Send(pkt []byte) error {
 		} else if plan.reject {
 			code = wire.CodeRejectRoute
 		}
-		atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
+		st.errorsSent++
 		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, plan, idx, now, pk)
 		return nil
 
 	case outFilteredSilent:
-		atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
+		st.filteredDrops++
 		return nil
 	}
 
 	// Destination /64 reached.
 	if v.lost(pk, now, 2*(planN+1)) {
-		atomic.AddInt64(&v.u.Stats.LossDropped, 1)
+		st.lossDropped++
 		return nil
 	}
 	rtt := v.stepAt(plan.stepOff+uint32(planN-1)).rtt + v.jitter(pk, now)
 	switch {
 	case plan.exists && d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest:
 		if v.u.ases[plan.destAS].BlockEcho {
-			atomic.AddInt64(&v.u.Stats.FilteredDrops, 1)
+			st.filteredDrops++
 			return nil
 		}
-		atomic.AddInt64(&v.u.Stats.EchoRepliesSent, 1)
+		st.echoRepliesSent++
 		payload := d.Payload
 		if max := wire.MinMTU - wire.IPv6HeaderLen - wire.ICMPv6HeaderLen; len(payload) > max {
 			// The return path, like the quote path, is MinMTU-bound (the
@@ -428,12 +584,12 @@ func (v *Vantage) Send(pkt []byte) error {
 		n := wire.BuildEchoReply(v.bufs[bi], d.IPv6.Dst, v.addr, &d.ICMPv6, payload, 64)
 		v.deliver(bi, n, now+rtt)
 	case plan.exists && d.Proto == wire.ProtoUDP:
-		atomic.AddInt64(&v.u.Stats.PortUnreachSent, 1)
+		st.portUnreachSent++
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(pkt))
 		n := wire.BuildICMPv6Error(v.bufs[bi], wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
 		v.deliver(bi, n, now+rtt)
 	case plan.exists && d.Proto == wire.ProtoTCP:
-		atomic.AddInt64(&v.u.Stats.TCPRstsSent, 1)
+		st.tcpRstsSent++
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.TCPHeaderLen)
 		n := wire.BuildTCPRst(v.bufs[bi], d.IPv6.Dst, v.addr, &d.TCP, 64)
 		v.deliver(bi, n, now+rtt)
@@ -443,10 +599,10 @@ func (v *Vantage) Send(pkt []byte) error {
 		if hashFloat(h(pk, drawND, uint64(now))) < 0.6 {
 			r := v.stepRouter(plan, int(plan.errorIdx))
 			if !r.unresponsive && r.allowICMP(now) {
-				atomic.AddInt64(&v.u.Stats.ErrorsSent, 1)
+				st.errorsSent++
 				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, plan, int(plan.errorIdx), now, pk)
 			} else {
-				atomic.AddInt64(&v.u.Stats.RateLimitDropped, 1)
+				st.rateLimitDropped++
 			}
 		}
 	}
@@ -476,13 +632,23 @@ func (v *Vantage) jitter(pk uint64, now time.Duration) time.Duration {
 }
 
 // lost rolls per-traversal loss over hops link crossings (forward and
-// return combined by the caller).
+// return combined by the caller). The survival probabilities are pure
+// functions of the configured loss rate and the hop count, so they come
+// from the universe's precomputed table — entries are math.Pow outputs
+// verbatim, so the draw threshold is bit-identical to computing the
+// power per probe — with a live Pow fallback for paths beyond the
+// table.
 func (v *Vantage) lost(pk uint64, now time.Duration, hops int) bool {
-	p := float64(v.u.cfg.LossPercent) / 100
-	if p <= 0 {
+	t := v.u.lossSurvive
+	if t == nil {
 		return false
 	}
-	survive := math.Pow(1-p, float64(hops))
+	var survive float64
+	if hops < len(t) {
+		survive = t[hops]
+	} else {
+		survive = math.Pow(1-float64(v.u.cfg.LossPercent)/100, float64(hops))
+	}
 	return hashFloat(h(pk, drawLoss, uint64(now))) > survive
 }
 
@@ -541,8 +707,45 @@ func (v *Vantage) Recv(buf []byte) (int, bool) {
 	return n, true
 }
 
+// RecvBatch copies every reply deliverable at the current virtual time
+// — at most len(sizes) of them — back-to-back into buf, recording each
+// reply's length in sizes, and recycling the internal buffers. It
+// returns the reply count; replies come out in the exact order repeated
+// Recv calls would have produced (heap order on delivery time).
+func (v *Vantage) RecvBatch(buf []byte, sizes []int) int {
+	now := v.clk.Now()
+	n, off := 0, 0
+	for n < len(sizes) {
+		if len(v.queue) == 0 || v.queue[0].at > now {
+			break
+		}
+		if len(buf)-off < int(v.queue[0].n) {
+			break
+		}
+		d := v.queue.pop()
+		v.Stats.Received++
+		m := copy(buf[off:], v.bufs[d.buf][:d.n])
+		v.putBuf(d.buf)
+		sizes[n] = m
+		off += m
+		n++
+	}
+	return n
+}
+
 // Pending reports how many replies are queued (delivered or in flight).
 func (v *Vantage) Pending() int { return len(v.queue) }
+
+// NextDeliveryAt returns the earliest queued reply's delivery time; ok
+// is false when the queue is empty. Probers use it to fast-forward
+// their drain schedule across stretches of virtual time where nothing
+// can arrive.
+func (v *Vantage) NextDeliveryAt() (time.Duration, bool) {
+	if len(v.queue) == 0 {
+		return 0, false
+	}
+	return v.queue[0].at, true
+}
 
 // delivery is one scheduled reply: a pool buffer index plus its valid
 // length. Entries are unboxed, 16-byte, pointer-free values — no

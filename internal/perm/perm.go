@@ -158,3 +158,26 @@ func (it *Iterator) Next() (v uint64, ok bool) {
 
 // Pos reports how many values have been emitted (the resume counter).
 func (it *Iterator) Pos() uint64 { return it.next }
+
+// NextBatch fills out with the next permuted values, returning how many
+// were written (short only when the domain runs out). It is exactly
+// equivalent to len(out) successive Next calls — the batched probe
+// pipeline uses it to amortize iterator dispatch over a whole send
+// batch. The domain bound, key schedule, and mask are hoisted out of
+// the fill loop; the cycle-walk runs inline per index.
+func (it *Iterator) NextBatch(out []uint64) int {
+	p := it.p
+	i := it.next
+	n := 0
+	for n < len(out) && i < p.n {
+		v := p.encryptOnce(i)
+		for v >= p.n {
+			v = p.encryptOnce(v)
+		}
+		out[n] = v
+		n++
+		i++
+	}
+	it.next = i
+	return n
+}

@@ -173,3 +173,63 @@ func BenchmarkApply(b *testing.B) {
 		p.Apply(uint64(i) % p.N())
 	}
 }
+
+// TestNextBatchEquivalence: NextBatch must be exactly equivalent to
+// repeated Next — same values, same positions, same exhaustion — for
+// every batch size against every domain, including batches that do not
+// divide the domain and batches larger than it.
+func TestNextBatchEquivalence(t *testing.T) {
+	for _, n := range []uint64{1, 2, 7, 64, 65, 1000, 4099} {
+		for _, batch := range []int{1, 3, 7, 64, 100} {
+			p := MustNew(0xfeed^n, n)
+			serial := p.Iter()
+			batched := p.Iter()
+			buf := make([]uint64, batch)
+			for {
+				got := batched.NextBatch(buf)
+				for i := 0; i < got; i++ {
+					want, ok := serial.Next()
+					if !ok {
+						t.Fatalf("n=%d batch=%d: NextBatch yielded a value past exhaustion", n, batch)
+					}
+					if buf[i] != want {
+						t.Fatalf("n=%d batch=%d: NextBatch[%d] = %d, Next = %d", n, batch, i, buf[i], want)
+					}
+				}
+				if batched.Pos() != serial.Pos() {
+					t.Fatalf("n=%d batch=%d: positions diverge: %d vs %d", n, batch, batched.Pos(), serial.Pos())
+				}
+				if got < batch {
+					break
+				}
+			}
+			if _, ok := serial.Next(); ok {
+				t.Fatalf("n=%d batch=%d: serial iterator not exhausted when batched was", n, batch)
+			}
+			if got := batched.NextBatch(buf); got != 0 {
+				t.Fatalf("n=%d batch=%d: NextBatch after exhaustion returned %d values", n, batch, got)
+			}
+		}
+	}
+}
+
+// TestNextBatchResume: a batched walk resumed mid-domain must continue
+// the same sequence a serial Resume would.
+func TestNextBatchResume(t *testing.T) {
+	p := MustNew(99, 1000)
+	serial := p.Resume(337)
+	batched := p.Resume(337)
+	buf := make([]uint64, 17)
+	for {
+		got := batched.NextBatch(buf)
+		if got == 0 {
+			break
+		}
+		for i := 0; i < got; i++ {
+			want, _ := serial.Next()
+			if buf[i] != want {
+				t.Fatalf("resumed NextBatch diverges at pos %d", batched.Pos()-uint64(got)+uint64(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// countConn is a minimal plain Conn recording sends and sleeps.
+type countConn struct {
+	fuzzConn
+	sent    [][]byte
+	slept   time.Duration
+	sendErr error
+}
+
+func (c *countConn) Send(p []byte) error {
+	if c.sendErr != nil {
+		return c.sendErr
+	}
+	c.sent = append(c.sent, append([]byte(nil), p...))
+	return nil
+}
+
+func (c *countConn) Sleep(d time.Duration) { c.slept += d; c.fuzzConn.Sleep(d) }
+
+// batchRecorder wraps countConn as a BatchConn to prove SendBatch
+// dispatches whole batches to capable connections.
+type batchRecorder struct {
+	countConn
+	batches []int
+}
+
+func (b *batchRecorder) SendBatch(pkts [][]byte, gap time.Duration) (int, bool, error) {
+	b.batches = append(b.batches, len(pkts))
+	for _, p := range pkts {
+		if err := b.Send(p); err != nil {
+			return 0, false, err
+		}
+		b.Sleep(gap)
+	}
+	return len(pkts), false, nil
+}
+func (b *batchRecorder) RecvBatch([]byte, []int) int           { return 0 }
+func (b *batchRecorder) Pending() int                          { return 0 }
+func (b *batchRecorder) NextDeliveryAt() (time.Duration, bool) { return 0, false }
+func (b *batchRecorder) FlushStats()                           {}
+
+// TestSendBatchFallbackShim: for a connection without batch support,
+// the package-level SendBatch helper degrades to exactly one packet
+// per call — one Send, one gap of pacing, deliverable reported true so
+// the caller drains after every packet — which is precisely the serial
+// Send/Sleep schedule.
+func TestSendBatchFallbackShim(t *testing.T) {
+	c := &countConn{fuzzConn: fuzzConn{addr: netip.MustParseAddr("2001:db8::1")}}
+	pkts := [][]byte{{1}, {2}, {3}}
+	gap := 250 * time.Microsecond
+
+	sent := 0
+	for sent < len(pkts) {
+		n, deliverable, err := SendBatch(c, pkts[sent:], gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("shim sent %d packets per call, want 1", n)
+		}
+		if !deliverable {
+			t.Fatal("shim must report deliverable so the caller drains per packet")
+		}
+		sent += n
+	}
+	if len(c.sent) != 3 || c.slept != 3*gap {
+		t.Fatalf("shim sent %d packets, slept %v; want 3 and %v", len(c.sent), c.slept, 3*gap)
+	}
+	for i, p := range c.sent {
+		if p[0] != pkts[i][0] {
+			t.Fatalf("packet %d reordered", i)
+		}
+	}
+	if n, deliverable, err := SendBatch(c, nil, gap); n != 0 || deliverable || err != nil {
+		t.Fatalf("empty batch: got (%d, %v, %v)", n, deliverable, err)
+	}
+}
+
+// TestSendBatchDispatch: a batch-capable connection receives the whole
+// batch in one call.
+func TestSendBatchDispatch(t *testing.T) {
+	b := &batchRecorder{}
+	pkts := [][]byte{{1}, {2}, {3}, {4}}
+	n, _, err := SendBatch(b, pkts, time.Millisecond)
+	if err != nil || n != 4 {
+		t.Fatalf("dispatch: got (%d, %v), want 4 packets in one call", n, err)
+	}
+	if len(b.batches) != 1 || b.batches[0] != 4 {
+		t.Fatalf("batches = %v, want one call of 4", b.batches)
+	}
+}

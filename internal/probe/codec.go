@@ -3,6 +3,7 @@ package probe
 import (
 	"encoding/binary"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"beholder/internal/ipv6"
@@ -41,6 +42,13 @@ type Codec struct {
 	tmplSize   int
 	payloadOff int
 
+	// sharedTmpl, when non-nil, replaces the private template cache
+	// with a campaign-shared store: templates are instance-neutral (the
+	// instance byte is patched per build like the TTL), so the shards
+	// of one campaign — which differ only in their instance byte —
+	// build each target's template once between them.
+	sharedTmpl *TmplStore
+
 	// NotMine counts replies that failed the magic/instance/identifier
 	// authentication.
 	NotMine int64
@@ -75,6 +83,34 @@ func (c *Codec) SetProbeCache(entries int) {
 	}
 	c.tmplSize = entries
 	c.tmpl = nil
+}
+
+// TmplStore is a concurrent probe-template store shared by the codecs
+// of one campaign's shards: direct-mapped slots of atomically published
+// immutable templates. Templates are instance-neutral, so codecs that
+// differ only in their instance byte (campaign shards, by construction)
+// share them; racing publishes of one target produce identical values,
+// so last-write-wins needs no locking. Probes served from the store are
+// byte-identical to fresh builds — same guarantee as the private cache.
+type TmplStore struct {
+	slots []atomic.Pointer[probeTmpl]
+}
+
+// NewTmplStore creates a shared template store with the given number of
+// direct-mapped slots (rounded up to at least one).
+func NewTmplStore(entries int) *TmplStore {
+	if entries < 1 {
+		entries = 1
+	}
+	return &TmplStore{slots: make([]atomic.Pointer[probeTmpl], entries)}
+}
+
+// UseSharedTemplates routes this codec's template caching through the
+// shared store (replacing any private cache).
+func (c *Codec) UseSharedTemplates(s *TmplStore) {
+	c.sharedTmpl = s
+	c.tmpl = nil
+	c.tmplSize = 0
 }
 
 // NewCodec creates a codec for the given transport, anchored at the
@@ -113,7 +149,36 @@ func targetSum(target netip.Addr) uint16 {
 // base sum by ones'-complement arithmetic — no header marshalling and no
 // byte checksumming on a hit, byte-identical output either way.
 func (c *Codec) BuildProbe(buf []byte, target netip.Addr, ttl uint8) int {
-	elapsed := uint32((c.conn.Now() - c.epoch) / time.Microsecond)
+	return c.BuildProbeAt(buf, target, ttl, c.conn.Now())
+}
+
+// BuildProbeAt is BuildProbe with an explicit virtual send time: the
+// elapsed timestamp embedded in the payload (and folded into the
+// checksum fudge) is derived from at instead of the connection clock.
+// The batched prober pre-builds a whole send batch with each packet
+// stamped for its own future departure instant — the clock advances by
+// exactly one inter-probe gap per send, so the predicted instants equal
+// the actual ones and the wire bytes match a per-probe build exactly.
+func (c *Codec) BuildProbeAt(buf []byte, target netip.Addr, ttl uint8, at time.Duration) int {
+	elapsed := uint32((at - c.epoch) / time.Microsecond)
+	if c.sharedTmpl != nil {
+		tu := ipv6.FromAddr(target)
+		slot := &c.sharedTmpl.slots[tmplMix(tu)%uint64(len(c.sharedTmpl.slots))]
+		if tp := slot.Load(); tp != nil && tp.dst == tu {
+			n := int(tp.n)
+			copy(buf[:n], tp.pkt[:n])
+			c.patchProbe(buf[:n], ttl, elapsed, tp.sBase)
+			return n
+		}
+		n := c.buildProbeSlow(buf, target, ttl, elapsed)
+		if n <= tmplPktMax {
+			tp := &probeTmpl{dst: tu, used: true, n: int32(n)}
+			copy(tp.pkt[:n], buf[:n])
+			c.templatize(tp, target, n)
+			slot.Store(tp)
+		}
+		return n
+	}
 	if c.tmplSize > 0 {
 		if c.tmpl == nil {
 			c.tmpl = make([]probeTmpl, c.tmplSize)
@@ -176,12 +241,14 @@ func (c *Codec) buildProbeSlow(buf []byte, target netip.Addr, ttl uint8, elapsed
 }
 
 // templatize zeroes the template's variable bytes (hop limit, payload
-// TTL, elapsed, fudge) and records the folded sum of everything that
-// remains — the per-target constant the per-probe fudge is derived from.
+// instance and TTL, elapsed, fudge) and records the folded sum of
+// everything that remains — the per-target constant the per-probe fudge
+// is derived from. The instance byte counts as variable so shard codecs
+// differing only by instance can share one template.
 func (c *Codec) templatize(slot *probeTmpl, target netip.Addr, n int) {
 	po := c.payloadOff
 	slot.pkt[7] = 0 // hop limit (outside the transport checksum, but patched per probe)
-	for i := po + 5; i < po+PayloadLen; i++ {
+	for i := po + 4; i < po+PayloadLen; i++ {
 		slot.pkt[i] = 0
 	}
 	var cs wire.Checksummer
@@ -192,14 +259,16 @@ func (c *Codec) templatize(slot *probeTmpl, target netip.Addr, n int) {
 
 // patchProbe writes the per-probe variable bytes into a template copy.
 // The fudge keeps the forced checksum valid: the new segment sum is
-// sBase plus the three freshly written words, and the fudge is its
-// complement deficit — the same value a full rebuild would solve for.
+// sBase plus the freshly written words (the instance/TTL word and the
+// elapsed halves), and the fudge is its complement deficit — the same
+// value a full rebuild would solve for.
 func (c *Codec) patchProbe(pkt []byte, ttl uint8, elapsed uint32, sBase uint32) {
 	po := c.payloadOff
 	pkt[7] = ttl
+	pkt[po+4] = c.instance
 	pkt[po+5] = ttl
 	binary.BigEndian.PutUint32(pkt[po+6:po+10], elapsed)
-	raw := sBase + uint32(ttl) + elapsed>>16 + elapsed&0xffff
+	raw := sBase + uint32(c.instance)<<8 + uint32(ttl) + elapsed>>16 + elapsed&0xffff
 	raw = raw>>16 + raw&0xffff
 	raw = raw>>16 + raw&0xffff
 	fudge := 0xffff - uint16(raw)

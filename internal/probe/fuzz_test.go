@@ -108,5 +108,24 @@ func FuzzProbeCacheEquivalence(f *testing.F) {
 		if !d.VerifyTransportChecksum(b[:nb]) {
 			t.Fatal("arithmetic checksum fudge does not verify against full recompute")
 		}
+
+		// Batch-build equivalence: BuildProbeAt stamped for a future
+		// instant must equal BuildProbe issued once the clock reaches
+		// that instant — the exact prediction the batched prober makes
+		// when it pre-builds a send batch — via both the template-cache
+		// and the full-serialization paths.
+		at := cached.Now() + time.Duration(sleepMs)*time.Millisecond
+		var e, g [128]byte
+		ne := fast.BuildProbeAt(e[:], target, ttl, at)
+		cached.Sleep(at - cached.Now())
+		ng := fast.BuildProbe(g[:], target, ttl)
+		if ne != ng || !bytes.Equal(e[:ne], g[:ng]) {
+			t.Fatalf("pre-stamped batch build differs from build-at-send for %s ttl %d proto %d", target, ttl, proto)
+		}
+		plain.Sleep(at - plain.Now())
+		nh := slow.BuildProbeAt(a[:], target, ttl, at)
+		if nh != ne || !bytes.Equal(a[:nh], e[:ne]) {
+			t.Fatalf("uncached BuildProbeAt differs from cached for %s ttl %d proto %d", target, ttl, proto)
+		}
 	})
 }
