@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check fmt vet fuzz-smoke cover
+.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -18,10 +18,18 @@ bench:
 	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR5.json
 
 # bench-check is the CI gate: short-form run that fails when any hot
-# benchmark's steady-state allocs/probe exceeds the bound, or when
-# 4-shard parallel efficiency falls below 0.6.
+# benchmark's steady-state allocs/probe exceeds the bound, when
+# 4-shard parallel efficiency falls below 0.6, or when the fully
+# instrumented campaign (telemetry registry + progress stream) drops
+# below 0.95x the bare campaign's throughput.
 bench-check:
 	$(GO) run ./cmd/bench -benchtime 150ms -check
+
+# progress-sample writes a small campaign's NDJSON progress stream —
+# the live-observability artifact CI uploads for every build.
+progress-sample:
+	$(GO) run ./cmd/yarrp6 -small -seeds cdn-k32 -scale 0.2 -rate 8000 -shards 2 -progress progress-sample.ndjson
+	head -3 progress-sample.ndjson
 
 fmt:
 	gofmt -l .

@@ -18,6 +18,7 @@ package beholder
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net/netip"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"beholder/internal/seeds"
 	"beholder/internal/subnet"
 	"beholder/internal/target"
+	"beholder/internal/telemetry"
 	"beholder/internal/trace"
 	"beholder/internal/wire"
 )
@@ -183,6 +185,45 @@ func (v *Vantage) PlanCacheStats() (hits, misses int64) {
 	return v.v.Stats.PlanHits, v.v.Stats.PlanMisses
 }
 
+// PlanCacheEvictions returns how many plan-cache misses displaced a
+// different flow's entry from its direct-mapped slot — the conflict-miss
+// share of the miss counter.
+func (v *Vantage) PlanCacheEvictions() int64 { return v.v.Stats.PlanEvictions }
+
+// TelemetryRegistry aggregates campaign metrics: counters, gauges, and
+// fixed-bucket histograms. One registry may span several runs (and
+// several concurrent shards — each holds a private delta buffer that
+// folds in at sampling cadence, keeping the probe fast path free of
+// shared-memory traffic). Pass it in YarrpOptions, AliasOptions, or the
+// trace options to collect; read back via Snapshot/Delta or serve it
+// with ServeTelemetry.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time, name-sorted view of a
+// TelemetryRegistry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// ProgressPoint is one sample of a campaign's live progress series:
+// campaign-relative virtual timestamp plus cumulative counters. The
+// series is deterministic — byte-identical at any shard count and batch
+// size.
+type ProgressPoint = telemetry.Point
+
+// NewTelemetry creates an empty metrics registry.
+func NewTelemetry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// ServeTelemetry starts an HTTP observability endpoint on addr (use
+// ":0" for an ephemeral port) serving /metrics (Prometheus text),
+// /debug/vars (expvar), and /debug/pprof/. It returns the bound
+// address. The server runs until process exit.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (string, error) {
+	a, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return "", err
+	}
+	return a.String(), nil
+}
+
 // YarrpOptions parameterizes a Yarrp6 campaign through the facade.
 type YarrpOptions struct {
 	Rate      float64 // packets per second (default 1000)
@@ -215,6 +256,21 @@ type YarrpOptions struct {
 	// Result.Graph() falls back to a post-hoc batch build over the
 	// trace store — same graph, but a full store scan.
 	Graph bool
+	// Telemetry, when non-nil, collects hot-path metrics for the run:
+	// yarrp_* probe/reply counters and RTT/batch-fill/drain-gap
+	// histograms from the prober, plus sim_*, plan_cache_*, store and
+	// graph figures folded in by the facade at run end. The registry
+	// may be shared across runs; Result.Telemetry holds the snapshot
+	// taken when this run finished.
+	Telemetry *TelemetryRegistry
+	// Progress, when non-nil, streams the campaign's live progress as
+	// NDJSON sample records stamped in virtual time. The stream is
+	// deterministic: byte-identical at any Shards and Batch setting.
+	// The parsed series is also returned in Result.Progress.
+	Progress io.Writer
+	// ProgressPerShard appends per-shard breakdown records to the
+	// Progress stream after the sample series.
+	ProgressPerShard bool
 }
 
 func transportProto(name string) (uint8, error) {
@@ -243,6 +299,19 @@ type Result struct {
 	// ShardStats holds the per-shard counter breakdown of a sharded
 	// campaign; nil for single-instance runs.
 	ShardStats []core.Stats
+	// PlanHits, PlanMisses, PlanEvictions and SharedPlanHits are the
+	// flow-plan cache counters accumulated by this run alone (summed
+	// across shard clones for sharded campaigns).
+	PlanHits       int64
+	PlanMisses     int64
+	PlanEvictions  int64
+	SharedPlanHits int64
+	// Progress is the campaign's virtual-time progress series, present
+	// when YarrpOptions.Progress or Telemetry was set.
+	Progress []ProgressPoint
+	// Telemetry is the registry snapshot taken at run end, present when
+	// YarrpOptions.Telemetry was set.
+	Telemetry TelemetrySnapshot
 
 	store   *probe.Store
 	graph   *graph.Graph
@@ -331,8 +400,19 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		Fill:    opt.Fill,
 		Batch:   opt.Batch,
 	}
-	if opt.Shards > 1 {
-		v.v.BeginShardGroup()
+	vsBefore := v.v.Stats
+	var simBefore netsim.SimStats
+	if opt.Telemetry != nil {
+		simBefore = v.in.u.StatsSnapshot()
+	}
+	// Telemetry and progress streaming run on the campaign engine even
+	// for a single instance: its sampling grid is what makes the series
+	// deterministic across shard and batch settings.
+	if opt.Shards > 1 || opt.Telemetry != nil || opt.Progress != nil {
+		shards := opt.Shards
+		if shards < 1 {
+			shards = 1
+		}
 		epoch := v.clk
 		// With streaming graph construction, every shard folds replies
 		// into its own subgraph; the subgraphs merge after the run into
@@ -340,46 +420,77 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		var builders []*graph.Graph
 		ccfg := core.CampaignConfig{
 			Config:      cfg,
-			Shards:      opt.Shards,
+			Shards:      shards,
 			RecordPaths: true,
+			Telemetry:   opt.Telemetry,
+		}
+		if opt.Progress != nil || opt.Telemetry != nil {
+			ccfg.Progress = &core.ProgressConfig{
+				Writer:   opt.Progress,
+				PerShard: opt.ProgressPerShard,
+			}
 		}
 		if opt.Graph {
-			builders = make([]*graph.Graph, opt.Shards)
+			builders = make([]*graph.Graph, shards)
 			ccfg.NewObserver = func(s int) probe.Observer {
 				builders[s] = graph.New(v.v.Name())
 				return builders[s]
 			}
 		}
-		camp := core.NewCampaign(ccfg, func(_ int, start time.Duration) probe.Conn {
-			return v.v.Clone(epoch + start)
-		})
+		var clones []*netsim.Vantage
+		var factory core.ConnFactory
+		if shards > 1 {
+			v.v.BeginShardGroup()
+			factory = func(_ int, start time.Duration) probe.Conn {
+				nv := v.v.Clone(epoch + start)
+				clones = append(clones, nv)
+				return nv
+			}
+		} else {
+			// A lone campaign shard owns the whole window; probing on
+			// the vantage's own connection keeps the plan cache (and
+			// its counters) where direct serial runs leave them.
+			factory = func(_ int, _ time.Duration) probe.Conn { return v.v }
+		}
+		camp := core.NewCampaign(ccfg, factory)
 		store, stats, err := camp.Run()
 		if err != nil {
 			return nil, err
 		}
-		// The serial path drives v's own clock through the campaign;
-		// mirror that here so follow-up operations on this vantage see
-		// the same virtual time at any shard count. The vantage's own
-		// timeline advances with it — never from another vantage's
-		// concurrent activity on the shared clock.
-		v.v.Sleep(stats.Elapsed)
-		v.clk = epoch + stats.Elapsed
+		if shards > 1 {
+			// The serial path drives v's own clock through the campaign;
+			// mirror that here so follow-up operations on this vantage
+			// see the same virtual time at any shard count. The
+			// vantage's own timeline advances with it — never from
+			// another vantage's concurrent activity on the shared clock.
+			v.v.Sleep(stats.Elapsed)
+			v.clk = epoch + stats.Elapsed
+		} else {
+			v.clk = v.v.Now()
+		}
 		var g *graph.Graph
 		if opt.Graph {
 			g = graph.Union(builders...)
 		}
-		return &Result{
+		res := &Result{
 			ProbesSent: stats.ProbesSent,
 			Fills:      stats.Fills,
 			Replies:    stats.Replies,
 			Elapsed:    stats.Elapsed,
 			Curve:      stats.Curve,
 			ShardStats: stats.PerShard,
+			Progress:   stats.Progress,
 			store:      store,
 			graph:      g,
 			vantage:    v.v.Name(),
 			proto:      proto,
-		}, nil
+		}
+		res.setPlanStats(v, vsBefore, clones)
+		if opt.Telemetry != nil {
+			v.publishRunTelemetry(opt.Telemetry, simBefore, res)
+			res.Telemetry = opt.Telemetry.Snapshot()
+		}
+		return res, nil
 	}
 	var g *graph.Graph
 	if opt.Graph {
@@ -392,7 +503,7 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		return nil, err
 	}
 	v.clk = v.v.Now()
-	return &Result{
+	res := &Result{
 		ProbesSent: stats.ProbesSent,
 		Fills:      stats.Fills,
 		Replies:    stats.Replies,
@@ -402,7 +513,58 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		graph:      g,
 		vantage:    v.v.Name(),
 		proto:      proto,
-	}, nil
+	}
+	res.setPlanStats(v, vsBefore, nil)
+	return res, nil
+}
+
+// setPlanStats fills the result's flow-plan cache counters: the parent
+// vantage's delta over the run plus, for sharded campaigns, the shard
+// clones' whole-life counters (clones are born zeroed and die with the
+// run).
+func (r *Result) setPlanStats(v *Vantage, before netsim.VantageStats, clones []*netsim.Vantage) {
+	after := v.v.Stats
+	r.PlanHits = after.PlanHits - before.PlanHits
+	r.PlanMisses = after.PlanMisses - before.PlanMisses
+	r.PlanEvictions = after.PlanEvictions - before.PlanEvictions
+	r.SharedPlanHits = after.SharedPlanHits - before.SharedPlanHits
+	for _, c := range clones {
+		r.PlanHits += c.Stats.PlanHits
+		r.PlanMisses += c.Stats.PlanMisses
+		r.PlanEvictions += c.Stats.PlanEvictions
+		r.SharedPlanHits += c.Stats.SharedPlanHits
+	}
+}
+
+// publishRunTelemetry folds the facade-level counters of one finished
+// campaign into the registry: simulator event deltas, flow-plan cache
+// outcomes, and store/graph discovery figures.
+func (v *Vantage) publishRunTelemetry(reg *TelemetryRegistry, simBefore netsim.SimStats, res *Result) {
+	sim := v.in.u.StatsSnapshot().Sub(simBefore)
+	add := func(name string, n int64) { reg.Counter(name).Add(n) }
+	add("sim_packets_routed_total", sim.PacketsRouted)
+	add("sim_time_exceeded_sent_total", sim.TimeExceededSent)
+	add("sim_rate_limit_dropped_total", sim.RateLimitDropped)
+	add("sim_unresponsive_drops_total", sim.UnresponsiveDrops)
+	add("sim_errors_sent_total", sim.ErrorsSent)
+	add("sim_echo_replies_sent_total", sim.EchoRepliesSent)
+	add("sim_tcp_rsts_sent_total", sim.TCPRstsSent)
+	add("sim_port_unreach_sent_total", sim.PortUnreachSent)
+	add("sim_loss_dropped_total", sim.LossDropped)
+	add("sim_filtered_drops_total", sim.FilteredDrops)
+	add("plan_cache_hits_total", res.PlanHits)
+	add("plan_cache_misses_total", res.PlanMisses)
+	add("plan_cache_evictions_total", res.PlanEvictions)
+	add("shared_plan_hits_total", res.SharedPlanHits)
+	reg.Gauge("store_unique_interfaces").Set(int64(res.store.NumInterfaces()))
+	reg.Gauge("store_traces").Set(int64(res.store.NumTraces()))
+	if res.graph != nil {
+		reg.Gauge("graph_nodes").Set(int64(res.graph.NumNodes()))
+		reg.Gauge("graph_edges").Set(int64(res.graph.NumEdges()))
+	}
+	if res.ProbesSent > 0 {
+		reg.Gauge("discovery_per_probe_ppm").Set(int64(res.store.NumInterfaces()) * 1_000_000 / res.ProbesSent)
+	}
 }
 
 // SequentialOptions parameterizes the scamper-like baseline.
@@ -410,14 +572,20 @@ type SequentialOptions struct {
 	Rate   float64
 	MaxTTL int
 	Window int
+	// Telemetry, when non-nil, receives the run's trace_* counters.
+	Telemetry *TelemetryRegistry
 }
 
 // RunSequential probes targets with the stateful sequential baseline
 // (per-destination increasing TTL, ICMP-Paris semantics).
 func (v *Vantage) RunSequential(targets []netip.Addr, opt SequentialOptions) *Result {
 	store := probe.NewStore(true)
+	ecfg := trace.EngineConfig{PPS: opt.Rate, Window: opt.Window}
+	if opt.Telemetry != nil {
+		ecfg.Telemetry = opt.Telemetry.NewShard()
+	}
 	s := trace.NewSequential(v.v, trace.SequentialConfig{
-		Engine: trace.EngineConfig{PPS: opt.Rate, Window: opt.Window},
+		Engine: ecfg,
 		MaxTTL: uint8(opt.MaxTTL),
 	})
 	stats := s.Run(targets, store)
@@ -432,14 +600,21 @@ type DoubletreeOptions struct {
 	StartTTL int
 	MaxTTL   int
 	Window   int
+	// Telemetry, when non-nil, receives the run's trace_* counters
+	// (including trace_stopset_hits_total).
+	Telemetry *TelemetryRegistry
 }
 
 // RunDoubletree probes targets with Doubletree's forward/backward
 // stop-set algorithm.
 func (v *Vantage) RunDoubletree(targets []netip.Addr, opt DoubletreeOptions) *Result {
 	store := probe.NewStore(true)
+	ecfg := trace.EngineConfig{PPS: opt.Rate, Window: opt.Window}
+	if opt.Telemetry != nil {
+		ecfg.Telemetry = opt.Telemetry.NewShard()
+	}
 	d := trace.NewDoubletree(v.v, trace.DoubletreeConfig{
-		Engine:   trace.EngineConfig{PPS: opt.Rate, Window: opt.Window},
+		Engine:   ecfg,
 		StartTTL: uint8(opt.StartTTL),
 		MaxTTL:   uint8(opt.MaxTTL),
 	})
@@ -475,6 +650,8 @@ type AliasOptions struct {
 	MinReplies int     // replies classifying a candidate aliased (default: majority)
 	Rate       float64 // probing rate in pps (default 1000)
 	Budget     int64   // total probe cap (0 = unlimited)
+	// Telemetry, when non-nil, receives the run's apd_* counters.
+	Telemetry *TelemetryRegistry
 }
 
 // AliasSet is a detected aliased-prefix list together with its probing
@@ -522,13 +699,17 @@ func (v *Vantage) DetectAliases(candidates []netip.Prefix, opt AliasOptions) *Al
 	prev := v.v.PlanCacheSize()
 	v.v.SetPlanCache(0)
 	defer v.v.SetPlanCache(prev)
-	det := alias.NewDetector(v.v, alias.Params{
+	params := alias.Params{
 		Probes:     opt.Probes,
 		MinReplies: opt.MinReplies,
 		PPS:        opt.Rate,
 		Budget:     opt.Budget,
 		Instance:   alias.DefaultParams().Instance,
-	})
+	}
+	if opt.Telemetry != nil {
+		params.Telemetry = opt.Telemetry.NewShard()
+	}
+	det := alias.NewDetector(v.v, params)
 	rng := rand.New(rand.NewSource(v.in.seed ^ 0xa11a5))
 	res := det.Detect(candidates, rng)
 	v.clk = v.v.Now()

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +31,8 @@ func main() {
 		graphOut = flag.String("graph", "", "also export the graph study's cross-vantage union topology graph to this file (.ndjson for NDJSON, anything else for Graphviz DOT)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-suite) to this file")
+		progress = flag.String("progress", "", `stream one NDJSON record per completed experiment to this file ("-" for stderr)`)
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -73,13 +76,49 @@ func main() {
 	}
 	defer w.Flush()
 
+	if *telAddr != "" {
+		bound, err := beholder.ServeTelemetry(*telAddr, beholder.NewTelemetry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "beholder: telemetry on http://%s/metrics (profiles at /debug/pprof/)\n", bound)
+	}
+	var progW io.Writer
+	if *progress == "-" {
+		progW = os.Stderr
+	} else if *progress != "" {
+		f, err := os.Create(*progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beholder:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		progW = f
+	}
+
 	e := beholder.NewExperiments(beholder.ExpOptions{
 		Seed: *seed, Scale: *scale, Small: *small, Rate: *rate,
 	})
 	fmt.Fprintf(w, "beholder experiment suite — seed %d, scale %g, rate %gpps, universe ASes %d, BGP prefixes %d\n\n",
 		*seed, *scale, *rate, e.Internet().NumASes(), e.Internet().NumPrefixes())
 
+	// Run the suite step by step so progress can stream as each
+	// experiment lands; the expensive intermediates (campaigns, target
+	// sets) are cached, so the All() render pass below reuses them and
+	// emits in paper order.
 	start := time.Now()
+	steps := e.Steps()
+	done := 0
+	for _, s := range steps {
+		t0 := time.Now()
+		n := len(s.Run())
+		done++
+		if progW != nil {
+			fmt.Fprintf(progW, `{"type":"experiment","name":%q,"step":%d,"of":%d,"renderables":%d,"wall_ms":%d}`+"\n",
+				s.Name, done, len(steps), n, time.Since(t0).Milliseconds())
+		}
+	}
 	for _, r := range e.All() {
 		fmt.Fprintln(w, r.Render())
 	}

@@ -16,8 +16,11 @@
 //
 // With -check it instead enforces the fast-path invariants: the run
 // fails if any benchmark's steady-state allocs/probe exceeds
-// -max-allocs, or if 4-shard parallel efficiency falls below
-// -min-efficiency. CI runs `go run ./cmd/bench -benchtime 150ms -check`
+// -max-allocs, if 4-shard parallel efficiency falls below
+// -min-efficiency, or if the fully-instrumented campaign
+// (Yarrp6Telemetry: metrics registry plus progress stream) drops below
+// -min-telemetry-ratio of the bare campaign's throughput.
+// CI runs `go run ./cmd/bench -benchtime 150ms -check`
 // so a regression on the packet fast path or the shard-scaling path
 // fails the build; `make bench` writes the full JSON artifact.
 package main
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -107,6 +111,45 @@ func measure(fn func() int64) Result {
 	}
 }
 
+// measureAlternating times two variants of the same workload in
+// alternating rounds and returns the pair whose throughput ratio b/a is
+// the least noise-contaminated. Ratio gates need this: on a shared
+// host, two back-to-back testing.Benchmark runs of *identical* code
+// differ by far more than the overhead being gated (heap growth and
+// scheduler noise drift monotonically through the process), so a
+// sequential A-then-B comparison mostly measures run order. Two
+// noise-floor estimators are kept, and the pair with the higher ratio
+// wins: the best matched round (adjacent measurements share drift; a
+// spike only poisons its own round) and the per-variant best across
+// all rounds (each variant's own noise floor). A genuine overhead
+// depresses both; noise depresses at most one, so the max converges on
+// the true ratio from below.
+func measureAlternating(a, b func() int64, rounds int) (Result, Result) {
+	var pairA, pairB, bestA, bestB Result
+	pairRatio := -1.0
+	for i := 0; i < rounds; i++ {
+		ra, rb := measure(a), measure(b)
+		if ra.ProbesPerSec > 0 {
+			if ratio := rb.ProbesPerSec / ra.ProbesPerSec; ratio > pairRatio {
+				pairRatio, pairA, pairB = ratio, ra, rb
+			}
+		}
+		if ra.ProbesPerSec > bestA.ProbesPerSec {
+			bestA = ra
+		}
+		if rb.ProbesPerSec > bestB.ProbesPerSec {
+			bestB = rb
+		}
+		if pairRatio >= 1 {
+			break // b already measured as free; more rounds only cost time
+		}
+	}
+	if bestA.ProbesPerSec > 0 && bestB.ProbesPerSec/bestA.ProbesPerSec > pairRatio {
+		return bestA, bestB
+	}
+	return pairA, pairB
+}
+
 func main() {
 	testing.Init()
 	var (
@@ -115,6 +158,7 @@ func main() {
 		check     = flag.Bool("check", false, "enforce the fast-path bounds instead of writing the artifact")
 		maxAllocs = flag.Float64("max-allocs", 0.75, "with -check: fail when any benchmark exceeds this allocs/probe")
 		minEff    = flag.Float64("min-efficiency", 0.6, "with -check: fail when 4-shard parallel efficiency falls below this")
+		minTelem  = flag.Float64("min-telemetry-ratio", 0.95, "with -check: fail when telemetry-on throughput falls below this fraction of telemetry-off")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -143,6 +187,46 @@ func main() {
 		}
 		return res.ProbesSent
 	})
+
+	// Telemetry overhead pair: the same campaign on the sharded engine,
+	// bare (Yarrp6Campaign) and fully instrumented (Yarrp6Telemetry:
+	// metrics registry plus a discarded NDJSON progress stream). -check
+	// gates the instrumented run's throughput against the bare one
+	// (-min-telemetry-ratio) and its allocs/probe against the shared
+	// bound, so instrumentation can never quietly tax the hot path. Both
+	// run the campaign engine — telemetry always routes through it (its
+	// sampling grid is what makes progress deterministic), so comparing
+	// against the direct serial loop would charge the engine's routing
+	// cost (gated separately via parallel efficiency) to instrumentation.
+	campaignFn := func() int64 {
+		thrIn.Reset()
+		v := thrIn.NewVantage("throughput")
+		key++
+		res, err := v.RunYarrp6(thrTargets, beholder.YarrpOptions{
+			Rate: 10000, MaxTTL: 16, Key: key, Shards: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.ProbesSent
+	}
+	telemFn := func() int64 {
+		thrIn.Reset()
+		v := thrIn.NewVantage("throughput")
+		key++
+		res, err := v.RunYarrp6(thrTargets, beholder.YarrpOptions{
+			Rate: 10000, MaxTTL: 16, Key: key, Shards: 2,
+			Telemetry: beholder.NewTelemetry(), Progress: io.Discard,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if n, ok := res.Telemetry.Counter("yarrp_probes_sent_total"); !ok || n != res.ProbesSent {
+			panic("bench: telemetry probe counter disagrees with campaign stats")
+		}
+		return res.ProbesSent
+	}
+	cur["Yarrp6Campaign"], cur["Yarrp6Telemetry"] = measureAlternating(campaignFn, telemFn, 5)
 
 	// The same campaign with the streaming topology-graph observer
 	// attached (mirrors BenchmarkYarrp6GraphObserver): graph ingest must
@@ -298,6 +382,12 @@ func main() {
 		if e, ok := eff["shards=4"]; ok && e < *minEff {
 			fmt.Fprintf(os.Stderr, "bench: 4-shard parallel efficiency %.2f below bound %.2f\n", e, *minEff)
 			failed = true
+		}
+		if off, on := cur["Yarrp6Campaign"], cur["Yarrp6Telemetry"]; off.ProbesPerSec > 0 {
+			if ratio := on.ProbesPerSec / off.ProbesPerSec; ratio < *minTelem {
+				fmt.Fprintf(os.Stderr, "bench: telemetry-on throughput ratio %.3f below bound %.3f\n", ratio, *minTelem)
+				failed = true
+			}
 		}
 		if failed {
 			os.Exit(1)

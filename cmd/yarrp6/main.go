@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"runtime"
@@ -45,6 +46,9 @@ func main() {
 		graphOut  = flag.String("graph", "", "export the topology graph to this file (.ndjson for NDJSON, anything else for Graphviz DOT); the graph is built streaming during the run")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (post-campaign) to this file")
+		progress  = flag.String("progress", "", `stream virtual-time NDJSON progress samples to this file ("-" for stderr); byte-identical at any -shards/-batch`)
+		progShard = flag.Bool("progress-shards", false, "append per-shard breakdown records to the progress stream")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -90,9 +94,36 @@ func main() {
 	fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
 		len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
 
+	// Telemetry registry: created for the HTTP endpoint, and also useful
+	// on its own so the campaign summary can report cache effectiveness.
+	var reg *beholder.TelemetryRegistry
+	if *telAddr != "" {
+		reg = beholder.NewTelemetry()
+		bound, err := beholder.ServeTelemetry(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "yarrp6: telemetry on http://%s/metrics (profiles at /debug/pprof/)\n", bound)
+	}
+	var progW io.Writer
+	if *progress == "-" {
+		progW = os.Stderr
+	} else if *progress != "" {
+		f, err := os.Create(*progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() { bw.Flush(); f.Close() }()
+		progW = bw
+	}
+
 	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
 		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
 		Shards: *shards, Batch: *batch, Graph: *graphOut != "",
+		Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yarrp6:", err)
@@ -101,6 +132,8 @@ func main() {
 
 	fmt.Printf("probes %d fills %d replies %d interfaces %d elapsed %s\n",
 		res.ProbesSent, res.Fills, res.Replies, res.NumInterfaces(), res.Elapsed)
+	fmt.Fprintf(os.Stderr, "yarrp6: plan cache %d hits / %d misses (%d evictions), %d shared-core hits\n",
+		res.PlanHits, res.PlanMisses, res.PlanEvictions, res.SharedPlanHits)
 	if *graphOut != "" {
 		// AS-annotated from the simulator's BGP table; NDJSON or DOT by
 		// file extension.

@@ -134,17 +134,65 @@ func (e *Experiments) SubnetValidation() *Table {
 	return t
 }
 
+// ExpStep is one named unit of the experiment suite: running it yields
+// the renderables it contributes, in paper order. Steps let callers
+// observe suite progress (cmd/beholder streams one NDJSON record per
+// completed step) without changing what All produces.
+type ExpStep struct {
+	Name string
+	Run  func() []Renderable
+}
+
+// Steps returns the experiment suite as named units. Running the steps
+// in order and concatenating their renderables is exactly All().
+func (e *Experiments) Steps() []ExpStep {
+	one := func(f func() Renderable) func() []Renderable {
+		return func() []Renderable { return []Renderable{f()} }
+	}
+	two := func(f func() (*Figure, *Figure)) func() []Renderable {
+		return func() []Renderable { a, b := f(); return []Renderable{a, b} }
+	}
+	return []ExpStep{
+		{"table1-seed-sources", one(func() Renderable { return e.Table1() })},
+		{"table2-seed-overlap", one(func() Renderable { return e.Table2() })},
+		{"table3-prefix-transform", one(func() Renderable { return e.Table3() })},
+		{"table4-tum-composition", one(func() Renderable { return e.Table4() })},
+		// Figure3 runs before Table5/Figure2, matching All's historical
+		// computation order (shared caches make order immaterial to the
+		// rendered bytes, but the cheap guarantee is worth keeping).
+		{"figure3-rate-limiting", two(e.Figure3)},
+		{"table5-rate-yield", one(func() Renderable { return e.Table5() })},
+		{"figure2-discovery-curve", one(func() Renderable { return e.Figure2() })},
+		{"figure5-sequential-comparison", two(e.Figure5)},
+		{"protocol-comparison", one(func() Renderable { return e.ProtocolComparison() })},
+		{"doubletree-study", one(func() Renderable { return e.DoubletreeStudy() })},
+		{"table6-fill-mode", one(func() Renderable { return e.Table6() })},
+		{"table7-campaign-matrix", one(func() Renderable { return e.Table7() })},
+		{"figure6-interface-overlap", one(func() Renderable { return e.Figure6() })},
+		{"figure7-vantage-overlap", one(func() Renderable { return e.Figure7() })},
+		{"platform-validation", one(func() Renderable { return e.PlatformValidation() })},
+		{"figure8-path-lengths", two(e.Figure8)},
+		{"subnet-validation", one(func() Renderable { return e.SubnetValidation() })},
+		{"alias-study", one(func() Renderable { return e.AliasStudy() })},
+		{"graph-study", one(func() Renderable { return e.GraphStudy() })},
+	}
+}
+
 // All regenerates every table and figure, in paper order. This is what
 // cmd/beholder renders into EXPERIMENTS.md.
 func (e *Experiments) All() []Renderable {
 	var out []Renderable
-	out = append(out, e.Table1(), e.Table2(), e.Table3(), e.Table4())
-	f3a, f3b := e.Figure3()
-	out = append(out, e.Table5(), e.Figure2(), f3a, f3b)
-	f5a, f5b := e.Figure5()
-	out = append(out, f5a, f5b, e.ProtocolComparison(), e.DoubletreeStudy(), e.Table6())
-	out = append(out, e.Table7(), e.Figure6(), e.Figure7(), e.PlatformValidation())
-	f8a, f8b := e.Figure8()
-	out = append(out, f8a, f8b, e.SubnetValidation(), e.AliasStudy(), e.GraphStudy())
+	steps := e.Steps()
+	got := make([][]Renderable, len(steps))
+	for i, s := range steps {
+		got[i] = s.Run()
+	}
+	// Emission order differs from computation order in one place: the
+	// Figure3 pair renders after Table5 and Figure2, as the paper lays
+	// them out.
+	order := []int{0, 1, 2, 3, 5, 6, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	for _, i := range order {
+		out = append(out, got[i]...)
+	}
 	return out
 }

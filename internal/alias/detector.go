@@ -7,6 +7,7 @@ import (
 
 	"beholder/internal/ipv6"
 	"beholder/internal/probe"
+	"beholder/internal/telemetry"
 	"beholder/internal/wire"
 )
 
@@ -19,6 +20,10 @@ type Params struct {
 	Cooldown   time.Duration // post-send linger for straggler replies
 	Budget     int64         // total probe cap; <= 0 means unlimited
 	Instance   uint8         // codec instance byte, distinguishing concurrent probers
+	// Telemetry, when non-nil, receives each Detect run's counters
+	// (apd_* metrics) in one end-of-run fold — APD runs are short and
+	// low-rate, so per-event instrumentation buys nothing.
+	Telemetry *telemetry.Shard
 }
 
 // DefaultParams returns the 6Prob-informed defaults: 8 probes per
@@ -95,6 +100,7 @@ func (d *Detector) Detect(cands []netip.Prefix, rng *rand.Rand) *Result {
 		uniq = append(uniq, cp)
 	}
 	res := &Result{Aliased: NewStore()}
+	defer d.publishTelemetry(res)
 	n := len(uniq)
 	if b := d.p.Budget; b > 0 {
 		if affordable := int(b / int64(d.p.Probes)); affordable < n {
@@ -148,6 +154,20 @@ func (d *Detector) Detect(cands []netip.Prefix, rng *rand.Rand) *Result {
 		}
 	}
 	return res
+}
+
+// publishTelemetry folds one Detect run's counters into the configured
+// telemetry shard.
+func (d *Detector) publishTelemetry(res *Result) {
+	sh := d.p.Telemetry
+	if sh == nil {
+		return
+	}
+	sh.Counter("apd_probes_sent_total").Add(res.ProbesSent)
+	sh.Counter("apd_candidates_tested_total").Add(int64(res.Tested))
+	sh.Counter("apd_candidates_skipped_total").Add(int64(res.Skipped))
+	sh.Counter("apd_aliased_total").Add(int64(res.Aliased.Len()))
+	sh.Flush()
 }
 
 // drain consumes deliverable replies, crediting echo replies back to

@@ -9,20 +9,23 @@ import (
 	"beholder/internal/graph"
 	"beholder/internal/netsim"
 	"beholder/internal/probe"
+	"beholder/internal/telemetry"
 	"beholder/internal/wire"
 )
 
 // batchCampaign runs one campaign at the given shard count and send
-// batch size, with per-shard streaming graph observers, and returns the
-// merged store, the merged graph's canonical NDJSON, and the campaign
+// batch size, with per-shard streaming graph observers and the telemetry
+// progress stream enabled, and returns the merged store, the merged
+// graph's canonical NDJSON, the progress NDJSON stream, and the campaign
 // stats.
-func batchCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, batch int) (*probe.Store, []byte, CampaignStats) {
+func batchCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, batch int) (*probe.Store, []byte, []byte, CampaignStats) {
 	t.Helper()
 	u := campaignUniverse(seed)
 	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
 	cfg := campaignCfg(targets)
 	cfg.Batch = batch
 	builders := make([]*graph.Graph, shards)
+	var progress bytes.Buffer
 	camp := NewCampaign(CampaignConfig{
 		Config:      cfg,
 		Shards:      shards,
@@ -31,6 +34,8 @@ func batchCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, batch
 			builders[s] = graph.New("US-EDU-1")
 			return builders[s]
 		},
+		Telemetry: telemetry.NewRegistry(),
+		Progress:  &ProgressConfig{Writer: &progress},
 	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
 	store, stats, err := camp.Run()
 	if err != nil {
@@ -44,32 +49,41 @@ func batchCampaign(t *testing.T, seed int64, targets []netip.Addr, shards, batch
 	if !g.Equal(graph.FromStore(store, "US-EDU-1", wire.ProtoICMPv6)) {
 		t.Fatal("streamed shard graphs do not merge to the store-derived graph")
 	}
-	return store, buf.Bytes(), stats
+	return store, buf.Bytes(), progress.Bytes(), stats
 }
 
-// TestCampaignShardBatchMatrix is the PR's central acceptance test: for
+// TestCampaignShardBatchMatrix is the central acceptance test: for
 // every (shards, batch-size) cell — including batch sizes that do not
 // divide the shard windows — the merged store, the canonical graph
-// export, and the campaign counters are byte-identical to the serial
-// (1-shard, batch-1) run. Batch size changes how probes are dispatched,
-// never the virtual schedule. The -race CI job runs this matrix too.
+// export, the NDJSON progress stream, and the campaign counters are
+// byte-identical to the serial (1-shard, batch-1) run. Batch size
+// changes how probes are dispatched, never the virtual schedule; shard
+// count changes who samples, never what the samples say. The -race CI
+// job runs this matrix too.
 func TestCampaignShardBatchMatrix(t *testing.T) {
 	const seed = 1213
 	// 61 targets × 12 TTLs = a 732-slot domain: not divisible by 7 or
 	// 64, and shard windows of 732/2 and 732/4 are not divisible either.
 	targets := campaignTargets(t, seed, 61)
-	refStore, refGraph, refStats := batchCampaign(t, seed, targets, 1, 1)
+	refStore, refGraph, refProgress, refStats := batchCampaign(t, seed, targets, 1, 1)
+	if len(refProgress) == 0 {
+		t.Fatal("reference run produced an empty progress stream")
+	}
 	for _, shards := range []int{1, 2, 4} {
 		for _, batch := range []int{1, 7, 64} {
 			if shards == 1 && batch == 1 {
 				continue
 			}
-			store, g, stats := batchCampaign(t, seed, targets, shards, batch)
+			store, g, progress, stats := batchCampaign(t, seed, targets, shards, batch)
 			if !store.Equal(refStore) {
 				t.Fatalf("store differs at shards=%d batch=%d", shards, batch)
 			}
 			if !bytes.Equal(g, refGraph) {
 				t.Errorf("graph differs at shards=%d batch=%d", shards, batch)
+			}
+			if !bytes.Equal(progress, refProgress) {
+				t.Errorf("progress stream differs at shards=%d batch=%d:\nref:  %s\ngot:  %s",
+					shards, batch, refProgress, progress)
 			}
 			if stats.ProbesSent != refStats.ProbesSent || stats.Fills != refStats.Fills ||
 				stats.Replies != refStats.Replies || stats.NotMine != refStats.NotMine {
@@ -101,8 +115,8 @@ func TestCampaignShardBatchMatrix(t *testing.T) {
 func TestCampaignMergedCurve(t *testing.T) {
 	const seed = 77
 	targets := campaignTargets(t, seed, 64)
-	_, _, serial := batchCampaign(t, seed, targets, 1, 1)
-	store, _, stats := batchCampaign(t, seed, targets, 4, 64)
+	_, _, _, serial := batchCampaign(t, seed, targets, 1, 1)
+	store, _, _, stats := batchCampaign(t, seed, targets, 4, 64)
 
 	curve := stats.Curve
 	if len(curve) < 8 {

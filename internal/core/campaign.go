@@ -26,6 +26,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/netip"
 	"runtime/pprof"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"beholder/internal/probe"
+	"beholder/internal/telemetry"
 )
 
 // ConnFactory builds the vantage connection shard i probes through.
@@ -61,6 +63,34 @@ type CampaignConfig struct {
 	// own Observer field must be left nil — shards may not share one
 	// unsynchronized observer.
 	NewObserver func(shard int) probe.Observer
+	// Telemetry, when non-nil, aggregates hot-path metrics: each shard
+	// folds its counters and histograms into its own telemetry.Shard
+	// view of this registry at curve-sample cadence, so snapshots read
+	// campaign totals without any per-probe shared-atomic traffic.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, enables the deterministic virtual-time
+	// progress stream: per-shard recorders merged into the global series
+	// in CampaignStats.Progress and, when Writer is set, streamed as
+	// NDJSON after the run.
+	Progress *ProgressConfig
+}
+
+// ProgressConfig parameterizes the campaign progress stream.
+type ProgressConfig struct {
+	// Writer, when non-nil, receives the NDJSON stream after the run:
+	// sample records in virtual-time order, optional per-shard records,
+	// and a final summary record. Samples are deterministic — byte
+	// identical at any shard count and batch size.
+	Writer io.Writer
+	// SampleEvery is the sampling interval in permutation slots (probe
+	// departures). Zero picks domain/128 + 1, the discovery-curve step,
+	// giving ~129 samples per campaign.
+	SampleEvery uint64
+	// PerShard adds per-shard window records (start, elapsed, lag,
+	// counters) to the stream. These describe the shard layout itself,
+	// so they vary with the shard count and are excluded from
+	// determinism comparisons.
+	PerShard bool
 }
 
 // CampaignStats extends the merged campaign counters with the per-shard
@@ -70,6 +100,11 @@ type CampaignStats struct {
 	// PerShard holds each shard's own counters (including its discovery
 	// curve over its window). Index is shard number.
 	PerShard []Stats
+	// Progress is the merged virtual-time progress series, present when
+	// CampaignConfig.Progress was set. Timestamps are relative to the
+	// campaign epoch; the final point lands at Elapsed with the campaign
+	// totals.
+	Progress []telemetry.Point
 }
 
 // Campaign is a sharded Yarrp6 run.
@@ -129,6 +164,23 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	if cfg.Shards > 1 {
 		tmpl = probe.NewTmplStore(tmplCacheSize(len(cfg.Targets)))
 	}
+	// Progress sampling: thresholds are epoch + k·step where step is a
+	// whole number of permutation slots — the same virtual-time grid the
+	// probe schedule lives on, so every shard crosses thresholds at
+	// identical campaign-global instants whatever its window offset.
+	var (
+		progs   []*telemetry.Progress
+		stepDur time.Duration
+		epoch   time.Duration
+	)
+	if cfg.Progress != nil {
+		slots := cfg.Progress.SampleEvery
+		if slots == 0 {
+			slots = domain/128 + 1
+		}
+		stepDur = time.Duration(slots) * gap
+		progs = make([]*telemetry.Progress, cfg.Shards)
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		lo, hi := shardRange(domain, s, cfg.Shards)
 		scfg := cfg.Config
@@ -138,18 +190,32 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 		if cfg.NewObserver != nil {
 			scfg.Observer = cfg.NewObserver(s)
 		}
+		if cfg.Telemetry != nil {
+			scfg.telemetry = cfg.Telemetry.NewShard()
+		}
 		// The factory runs serially: connection construction may mutate
 		// shared vantage state (clock-group registration).
 		conn := c.connOf(s, time.Duration(lo)*gap)
+		if s == 0 {
+			// Shard 0's window opens at offset zero, so its connection's
+			// current instant is the campaign epoch in absolute virtual
+			// time — the origin every progress threshold counts from.
+			epoch = conn.Now()
+		}
+		if progs != nil {
+			progs[s] = telemetry.NewProgress(epoch, stepDur)
+			scfg.progress = progs[s]
+		}
 		probers[s] = New(conn, scfg)
 		stores[s] = probe.NewStore(cfg.RecordPaths)
 	}
 
 	// Per-shard interface first-seen tracking feeds the global
-	// discovery-curve merge; single-shard runs keep the shard curve
-	// as-is and skip the bookkeeping.
+	// discovery-curve merge and the progress interface counts;
+	// single-shard runs without progress keep the shard curve as-is and
+	// skip the bookkeeping.
 	var tracks []*ifaceTimes
-	if cfg.Shards > 1 {
+	if cfg.Shards > 1 || progs != nil {
 		tracks = make([]*ifaceTimes, cfg.Shards)
 		for s := 0; s < cfg.Shards; s++ {
 			tracks[s] = &ifaceTimes{inner: probers[s].cfg.Observer, first: make(map[netip.Addr]time.Duration)}
@@ -211,7 +277,53 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	} else {
 		out.Curve = mergeCurves(out.PerShard, tracks)
 	}
+	if progs != nil {
+		// First sightings relative to the campaign epoch, sorted: the
+		// merge counts interfaces by walking this list against each
+		// threshold.
+		seenAt := firstSeenAt(tracks)
+		for i := range seenAt {
+			seenAt[i] -= epoch
+		}
+		out.Progress = telemetry.Merge(progs, seenAt, stepDur, end)
+		if w := cfg.Progress.Writer; w != nil {
+			if err := c.writeProgress(w, out, domain, gap); err != nil {
+				return merged, out, fmt.Errorf("progress stream: %w", err)
+			}
+		}
+	}
 	return merged, out, nil
+}
+
+// writeProgress streams the merged progress series as NDJSON: sample
+// records, optional per-shard window records, and the summary record.
+func (c *Campaign) writeProgress(w io.Writer, out CampaignStats, domain uint64, gap time.Duration) error {
+	if err := telemetry.WritePoints(w, out.Progress); err != nil {
+		return err
+	}
+	if c.cfg.Progress.PerShard {
+		lines := make([]telemetry.ShardLine, len(out.PerShard))
+		for s, st := range out.PerShard {
+			lo, _ := shardRange(domain, s, len(out.PerShard))
+			start := time.Duration(lo) * gap
+			lines[s] = telemetry.ShardLine{
+				Shard:   s,
+				Start:   start,
+				Elapsed: st.Elapsed,
+				Lag:     out.Elapsed - (start + st.Elapsed),
+				Probes:  st.ProbesSent,
+				Fills:   st.Fills,
+				Replies: st.Replies,
+			}
+		}
+		if err := telemetry.WriteShardLines(w, lines); err != nil {
+			return err
+		}
+	}
+	if len(out.Progress) > 0 {
+		return telemetry.WriteSummary(w, out.Progress[len(out.Progress)-1])
+	}
+	return nil
 }
 
 // mergeStoreTree folds the shard stores pairwise on goroutines until
@@ -260,18 +372,11 @@ func (o *ifaceTimes) OnReply(r probe.Reply) {
 	}
 }
 
-// mergeCurves interleaves the per-shard discovery curves — which chart
-// disjoint permutation windows — into one global curve ordered by
-// virtual time. Shard curve samples already carry their virtual
-// instants (each shard's clock opens at lo×gap, so CurvePoint.At is
-// campaign-global time); the global probe count at an instant is the
-// sum of every shard's latest sample at or before it, and the global
-// interface count is the number of distinct addresses whose first
-// sighting — minimized across shards — is at or before it. The final
-// point therefore lands exactly on (total probes, merged unique
-// interfaces).
-func mergeCurves(perShard []Stats, tracks []*ifaceTimes) []CurvePoint {
-	// Global first-seen instants, minimized across shards, sorted.
+// firstSeenAt folds the per-shard first-sighting maps into the global
+// first-seen instants — minimized across shards, one entry per distinct
+// interface address — sorted ascending. Both the curve merge and the
+// progress merge count interfaces by walking this list.
+func firstSeenAt(tracks []*ifaceTimes) []time.Duration {
 	first := make(map[netip.Addr]time.Duration)
 	for _, tr := range tracks {
 		for a, at := range tr.first {
@@ -285,6 +390,21 @@ func mergeCurves(perShard []Stats, tracks []*ifaceTimes) []CurvePoint {
 		seenAt = append(seenAt, at)
 	}
 	sort.Slice(seenAt, func(i, j int) bool { return seenAt[i] < seenAt[j] })
+	return seenAt
+}
+
+// mergeCurves interleaves the per-shard discovery curves — which chart
+// disjoint permutation windows — into one global curve ordered by
+// virtual time. Shard curve samples already carry their virtual
+// instants (each shard's clock opens at lo×gap, so CurvePoint.At is
+// campaign-global time); the global probe count at an instant is the
+// sum of every shard's latest sample at or before it, and the global
+// interface count is the number of distinct addresses whose first
+// sighting — minimized across shards — is at or before it. The final
+// point therefore lands exactly on (total probes, merged unique
+// interfaces).
+func mergeCurves(perShard []Stats, tracks []*ifaceTimes) []CurvePoint {
+	seenAt := firstSeenAt(tracks)
 
 	type event struct {
 		at     time.Duration

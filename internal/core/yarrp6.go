@@ -18,6 +18,7 @@ import (
 
 	"beholder/internal/perm"
 	"beholder/internal/probe"
+	"beholder/internal/telemetry"
 	"beholder/internal/wire"
 )
 
@@ -89,6 +90,20 @@ type Config struct {
 	// template is built once per campaign rather than once per shard.
 	// Campaign sets it; zero means a private per-prober cache.
 	sharedTmpl *probe.TmplStore
+
+	// telemetry, when set, is this prober's shard-local metric sink.
+	// Counters derived from Stats fold in at curve-sample cadence and run
+	// end (the delta-flush discipline); only the distribution metrics
+	// (RTT, batch fill, drain gaps) observe per event, through local
+	// non-atomic views. Campaign sets it; nil costs nothing on the hot
+	// path beyond a few predicted nil checks per batch.
+	telemetry *telemetry.Shard
+	// progress, when set, records deterministic virtual-time progress
+	// samples: the prober caps batched send runs at the recorder's
+	// thresholds and records whenever its clock crosses one, plus pinning
+	// samples after drain-tail activity and at run boundaries. Campaign
+	// sets it and merges the per-shard series.
+	progress *telemetry.Progress
 }
 
 func (c *Config) setDefaults() error {
@@ -197,9 +212,116 @@ type Yarrp6 struct {
 
 	stats Stats
 
+	// kindCount tallies stored replies by kind. One unconditional array
+	// increment per reply — cheaper than guarding it — feeding both the
+	// progress samples and the telemetry by-kind counters.
+	kindCount [probe.KindOther + 1]int64
+
+	// tel holds the resolved telemetry instruments; tel.sh == nil means
+	// telemetry is off and every hook is a dead predicted branch.
+	tel telSink
+
+	// prog / nextSample drive virtual-time progress sampling; prog == nil
+	// means off.
+	prog       *telemetry.Progress
+	nextSample time.Duration
+
 	// Neighborhood heuristic state: bounded by the TTL range, not by
 	// targets — the prober stays O(1) in destinations.
 	lastNew [256]time.Duration
+}
+
+// telSink bundles the prober's telemetry instruments plus the
+// already-published values of the counters mirrored from Stats and
+// kindCount, so flushes add only the delta since the previous flush.
+type telSink struct {
+	sh *telemetry.Shard
+
+	probes, fills, skipped, replies, notMine *telemetry.Local
+	te, echo, unreach, rst                   *telemetry.Local
+	earlyStops, drainFF                      *telemetry.Local
+	rtt, batchFill, drainGap                 *telemetry.LocalHist
+
+	pub     Stats // published counter values (Curve unused)
+	pubKind [probe.KindOther + 1]int64
+}
+
+// initTelemetry resolves the instrument set against the configured shard.
+func (y *Yarrp6) initTelemetry() {
+	y.tel = telSink{}
+	sh := y.cfg.telemetry
+	if sh == nil {
+		return
+	}
+	y.tel.sh = sh
+	y.tel.probes = sh.Counter("yarrp_probes_sent_total")
+	y.tel.fills = sh.Counter("yarrp_fill_probes_total")
+	y.tel.skipped = sh.Counter("yarrp_skipped_total")
+	y.tel.replies = sh.Counter("yarrp_replies_total")
+	y.tel.notMine = sh.Counter("yarrp_replies_not_mine_total")
+	y.tel.te = sh.Counter("yarrp_replies_time_exceeded_total")
+	y.tel.echo = sh.Counter("yarrp_replies_echo_total")
+	y.tel.unreach = sh.Counter("yarrp_replies_dest_unreach_total")
+	y.tel.rst = sh.Counter("yarrp_replies_tcp_rst_total")
+	y.tel.earlyStops = sh.Counter("yarrp_batch_early_stops_total")
+	y.tel.drainFF = sh.Counter("yarrp_drain_fastforwards_total")
+	y.tel.rtt = sh.Histogram("yarrp_rtt_usec", telemetry.RTTBucketsUSec)
+	y.tel.batchFill = sh.Histogram("yarrp_batch_fill", telemetry.BatchFillBuckets)
+	y.tel.drainGap = sh.Histogram("yarrp_drain_gap_slots", telemetry.DrainGapBuckets)
+}
+
+// telFlush publishes the counters mirrored from Stats/kindCount as deltas
+// since the previous flush, then folds every local into the shared
+// registry. Called at curve-sample cadence and at run end — never per
+// event.
+func (y *Yarrp6) telFlush() {
+	t := &y.tel
+	if t.sh == nil {
+		return
+	}
+	t.probes.Add(y.stats.ProbesSent - t.pub.ProbesSent)
+	t.fills.Add(y.stats.Fills - t.pub.Fills)
+	t.skipped.Add(y.stats.Skipped - t.pub.Skipped)
+	t.replies.Add(y.stats.Replies - t.pub.Replies)
+	t.notMine.Add(y.stats.NotMine - t.pub.NotMine)
+	t.te.Add(y.kindCount[probe.KindTimeExceeded] - t.pubKind[probe.KindTimeExceeded])
+	t.echo.Add(y.kindCount[probe.KindEchoReply] - t.pubKind[probe.KindEchoReply])
+	t.unreach.Add(y.kindCount[probe.KindDestUnreach] - t.pubKind[probe.KindDestUnreach])
+	t.rst.Add(y.kindCount[probe.KindTCPRst] - t.pubKind[probe.KindTCPRst])
+	pub := y.stats
+	pub.Curve = nil
+	t.pub = pub
+	t.pubKind = y.kindCount
+	t.sh.Flush()
+}
+
+// recordSample appends the current counters to the progress recorder,
+// stamped at the virtual instant at.
+func (y *Yarrp6) recordSample(at time.Duration) {
+	y.prog.Record(telemetry.Sample{
+		At:           at,
+		Probes:       y.stats.ProbesSent,
+		Fills:        y.stats.Fills,
+		Replies:      y.stats.Replies,
+		TimeExceeded: y.kindCount[probe.KindTimeExceeded],
+		EchoReplies:  y.kindCount[probe.KindEchoReply],
+		DestUnreach:  y.kindCount[probe.KindDestUnreach],
+		TCPRsts:      y.kindCount[probe.KindTCPRst],
+	})
+}
+
+// maybeSample records a progress sample when the clock has crossed the
+// next threshold. Main-loop clock advances are whole gap multiples and
+// thresholds sit on the same grid, so the crossing lands exactly on the
+// threshold instant.
+func (y *Yarrp6) maybeSample() {
+	if y.prog == nil {
+		return
+	}
+	if now := y.conn.Now(); now >= y.nextSample {
+		y.recordSample(now)
+		y.nextSample = y.prog.NextThreshold(now)
+	}
 }
 
 // New creates a prober. The configuration is validated at Run.
@@ -270,6 +392,8 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	}
 	cfg := y.cfg
 	y.stats = Stats{}
+	y.kindCount = [probe.KindOther + 1]int64{}
+	y.initTelemetry()
 
 	domain := Domain(&cfg)
 	p, err := perm.New(cfg.Key, domain)
@@ -294,6 +418,14 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	nextCurve := curveStep
 	y.stats.Curve = make([]CurvePoint, 0, 132)
 
+	// Progress sampling thresholds live on the same virtual-time grid as
+	// the probe schedule (the campaign's step is a whole multiple of gap),
+	// so main-loop crossings land exactly on threshold instants.
+	y.prog = cfg.progress
+	if y.prog != nil {
+		y.nextSample = y.prog.NextThreshold(y.conn.Now())
+	}
+
 	y.bc, _ = y.conn.(probe.BatchConn)
 	if y.bc != nil {
 		// Batched sends may defer shared-counter updates; publish exact
@@ -316,6 +448,12 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	}
 	if err != nil {
 		return y.stats, err
+	}
+	if y.prog != nil {
+		// Pin the window-exit state: the shard may sit idle in its drain
+		// tail across many thresholds, and the merge needs a sample at or
+		// before each of them carrying the completed-window counters.
+		y.recordSample(y.conn.Now())
 	}
 
 	// Collect stragglers. Stepping by the send gap keeps this drain
@@ -346,12 +484,28 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 				}
 			}
 		}
+		if y.tel.sh != nil {
+			y.tel.drainGap.Observe(steps)
+			if steps > 1 {
+				y.tel.drainFF.Inc()
+			}
+		}
 		y.conn.Sleep(time.Duration(steps) * gap)
 		y.drainAll(store)
+		if y.prog != nil {
+			// Pin tail activity at its drain instant so the merge
+			// attributes it to the right threshold; Record drops the
+			// sample when the drain changed nothing.
+			y.recordSample(y.conn.Now())
+		}
 	}
 	y.stats.Curve = append(y.stats.Curve, CurvePoint{y.stats.ProbesSent, store.NumInterfaces(), y.conn.Now()})
 	y.stats.Elapsed = y.conn.Now() - y.codec.Epoch()
 	y.stats.NotMine = y.codec.NotMine
+	if y.prog != nil {
+		y.recordSample(y.conn.Now())
+	}
+	y.telFlush()
 	return y.stats, nil
 }
 
@@ -382,6 +536,7 @@ func (y *Yarrp6) runSerial(store *probe.Store, it *perm.Iterator, end uint64, ga
 			y.drainAll(store)
 		}
 		y.recordCurve(store, nextCurve, curveStep)
+		y.maybeSample()
 	}
 	return nil
 }
@@ -429,7 +584,22 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 			if toCurve := *nextCurve - y.stats.ProbesSent; int64(lim-sent) > toCurve {
 				lim = sent + int(toCurve)
 			}
+			// Cap likewise at the next progress threshold: the clock is
+			// gap-aligned here and thresholds sit on the grid, so the run
+			// ends exactly on the threshold instant and the sample reads
+			// the same counters the serial loop would have sampled.
+			if y.prog != nil && gap > 0 {
+				if rem := int64((y.nextSample - y.conn.Now()) / gap); rem < int64(lim-sent) {
+					lim = sent + int(rem)
+				}
+			}
 			m, deliverable, err := y.bc.SendBatch(y.pkts[sent:lim], gap)
+			if y.tel.sh != nil {
+				y.tel.batchFill.Observe(int64(m))
+				if deliverable && sent+m < lim {
+					y.tel.earlyStops.Inc()
+				}
+			}
 			y.stats.ProbesSent += int64(m)
 			sent += m
 			if err != nil {
@@ -439,6 +609,7 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 				y.drainAll(store)
 			}
 			y.recordCurve(store, nextCurve, curveStep)
+			y.maybeSample()
 		}
 	}
 	return nil
@@ -453,6 +624,10 @@ func (y *Yarrp6) recordCurve(store *probe.Store, nextCurve *int64, curveStep int
 		for *nextCurve <= y.stats.ProbesSent {
 			*nextCurve += curveStep
 		}
+		// Fold pending telemetry into the shared registry at curve
+		// cadence (~130 times per run): the live endpoint stays fresh
+		// without shared-atomic traffic on the per-probe path.
+		y.telFlush()
 	}
 }
 
@@ -516,6 +691,10 @@ func (y *Yarrp6) handleReply(b []byte, store *probe.Store) {
 		return
 	}
 	y.stats.Replies++
+	y.kindCount[r.Kind]++
+	if y.tel.sh != nil && r.RTT > 0 {
+		y.tel.rtt.Observe(int64(r.RTT / time.Microsecond))
+	}
 	newIface := store.Add(r)
 	if y.cfg.Observer != nil {
 		y.cfg.Observer.OnReply(r)

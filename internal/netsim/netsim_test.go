@@ -533,6 +533,65 @@ func TestResetState(t *testing.T) {
 	}
 }
 
+// TestResetStateFlushesPendingDeltas: batched sends defer their stat
+// contributions into a per-vantage delta; ResetState must fold those
+// pending deltas before zeroing, or a later flush resurrects pre-reset
+// events into the zeroed counters.
+func TestResetStateFlushesPendingDeltas(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "reset-pend", Kind: KindUniversity, ChainLen: 3})
+	pkt := buildEchoProbe(v.LocalAddr(), ipv6.MustAddr("3fff::1"), 1)
+	if _, _, err := v.SendBatch([][]byte{pkt, pkt, pkt}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	u.ResetState()
+	if u.Stats.PacketsRouted != 0 {
+		t.Fatalf("reset left PacketsRouted = %d", u.Stats.PacketsRouted)
+	}
+	// Without the reset-time flush this would re-add the pre-reset sends.
+	v.FlushStats()
+	if got := u.Stats.PacketsRouted; got != 0 {
+		t.Errorf("pre-reset delta resurrected after reset: PacketsRouted = %d", got)
+	}
+	// Fresh activity counts from a zero baseline.
+	if err := v.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.StatsSnapshot().PacketsRouted; got != 1 {
+		t.Errorf("post-reset PacketsRouted = %d, want 1", got)
+	}
+}
+
+// TestPlanEvictions: with a tiny direct-mapped cache, distinct flows
+// hashed onto the same slot must be counted as evictions — the
+// conflict-miss share of PlanMisses.
+func TestPlanEvictions(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "evict", Kind: KindUniversity, ChainLen: 3})
+	v.SetPlanCache(1) // every distinct flow collides
+	rng := rand.New(rand.NewSource(9))
+	as := u.RandomAS(rng, KindHosting)
+	var dsts []netip.Addr
+	for len(dsts) < 8 {
+		lan, ok := u.RandomLAN(rng, as)
+		if !ok {
+			continue
+		}
+		dsts = append(dsts, u.GatewayAddr(lan, as))
+	}
+	for _, d := range dsts {
+		_ = v.Send(buildEchoProbe(v.LocalAddr(), d, 4))
+		v.Sleep(time.Millisecond)
+	}
+	if v.Stats.PlanEvictions == 0 {
+		t.Fatal("no plan evictions counted with a 1-slot cache")
+	}
+	if v.Stats.PlanEvictions >= v.Stats.PlanMisses {
+		t.Fatalf("evictions %d must be below misses %d (first fill of a slot is not an eviction)",
+			v.Stats.PlanEvictions, v.Stats.PlanMisses)
+	}
+}
+
 func TestTruthSubnetsAreProvisioned(t *testing.T) {
 	u := testUniverse(t)
 	rng := rand.New(rand.NewSource(12))

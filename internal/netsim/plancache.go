@@ -164,6 +164,9 @@ func (v *Vantage) lookupPlan(d *wire.Decoded) *planEntry {
 		v.Stats.PlanHits++
 		return e
 	}
+	if e.used {
+		v.Stats.PlanEvictions++
+	}
 	v.Stats.PlanMisses++
 	v.computePlan(d, dstU, fk, e)
 	return e

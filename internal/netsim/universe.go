@@ -35,7 +35,9 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
+	"weak"
 
 	"beholder/internal/bgp"
 	"beholder/internal/ipv6"
@@ -104,9 +106,18 @@ type Universe struct {
 	planShareMu sync.Mutex
 	planShare   map[uint64]*sharedPlans
 
+	// vantages tracks every vantage attached to this universe, weakly:
+	// ResetState must flush their pending stat deltas before zeroing
+	// Stats, but bench loops create a fresh vantage per Reset and a
+	// strong registry would pin every dead one (with its buffer pools)
+	// for the universe's lifetime. Dead entries are compacted on reset.
+	vantMu   sync.Mutex
+	vantages []weak.Pointer[Vantage]
+
 	// Stats counts globally observable simulator events; tests assert on
 	// these to validate mechanism behaviour (e.g. rate-limit suppression).
-	// Updated with atomic adds; read them only while no campaign runs.
+	// Updated with atomic adds; read them only while no campaign runs
+	// (or via StatsSnapshot, which loads atomically).
 	Stats SimStats
 }
 
@@ -122,6 +133,23 @@ type SimStats struct {
 	PortUnreachSent   int64
 	LossDropped       int64
 	FilteredDrops     int64
+}
+
+// Sub returns s minus prev, field for field — the event counts of the
+// window between two snapshots.
+func (s SimStats) Sub(prev SimStats) SimStats {
+	return SimStats{
+		PacketsRouted:     s.PacketsRouted - prev.PacketsRouted,
+		TimeExceededSent:  s.TimeExceededSent - prev.TimeExceededSent,
+		RateLimitDropped:  s.RateLimitDropped - prev.RateLimitDropped,
+		UnresponsiveDrops: s.UnresponsiveDrops - prev.UnresponsiveDrops,
+		ErrorsSent:        s.ErrorsSent - prev.ErrorsSent,
+		EchoRepliesSent:   s.EchoRepliesSent - prev.EchoRepliesSent,
+		TCPRstsSent:       s.TCPRstsSent - prev.TCPRstsSent,
+		PortUnreachSent:   s.PortUnreachSent - prev.PortUnreachSent,
+		LossDropped:       s.LossDropped - prev.LossDropped,
+		FilteredDrops:     s.FilteredDrops - prev.FilteredDrops,
+	}
 }
 
 // CPE manufacturer OUIs (locally administered documentation values).
@@ -177,13 +205,59 @@ func (u *Universe) Clock() *Clock { return &u.clock }
 // ResetState clears universe-held mutable state (the shared clock and the
 // event counters) while keeping the generated topology, so that
 // successive campaigns start from identical conditions, the way the
-// paper's trials on different days do. Router token buckets live with
-// the vantage that materialized them; attach a fresh vantage after Reset
-// to probe from pristine router state (every caller in this module
-// already does).
+// paper's trials on different days do. Vantages batch their stat
+// contributions locally between flushes, so reset first folds every live
+// vantage's pending delta into Stats and then zeroes it — otherwise a
+// later flush would resurrect pre-reset events, and a campaign's
+// counters could read negative against the zeroed baseline. Router token
+// buckets live with the vantage that materialized them; attach a fresh
+// vantage after Reset to probe from pristine router state (every caller
+// in this module already does). Must not run concurrently with a
+// campaign.
 func (u *Universe) ResetState() {
 	u.clock.reset()
+	u.vantMu.Lock()
+	live := u.vantages[:0]
+	for _, wp := range u.vantages {
+		v := wp.Value()
+		if v == nil {
+			continue // collected; compact it away
+		}
+		v.FlushStats()
+		live = append(live, wp)
+	}
+	clear(u.vantages[len(live):])
+	u.vantages = live
+	u.vantMu.Unlock()
 	u.Stats = SimStats{}
+}
+
+// registerVantage weakly tracks a vantage for ResetState's pending-delta
+// flush. NewVantage and Clone call it; entries whose vantage has been
+// collected are compacted on the next reset.
+func (u *Universe) registerVantage(v *Vantage) {
+	u.vantMu.Lock()
+	u.vantages = append(u.vantages, weak.Make(v))
+	u.vantMu.Unlock()
+}
+
+// StatsSnapshot returns a consistent copy of the universe event counters
+// using atomic loads, safe to call while campaigns run. Vantages batch
+// contributions locally between flushes, so a mid-campaign snapshot
+// trails the true totals by at most one flush window per vantage.
+func (u *Universe) StatsSnapshot() SimStats {
+	return SimStats{
+		PacketsRouted:     atomic.LoadInt64(&u.Stats.PacketsRouted),
+		TimeExceededSent:  atomic.LoadInt64(&u.Stats.TimeExceededSent),
+		RateLimitDropped:  atomic.LoadInt64(&u.Stats.RateLimitDropped),
+		UnresponsiveDrops: atomic.LoadInt64(&u.Stats.UnresponsiveDrops),
+		ErrorsSent:        atomic.LoadInt64(&u.Stats.ErrorsSent),
+		EchoRepliesSent:   atomic.LoadInt64(&u.Stats.EchoRepliesSent),
+		TCPRstsSent:       atomic.LoadInt64(&u.Stats.TCPRstsSent),
+		PortUnreachSent:   atomic.LoadInt64(&u.Stats.PortUnreachSent),
+		LossDropped:       atomic.LoadInt64(&u.Stats.LossDropped),
+		FilteredDrops:     atomic.LoadInt64(&u.Stats.FilteredDrops),
+	}
 }
 
 func (u *Universe) buildASGraph() {

@@ -130,6 +130,10 @@ type VantageStats struct {
 	// SharedPlanHits counts private-cache misses served from the
 	// campaign-shared plan-core cache instead of a fresh compute.
 	SharedPlanHits int64
+	// PlanEvictions counts misses that displaced a different flow's
+	// entry from its direct-mapped slot — the conflict-miss share of
+	// PlanMisses.
+	PlanEvictions int64
 }
 
 // NewVantage attaches a vantage to a deterministic AS of spec.Kind.
@@ -164,6 +168,7 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	v.srcU = ipv6.FromAddr(v.addr)
 	v.parent = u.bfsTree(as.Idx)
 	v.shared = u.sharedPlansFor(nameKey, v.planSize)
+	u.registerVantage(v)
 	return v
 }
 
@@ -232,6 +237,7 @@ func (v *Vantage) Clone(start time.Duration) *Vantage {
 		v.group = &ClockGroup{}
 	}
 	v.group.Add(nv.clk)
+	v.u.registerVantage(nv)
 	return nv
 }
 

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricValue is one named counter or gauge reading.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one named histogram reading. Counts has one entry per
+// bound plus a final overflow bucket.
+type HistogramValue struct {
+	Name   string  `json:"name"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, each section sorted by
+// metric name so equal registry states render byte-identically.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Counter returns the named counter's value; ok is false when absent.
+func (s Snapshot) Counter(name string) (int64, bool) { return findValue(s.Counters, name) }
+
+// Gauge returns the named gauge's value; ok is false when absent.
+func (s Snapshot) Gauge(name string) (int64, bool) { return findValue(s.Gauges, name) }
+
+// Histogram returns the named histogram reading; ok is false when absent.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	i := sort.Search(len(s.Histograms), func(i int) bool { return s.Histograms[i].Name >= name })
+	if i < len(s.Histograms) && s.Histograms[i].Name == name {
+		return s.Histograms[i], true
+	}
+	return HistogramValue{}, false
+}
+
+func findValue(vs []MetricValue, name string) (int64, bool) {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Name >= name })
+	if i < len(vs) && vs[i].Name == name {
+		return vs[i].Value, true
+	}
+	return 0, false
+}
+
+// Sub returns the delta snapshot s minus prev: counter values and
+// histogram counts are subtracted (metrics absent from prev pass
+// through), gauges keep their current readings. Both snapshots must come
+// from the same registry lineage.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make([]MetricValue, len(s.Counters)),
+		Gauges:     make([]MetricValue, len(s.Gauges)),
+		Histograms: make([]HistogramValue, len(s.Histograms)),
+	}
+	copy(out.Gauges, s.Gauges)
+	for i, c := range s.Counters {
+		if v, ok := findValue(prev.Counters, c.Name); ok {
+			c.Value -= v
+		}
+		out.Counters[i] = c
+	}
+	for i, h := range s.Histograms {
+		d := HistogramValue{Name: h.Name, Bounds: h.Bounds, Counts: make([]int64, len(h.Counts)), Sum: h.Sum, Count: h.Count}
+		copy(d.Counts, h.Counts)
+		if p, ok := prev.Histogram(h.Name); ok && len(p.Counts) == len(d.Counts) {
+			for j := range d.Counts {
+				d.Counts[j] -= p.Counts[j]
+			}
+			d.Sum -= p.Sum
+			d.Count -= p.Count
+		}
+		out.Histograms[i] = d
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters as `<name> <value>`, gauges likewise, histograms as
+// cumulative `_bucket{le="..."}` series with `_sum` and `_count`. Output
+// order is the snapshot's sorted metric order, so equal snapshots render
+// byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", h.Name, b, cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count)
+	}
+	return bw.Flush()
+}

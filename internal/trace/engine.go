@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"beholder/internal/probe"
+	"beholder/internal/telemetry"
 	"beholder/internal/wire"
 )
 
@@ -41,6 +42,10 @@ type EngineConfig struct {
 	// its near-hop responsiveness at high rates (Figure 5). Without it
 	// the window desynchronizes within a few RTTs.
 	Synchronized bool
+	// Telemetry, when non-nil, receives each run's counters (trace_*
+	// metrics) in one end-of-run fold — the stateful probers are
+	// windowed and low-rate, so per-event instrumentation buys nothing.
+	Telemetry *telemetry.Shard
 }
 
 func (c *EngineConfig) setDefaults() {
@@ -202,6 +207,7 @@ func (e *engine) run(targets []netip.Addr, newStrategy func(target netip.Addr) s
 		}
 	}
 	e.stats.Elapsed = e.conn.Now() - start
+	e.publishTelemetry()
 	return e.stats
 }
 
@@ -283,7 +289,22 @@ func (e *engine) runSynchronized(targets []netip.Addr, newStrategy func(target n
 		}
 	}
 	e.stats.Elapsed = e.conn.Now() - start
+	e.publishTelemetry()
 	return e.stats
+}
+
+// publishTelemetry folds one run's counters into the configured
+// telemetry shard.
+func (e *engine) publishTelemetry() {
+	sh := e.cfg.Telemetry
+	if sh == nil {
+		return
+	}
+	sh.Counter("trace_probes_sent_total").Add(e.stats.ProbesSent)
+	sh.Counter("trace_retries_total").Add(e.stats.Retries)
+	sh.Counter("trace_dest_reached_total").Add(e.stats.DestReached)
+	sh.Counter("trace_stopset_hits_total").Add(e.stats.StopSetHits)
+	sh.Flush()
 }
 
 // resolve feeds an outcome to a trace, honoring the retry budget for
