@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover
+.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover chaos
+
+# chaos runs the fault-injection matrix, checkpoint/resume equivalence,
+# and cancellation tests under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Checkpoint|Cancel' ./internal/core
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -45,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzBuildDecodeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz '^FuzzParseReply$$' -fuzztime $(FUZZTIME) ./internal/probe
 	$(GO) test -run xxx -fuzz '^FuzzProbeCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/probe
+	$(GO) test -run xxx -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # cover writes the aggregate coverage profile and prints the total; CI
 # fails if the total drops below its recorded baseline.

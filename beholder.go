@@ -17,6 +17,7 @@
 package beholder
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 
 	"beholder/internal/alias"
 	"beholder/internal/core"
+	"beholder/internal/faultsim"
 	"beholder/internal/graph"
 	"beholder/internal/ipv6"
 	"beholder/internal/netsim"
@@ -70,6 +72,40 @@ func (in *Internet) Reset() { in.u.ResetState() }
 
 // Universe exposes the underlying simulator for advanced use.
 func (in *Internet) Universe() *netsim.Universe { return in.u }
+
+// FaultConfig is the deterministic fault-injection plane configuration:
+// a seed keying every fault draw plus the rules to inject. See
+// internal/faultsim for the failure-mode catalogue.
+type FaultConfig = faultsim.Config
+
+// FaultRule injects one fault class at one vantage (or one shard clone
+// of it).
+type FaultRule = faultsim.Rule
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind = faultsim.Kind
+
+// Injectable fault classes, re-exported for rule construction.
+const (
+	FaultCrash         = faultsim.KindCrash
+	FaultStall         = faultsim.KindStall
+	FaultTransientSend = faultsim.KindTransientSend
+	FaultTruncateReply = faultsim.KindTruncateReply
+	FaultCorruptReply  = faultsim.KindCorruptReply
+	FaultDelayBurst    = faultsim.KindDelayBurst
+)
+
+// FaultAnyShard in FaultRule.Shard matches every shard clone of the
+// rule's vantage.
+const FaultAnyShard = faultsim.MatchAnyShard
+
+// SetFaults installs (or, with nil, clears) the fault-injection plane.
+// Faults are resolved when a vantage is created, so call this before
+// NewVantage for the vantages the rules should afflict. Fault draws are
+// keyed on absolute virtual time: a faulted campaign is exactly as
+// reproducible as a clean one, and checkpoint/resume commutes with the
+// fault schedule.
+func (in *Internet) SetFaults(fc *FaultConfig) { in.u.SetFaults(fc) }
 
 // SeedLists generates every seed source at the given scale (1.0 is
 // campaign scale). The result maps the paper's list names (caida,
@@ -271,7 +307,19 @@ type YarrpOptions struct {
 	// ProgressPerShard appends per-shard breakdown records to the
 	// Progress stream after the sample series.
 	ProgressPerShard bool
+	// InterruptAt, when positive, stops the campaign at that instant of
+	// campaign virtual time (as an operator's signal handler would at a
+	// wall instant). RunYarrp6 then returns the partial Result — with
+	// Result.Checkpoint holding the serialized resume artifact — and an
+	// error wrapping ErrInterrupted. Setting it forces the campaign
+	// engine even for one shard, so the run is checkpointable.
+	InterruptAt time.Duration
 }
+
+// ErrInterrupted is returned (wrapped) by RunYarrp6 and ResumeYarrp6
+// when the campaign stopped at YarrpOptions.InterruptAt; the partial
+// Result carries the checkpoint artifact to resume from.
+var ErrInterrupted = core.ErrInterrupted
 
 func transportProto(name string) (uint8, error) {
 	switch name {
@@ -312,6 +360,18 @@ type Result struct {
 	// Telemetry is the registry snapshot taken at run end, present when
 	// YarrpOptions.Telemetry was set.
 	Telemetry TelemetrySnapshot
+	// Quarantined lists campaign shards whose connections failed fatally
+	// mid-run (e.g. an injected crash) and had their remaining
+	// permutation range re-sharded onto recovery probers; Incomplete
+	// lists any index ranges recovery could not finish. Both are empty
+	// on a clean run.
+	Quarantined []int
+	Incomplete  []core.PermRange
+	// Checkpoint is the serialized resume artifact of an interrupted
+	// campaign, set when the run stopped at YarrpOptions.InterruptAt.
+	// Feed it to Vantage.ResumeYarrp6 to finish the campaign with
+	// byte-identical results.
+	Checkpoint []byte
 
 	store   *probe.Store
 	graph   *graph.Graph
@@ -408,7 +468,7 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 	// Telemetry and progress streaming run on the campaign engine even
 	// for a single instance: its sampling grid is what makes the series
 	// deterministic across shard and batch settings.
-	if opt.Shards > 1 || opt.Telemetry != nil || opt.Progress != nil {
+	if opt.Shards > 1 || opt.Telemetry != nil || opt.Progress != nil || opt.InterruptAt > 0 {
 		shards := opt.Shards
 		if shards < 1 {
 			shards = 1
@@ -423,6 +483,7 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 			Shards:      shards,
 			RecordPaths: true,
 			Telemetry:   opt.Telemetry,
+			InterruptAt: opt.InterruptAt,
 		}
 		if opt.Progress != nil || opt.Telemetry != nil {
 			ccfg.Progress = &core.ProgressConfig{
@@ -454,7 +515,8 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		}
 		camp := core.NewCampaign(ccfg, factory)
 		store, stats, err := camp.Run()
-		if err != nil {
+		interrupted := errors.Is(err, core.ErrInterrupted)
+		if err != nil && !interrupted {
 			return nil, err
 		}
 		if shards > 1 {
@@ -473,22 +535,32 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 			g = graph.Union(builders...)
 		}
 		res := &Result{
-			ProbesSent: stats.ProbesSent,
-			Fills:      stats.Fills,
-			Replies:    stats.Replies,
-			Elapsed:    stats.Elapsed,
-			Curve:      stats.Curve,
-			ShardStats: stats.PerShard,
-			Progress:   stats.Progress,
-			store:      store,
-			graph:      g,
-			vantage:    v.v.Name(),
-			proto:      proto,
+			ProbesSent:  stats.ProbesSent,
+			Fills:       stats.Fills,
+			Replies:     stats.Replies,
+			Elapsed:     stats.Elapsed,
+			Curve:       stats.Curve,
+			ShardStats:  stats.PerShard,
+			Progress:    stats.Progress,
+			Quarantined: stats.Quarantined,
+			Incomplete:  stats.Incomplete,
+			store:       store,
+			graph:       g,
+			vantage:     v.v.Name(),
+			proto:       proto,
 		}
 		res.setPlanStats(v, vsBefore, clones)
 		if opt.Telemetry != nil {
 			v.publishRunTelemetry(opt.Telemetry, simBefore, res)
 			res.Telemetry = opt.Telemetry.Snapshot()
+		}
+		if interrupted {
+			art, cerr := camp.Checkpoint()
+			if cerr != nil {
+				return nil, cerr
+			}
+			res.Checkpoint = art
+			return res, err
 		}
 		return res, nil
 	}
@@ -515,6 +587,85 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 		proto:      proto,
 	}
 	res.setPlanStats(v, vsBefore, nil)
+	return res, nil
+}
+
+// ResumeYarrp6 resumes an interrupted campaign from the checkpoint
+// artifact a previous run's Result.Checkpoint carried, and runs it to
+// completion (or to opt.InterruptAt again — checkpoints compose). The
+// artifact pins the campaign configuration; of opt only Telemetry,
+// Progress, ProgressPerShard, and InterruptAt apply. Resumed on an
+// identically-seeded Internet replayed to the same virtual instant, the
+// finished campaign is byte-identical — store, graph, progress stream,
+// discovery curve — to one that was never interrupted, with the same
+// caveat sharding itself carries (see YarrpOptions.Shards): router
+// token-bucket levels are not serialized, so a rate-limiter saturated
+// across the interrupt instant can yield a few extra replies just
+// after resume. Below saturation — the normal regime for randomized
+// probing — the equivalence is exact. The resumed
+// run's Result.Graph() is batch-built from the trace store (streaming
+// observers cannot see pre-interrupt replies; the two constructions are
+// equivalent).
+func (v *Vantage) ResumeYarrp6(artifact []byte, opt YarrpOptions) (*Result, error) {
+	vsBefore := v.v.Stats
+	var simBefore netsim.SimStats
+	if opt.Telemetry != nil {
+		simBefore = v.in.u.StatsSnapshot()
+	}
+	var clones []*netsim.Vantage
+	var camp *core.Campaign
+	v.v.BeginShardGroup()
+	factory := func(_ int, start time.Duration) probe.Conn {
+		// The artifact's epoch anchors the original absolute schedule;
+		// clones must reopen at those instants for the keyed per-packet
+		// draws to replay.
+		nv := v.v.Clone(camp.Epoch() + start)
+		clones = append(clones, nv)
+		return nv
+	}
+	camp, err := core.Resume(artifact, core.ResumeConfig{
+		Telemetry:        opt.Telemetry,
+		ProgressWriter:   opt.Progress,
+		ProgressPerShard: opt.ProgressPerShard,
+		InterruptAt:      opt.InterruptAt,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+	store, stats, err := camp.Run()
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return nil, err
+	}
+	v.v.Sleep(stats.Elapsed)
+	v.clk = camp.Epoch() + stats.Elapsed
+	res := &Result{
+		ProbesSent:  stats.ProbesSent,
+		Fills:       stats.Fills,
+		Replies:     stats.Replies,
+		Elapsed:     stats.Elapsed,
+		Curve:       stats.Curve,
+		ShardStats:  stats.PerShard,
+		Progress:    stats.Progress,
+		Quarantined: stats.Quarantined,
+		Incomplete:  stats.Incomplete,
+		store:       store,
+		vantage:     v.v.Name(),
+		proto:       camp.Proto(),
+	}
+	res.setPlanStats(v, vsBefore, clones)
+	if opt.Telemetry != nil {
+		v.publishRunTelemetry(opt.Telemetry, simBefore, res)
+		res.Telemetry = opt.Telemetry.Snapshot()
+	}
+	if interrupted {
+		art, cerr := camp.Checkpoint()
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Checkpoint = art
+		return res, err
+	}
 	return res, nil
 }
 
@@ -552,6 +703,12 @@ func (v *Vantage) publishRunTelemetry(reg *TelemetryRegistry, simBefore netsim.S
 	add("sim_port_unreach_sent_total", sim.PortUnreachSent)
 	add("sim_loss_dropped_total", sim.LossDropped)
 	add("sim_filtered_drops_total", sim.FilteredDrops)
+	add("sim_fault_crash_denials_total", sim.FaultCrashDenials)
+	add("sim_fault_stall_drops_total", sim.FaultStallDrops)
+	add("sim_fault_transient_errs_total", sim.FaultTransientErrs)
+	add("sim_fault_truncated_total", sim.FaultTruncated)
+	add("sim_fault_corrupted_total", sim.FaultCorrupted)
+	add("sim_fault_delayed_total", sim.FaultDelayed)
 	add("plan_cache_hits_total", res.PlanHits)
 	add("plan_cache_misses_total", res.PlanMisses)
 	add("plan_cache_evictions_total", res.PlanEvictions)

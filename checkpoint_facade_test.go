@@ -1,0 +1,106 @@
+package beholder
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFacadeCheckpointResume drives the interrupt → checkpoint → resume
+// workflow through the public API: a campaign interrupted mid-flight
+// and resumed on a replayed Internet must reproduce the uninterrupted
+// run byte for byte.
+func TestFacadeCheckpointResume(t *testing.T) {
+	run := func(interruptAt time.Duration) (*Result, *Vantage) {
+		in := NewSmallInternet(3)
+		v := in.NewVantage("ckpt-test")
+		targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.RunYarrp6(targets, YarrpOptions{
+			Rate: 2000, MaxTTL: 12, Key: 1, Fill: true, Shards: 2,
+			InterruptAt: interruptAt,
+		})
+		if interruptAt == 0 && err != nil {
+			t.Fatal(err)
+		}
+		if interruptAt > 0 {
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("interrupt run: got %v, want ErrInterrupted", err)
+			}
+			if len(res.Checkpoint) == 0 {
+				t.Fatal("interrupted result carries no checkpoint")
+			}
+		}
+		return res, v
+	}
+
+	ref, _ := run(0)
+	partial, v := run(400 * time.Millisecond)
+	if partial.ProbesSent >= ref.ProbesSent {
+		t.Fatalf("interrupted run sent %d probes, full run %d", partial.ProbesSent, ref.ProbesSent)
+	}
+
+	var progress bytes.Buffer
+	res, err := v.ResumeYarrp6(partial.Checkpoint, YarrpOptions{Progress: &progress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbesSent != ref.ProbesSent || res.Fills != ref.Fills || res.Replies != ref.Replies {
+		t.Fatalf("resumed counters %d/%d/%d differ from uninterrupted %d/%d/%d",
+			res.ProbesSent, res.Fills, res.Replies, ref.ProbesSent, ref.Fills, ref.Replies)
+	}
+	if !res.Store().Equal(ref.Store()) {
+		t.Fatal("resumed store differs from uninterrupted store")
+	}
+	if !res.Graph().Equal(ref.Graph()) {
+		t.Fatal("resumed graph differs from uninterrupted graph")
+	}
+	if len(res.Checkpoint) != 0 {
+		t.Fatal("completed resume still carries a checkpoint")
+	}
+}
+
+// TestFacadeFaultedCampaign exercises the fault plane through the
+// public API: a crash rule quarantines the afflicted shard, recovery
+// re-probes its range, and with lossless replies the result equals the
+// fault-free campaign's.
+func TestFacadeFaultedCampaign(t *testing.T) {
+	run := func(fc *FaultConfig) (*Result, *TelemetryRegistry) {
+		in := NewSmallInternet(3)
+		in.SetFaults(fc)
+		v := in.NewVantage("fault-test")
+		targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := NewTelemetry()
+		res, err := v.RunYarrp6(targets, YarrpOptions{
+			Rate: 2000, MaxTTL: 12, Key: 1, Fill: true, Shards: 2, Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg
+	}
+
+	clean, _ := run(nil)
+	faulted, reg := run(&FaultConfig{Seed: 5, Rules: []FaultRule{
+		{Vantage: "fault-test", Shard: 1, Kind: FaultCrash, At: 200 * time.Millisecond},
+	}})
+	if len(faulted.Quarantined) != 1 || faulted.Quarantined[0] != 1 {
+		t.Fatalf("quarantined = %v, want [1]", faulted.Quarantined)
+	}
+	if len(faulted.Incomplete) != 0 {
+		t.Fatalf("incomplete ranges: %v", faulted.Incomplete)
+	}
+	if !faulted.Store().Equal(clean.Store()) {
+		t.Fatal("crash-recovered store differs from fault-free store")
+	}
+	snap := reg.Snapshot()
+	if n, ok := snap.Counter("sim_fault_crash_denials_total"); !ok || n == 0 {
+		t.Fatal("sim_fault_crash_denials_total not published")
+	}
+}

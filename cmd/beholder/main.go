@@ -33,6 +33,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-suite) to this file")
 		progress = flag.String("progress", "", `stream one NDJSON record per completed experiment to this file ("-" for stderr)`)
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
+		faults   = flag.Bool("faults", false, "append the fault-robustness study: campaign recovery under injected crash/stall/transient/corruption faults")
 	)
 	flag.Parse()
 
@@ -121,6 +122,11 @@ func main() {
 	}
 	for _, r := range e.All() {
 		fmt.Fprintln(w, r.Render())
+	}
+	if *faults {
+		// Opt-in: the paper's evaluation has no fault figures, so the
+		// robustness study stays out of the canonical All() artifact.
+		fmt.Fprintln(w, e.FaultStudy().Render())
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 

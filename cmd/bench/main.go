@@ -17,9 +17,12 @@
 // With -check it instead enforces the fast-path invariants: the run
 // fails if any benchmark's steady-state allocs/probe exceeds
 // -max-allocs, if 4-shard parallel efficiency falls below
-// -min-efficiency, or if the fully-instrumented campaign
+// -min-efficiency, if the fully-instrumented campaign
 // (Yarrp6Telemetry: metrics registry plus progress stream) drops below
-// -min-telemetry-ratio of the bare campaign's throughput.
+// -min-telemetry-ratio of the bare campaign's throughput, or if a
+// campaign with the fault-injection plane armed but never firing
+// (Yarrp6FaultIdle) drops below -min-faults-ratio of the fault-free
+// pair or adds more than 0.02 allocs/probe.
 // CI runs `go run ./cmd/bench -benchtime 150ms -check`
 // so a regression on the packet fast path or the shard-scaling path
 // fails the build; `make bench` writes the full JSON artifact.
@@ -33,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"beholder"
 )
@@ -159,6 +163,7 @@ func main() {
 		maxAllocs = flag.Float64("max-allocs", 0.75, "with -check: fail when any benchmark exceeds this allocs/probe")
 		minEff    = flag.Float64("min-efficiency", 0.6, "with -check: fail when 4-shard parallel efficiency falls below this")
 		minTelem  = flag.Float64("min-telemetry-ratio", 0.95, "with -check: fail when telemetry-on throughput falls below this fraction of telemetry-off")
+		minFaults = flag.Float64("min-faults-ratio", 0.98, "with -check: fail when an armed-but-idle fault plane drops throughput below this fraction of the fault-free campaign")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -227,6 +232,33 @@ func main() {
 		return res.ProbesSent
 	}
 	cur["Yarrp6Campaign"], cur["Yarrp6Telemetry"] = measureAlternating(campaignFn, telemFn, 5)
+
+	// Fault-plane idle overhead pair: the same sharded campaign with the
+	// fault-injection plane armed but never firing (a crash rule whose
+	// instant lies hours past the campaign end). The plan is active, so
+	// every send and delivery consults the plane's keyed-hash draws —
+	// this measures exactly the tax a fault-capable run pays when
+	// nothing goes wrong. -check gates the ratio (-min-faults-ratio)
+	// and the allocs/probe delta, so robustness machinery stays
+	// effectively free on the clean path. A separate universe carries
+	// the armed plane; same seed, so the topology is identical.
+	faultIn := beholder.NewSmallInternet(5)
+	faultIn.SetFaults(&beholder.FaultConfig{Seed: 0xfa17, Rules: []beholder.FaultRule{
+		{Vantage: "throughput", Shard: beholder.FaultAnyShard, Kind: beholder.FaultCrash, At: time.Hour},
+	}})
+	faultIdleFn := func() int64 {
+		faultIn.Reset()
+		v := faultIn.NewVantage("throughput")
+		key++
+		res, err := v.RunYarrp6(thrTargets, beholder.YarrpOptions{
+			Rate: 10000, MaxTTL: 16, Key: key, Shards: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.ProbesSent
+	}
+	cur["Yarrp6FaultOff"], cur["Yarrp6FaultIdle"] = measureAlternating(campaignFn, faultIdleFn, 5)
 
 	// The same campaign with the streaming topology-graph observer
 	// attached (mirrors BenchmarkYarrp6GraphObserver): graph ingest must
@@ -386,6 +418,16 @@ func main() {
 		if off, on := cur["Yarrp6Campaign"], cur["Yarrp6Telemetry"]; off.ProbesPerSec > 0 {
 			if ratio := on.ProbesPerSec / off.ProbesPerSec; ratio < *minTelem {
 				fmt.Fprintf(os.Stderr, "bench: telemetry-on throughput ratio %.3f below bound %.3f\n", ratio, *minTelem)
+				failed = true
+			}
+		}
+		if off, on := cur["Yarrp6FaultOff"], cur["Yarrp6FaultIdle"]; off.ProbesPerSec > 0 {
+			if ratio := on.ProbesPerSec / off.ProbesPerSec; ratio < *minFaults {
+				fmt.Fprintf(os.Stderr, "bench: armed-but-idle fault-plane throughput ratio %.3f below bound %.3f\n", ratio, *minFaults)
+				failed = true
+			}
+			if delta := on.AllocsPerProbe - off.AllocsPerProbe; delta > 0.02 {
+				fmt.Fprintf(os.Stderr, "bench: armed-but-idle fault plane adds %.3f allocs/probe (bound 0.020)\n", delta)
 				failed = true
 			}
 		}

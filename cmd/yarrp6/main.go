@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,8 +50,15 @@ func main() {
 		progress  = flag.String("progress", "", `stream virtual-time NDJSON progress samples to this file ("-" for stderr); byte-identical at any -shards/-batch`)
 		progShard = flag.Bool("progress-shards", false, "append per-shard breakdown records to the progress stream")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		interrupt = flag.Duration("interrupt-at", 0, "stop the campaign at this virtual instant and write the -checkpoint artifact (resume later with -resume)")
+		ckptPath  = flag.String("checkpoint", "", "file for the resume artifact of an interrupted campaign (required with -interrupt-at)")
+		resume    = flag.String("resume", "", "resume a campaign from this checkpoint artifact; the artifact pins the campaign configuration, so target and tuning flags are ignored")
 	)
 	flag.Parse()
+	if *interrupt > 0 && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "yarrp6: -interrupt-at requires -checkpoint")
+		os.Exit(1)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -76,23 +84,39 @@ func main() {
 	v := in.NewVantage(*vantage)
 
 	var targets []netip.Addr
-	if *input != "" {
-		var err error
-		targets, err = readTargets(*input)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yarrp6:", err)
-			os.Exit(1)
+	if *resume == "" {
+		if *input != "" {
+			var err error
+			targets, err = readTargets(*input)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "yarrp6:", err)
+				os.Exit(1)
+			}
+		} else {
+			var err error
+			targets, err = in.TargetSet(*seedsName, *zn, *synth, *scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "yarrp6:", err)
+				os.Exit(1)
+			}
 		}
+		fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
+			len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
 	} else {
-		var err error
-		targets, err = in.TargetSet(*seedsName, *zn, *synth, *scale)
+		fmt.Fprintf(os.Stderr, "yarrp6: resuming from %s on vantage %s (%s)\n", *resume, *vantage, v.Addr())
+	}
+
+	// The checkpoint file opens before the campaign runs: an unwritable
+	// path must fail fast, not after minutes of probing.
+	var ckptFile *os.File
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "yarrp6:", err)
 			os.Exit(1)
 		}
+		ckptFile = f
 	}
-	fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
-		len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
 
 	// Telemetry registry: created for the HTTP endpoint, and also useful
 	// on its own so the campaign summary can report cache effectiveness.
@@ -120,14 +144,53 @@ func main() {
 		progW = bw
 	}
 
-	res, err := v.RunYarrp6(targets, beholder.YarrpOptions{
-		Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
-		Shards: *shards, Batch: *batch, Graph: *graphOut != "",
-		Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
-	})
-	if err != nil {
+	var res *beholder.Result
+	var err error
+	if *resume != "" {
+		art, rerr := os.ReadFile(*resume)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", rerr)
+			os.Exit(1)
+		}
+		res, err = v.ResumeYarrp6(art, beholder.YarrpOptions{
+			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
+			InterruptAt: *interrupt,
+		})
+	} else {
+		res, err = v.RunYarrp6(targets, beholder.YarrpOptions{
+			Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
+			Shards: *shards, Batch: *batch, Graph: *graphOut != "",
+			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
+			InterruptAt: *interrupt,
+		})
+	}
+	interrupted := errors.Is(err, beholder.ErrInterrupted)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "yarrp6:", err)
 		os.Exit(1)
+	}
+	if ckptFile != nil {
+		if interrupted {
+			if _, werr := ckptFile.Write(res.Checkpoint); werr != nil {
+				fmt.Fprintln(os.Stderr, "yarrp6:", werr)
+				os.Exit(1)
+			}
+			if werr := ckptFile.Close(); werr != nil {
+				fmt.Fprintln(os.Stderr, "yarrp6:", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "yarrp6: interrupted at %s; checkpoint (%d bytes) written to %s\n",
+				res.Elapsed, len(res.Checkpoint), *ckptPath)
+		} else {
+			// The campaign outran -interrupt-at (or none was set); no
+			// artifact exists, so don't leave an empty file behind.
+			ckptFile.Close()
+			os.Remove(*ckptPath)
+		}
+	}
+	if len(res.Quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "yarrp6: %d shard(s) quarantined after fatal faults; %d range(s) unrecovered\n",
+			len(res.Quarantined), len(res.Incomplete))
 	}
 
 	fmt.Printf("probes %d fills %d replies %d interfaces %d elapsed %s\n",

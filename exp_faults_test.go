@@ -1,0 +1,15 @@
+package beholder
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentFaultStudy(t *testing.T) {
+	out := smallExperiments().FaultStudy().Render()
+	for _, want := range []string{"clean", "crash shard 1", "equal", "transient sends"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FaultStudy output missing %q:\n%s", want, out)
+		}
+	}
+}

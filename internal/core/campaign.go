@@ -21,10 +21,21 @@
 // bucket), so under sustained rate-limit saturation a few extra replies
 // can appear near shard-window starts; buckets that are not saturated —
 // the normal regime for randomized probing — carry no deviation at all.
+//
+// The same statelessness that makes sharding trivial makes the campaign
+// recoverable. Each shard's progress is exactly one permutation cursor
+// plus its result store, so a campaign interrupted at any virtual
+// instant checkpoints into a small artifact (Checkpoint/Resume) and a
+// shard killed by a fatal connection fault is quarantined and its
+// remaining permutation range re-probed through fresh connections at
+// the original schedule instants (re-sharded across the survivors) —
+// against a deterministic simulator the recovered store equals the
+// fault-free one whenever no replies were lost.
 package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -32,10 +43,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beholder/internal/probe"
 	"beholder/internal/telemetry"
+	"beholder/internal/wire"
 )
 
 // ConnFactory builds the vantage connection shard i probes through.
@@ -43,7 +56,10 @@ import (
 // relative to the campaign epoch; implementations backed by a virtual
 // clock must open the connection's clock there so that the shard sends
 // its probes at the same virtual times a single prober would have.
-// Campaign.Run invokes the factory serially, before any shard starts.
+// Campaign.Run invokes the factory serially, before any shard starts —
+// and again, still serially, when building recovery connections for a
+// quarantined shard's remaining range (then with shard numbers past the
+// configured shard count).
 type ConnFactory func(shard int, start time.Duration) probe.Conn
 
 // CampaignConfig parameterizes a sharded campaign.
@@ -61,7 +77,10 @@ type CampaignConfig struct {
 	// any shard starts; the caller folds whatever the observers built
 	// (per-shard topology subgraphs, say) after Run returns. Config's
 	// own Observer field must be left nil — shards may not share one
-	// unsynchronized observer.
+	// unsynchronized observer. Recovery probers and resumed shards do
+	// not replay already-processed replies through observers; derive
+	// streaming artifacts from the merged store (graph.FromStore) when
+	// a campaign was recovered or resumed.
 	NewObserver func(shard int) probe.Observer
 	// Telemetry, when non-nil, aggregates hot-path metrics: each shard
 	// folds its counters and histograms into its own telemetry.Shard
@@ -73,6 +92,12 @@ type CampaignConfig struct {
 	// in CampaignStats.Progress and, when Writer is set, streamed as
 	// NDJSON after the run.
 	Progress *ProgressConfig
+	// InterruptAt, when nonzero, stops the campaign at that virtual
+	// instant (relative to the campaign epoch): no shard sends at or
+	// past it, RunContext returns ErrInterrupted with the partial
+	// results, and Checkpoint serializes the complete state so Resume
+	// continues the run as if it had never stopped.
+	InterruptAt time.Duration
 }
 
 // ProgressConfig parameterizes the campaign progress stream.
@@ -80,7 +105,8 @@ type ProgressConfig struct {
 	// Writer, when non-nil, receives the NDJSON stream after the run:
 	// sample records in virtual-time order, optional per-shard records,
 	// and a final summary record. Samples are deterministic — byte
-	// identical at any shard count and batch size.
+	// identical at any shard count and batch size. Interrupted runs do
+	// not write the stream (the resumed run writes the whole series).
 	Writer io.Writer
 	// SampleEvery is the sampling interval in permutation slots (probe
 	// departures). Zero picks domain/128 + 1, the discovery-curve step,
@@ -93,29 +119,93 @@ type ProgressConfig struct {
 	PerShard bool
 }
 
+// PermRange is a half-open permutation index range [Lo, Hi) that a
+// degraded campaign could not probe.
+type PermRange struct {
+	Lo, Hi uint64
+}
+
 // CampaignStats extends the merged campaign counters with the per-shard
 // breakdown.
 type CampaignStats struct {
 	Stats
 	// PerShard holds each shard's own counters (including its discovery
-	// curve over its window). Index is shard number.
+	// curve over its window). The first Shards entries are the
+	// configured shards in order; any further entries are recovery
+	// probers that re-probed quarantined ranges.
 	PerShard []Stats
 	// Progress is the merged virtual-time progress series, present when
 	// CampaignConfig.Progress was set. Timestamps are relative to the
 	// campaign epoch; the final point lands at Elapsed with the campaign
 	// totals.
 	Progress []telemetry.Point
+	// Quarantined lists shards that failed with a fatal connection
+	// error; their remaining ranges were re-probed through recovery
+	// connections where possible.
+	Quarantined []int
+	// Incomplete lists permutation ranges that stayed unprobed after
+	// recovery was exhausted — the explicit record of a degraded run.
+	Incomplete []PermRange
 }
 
-// Campaign is a sharded Yarrp6 run.
+// maxRecoveryRounds bounds how many times the campaign re-shards a
+// quarantined range whose recovery probers themselves keep failing.
+const maxRecoveryRounds = 3
+
+// Campaign is a sharded Yarrp6 run. A Campaign value runs once; after
+// an interrupted run (InterruptAt or context cancellation) it retains
+// the complete per-shard state, and Checkpoint serializes it.
 type Campaign struct {
 	cfg    CampaignConfig
 	connOf ConnFactory
+
+	// Run state, retained after RunContext for Checkpoint.
+	domain      uint64
+	gap         time.Duration
+	epoch       time.Duration
+	slots       uint64
+	stepDur     time.Duration
+	shards      []*shardState
+	stop        atomic.Bool
+	keep        bool // per-shard state preserved (interruptible run)
+	quarantined bool
+	res         *resumeState // non-nil when built by Resume
+}
+
+// shardState is one prober's slot in the campaign: its permutation
+// window, connection, result store, and outcome.
+type shardState struct {
+	index    int
+	lo, hi   uint64
+	instance uint8
+	conn     probe.Conn
+	prober   *Yarrp6
+	store    *probe.Store
+	prog     *telemetry.Progress
+	track    *ifaceTimes
+	stats    Stats
+	err      error        // fatal run error (quarantines the shard)
+	rs       *shardResume // capture from an interrupted or failed run
+	done     bool
 }
 
 // NewCampaign creates a sharded campaign; validation happens in Run.
 func NewCampaign(cfg CampaignConfig, connOf ConnFactory) *Campaign {
 	return &Campaign{cfg: cfg, connOf: connOf}
+}
+
+// Epoch returns the campaign epoch in absolute virtual time, valid
+// after RunContext has started the shards. Resume factories use it to
+// position recovery and resumed connections.
+func (c *Campaign) Epoch() time.Duration { return c.epoch }
+
+// Proto returns the campaign's transport protocol — for resumed
+// campaigns, the one pinned by the checkpoint artifact.
+func (c *Campaign) Proto() uint8 {
+	if c.cfg.Proto == 0 {
+		return wire.ProtoICMPv6
+	}
+	return c.cfg.Proto
 }
 
 // shardRange returns the contiguous permutation slice [lo, hi) owned by
@@ -127,11 +217,20 @@ func shardRange(domain uint64, s, n int) (lo, hi uint64) {
 }
 
 // Run executes the campaign and returns the merged store and statistics.
-// The merge is deterministic: shards own disjoint permutation slices, and
-// their stores are folded in shard order (equal to virtual-time order of
-// the shard windows) after every goroutine has finished.
+// It is RunContext without cancellation.
 func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
-	cfg := c.cfg
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign. Cancelling ctx stops every shard at
+// its next batch boundary: pending telemetry is flushed, the partial
+// merged store and statistics are returned with ErrInterrupted, and the
+// campaign stays checkpointable. The merge is deterministic: shards own
+// disjoint permutation slices, and their stores are folded in shard
+// order (equal to virtual-time order of the shard windows) after every
+// goroutine has finished.
+func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats, error) {
+	cfg := &c.cfg
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
@@ -144,19 +243,26 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	if cfg.Config.Observer != nil {
 		return nil, CampaignStats{}, fmt.Errorf("yarrp6: campaign shards may not share one observer; use NewObserver")
 	}
-	domain := Domain(&cfg.Config)
-	if uint64(cfg.Shards) > domain {
-		cfg.Shards = int(domain)
+	c.domain = Domain(&cfg.Config)
+	if uint64(cfg.Shards) > c.domain && c.res == nil {
+		cfg.Shards = int(c.domain)
 	}
-	gap := time.Duration(float64(time.Second) / cfg.PPS)
+	c.gap = time.Duration(float64(time.Second) / cfg.PPS)
 
-	type shardResult struct {
-		stats Stats
-		err   error
+	hasProg := cfg.Progress != nil
+	if hasProg {
+		// Progress sampling: thresholds are epoch + k·step where step is
+		// a whole number of permutation slots — the same virtual-time
+		// grid the probe schedule lives on, so every shard crosses
+		// thresholds at identical campaign-global instants whatever its
+		// window offset.
+		c.slots = cfg.Progress.SampleEvery
+		if c.slots == 0 {
+			c.slots = c.domain/128 + 1
+		}
+		c.stepDur = time.Duration(c.slots) * c.gap
 	}
-	stores := make([]*probe.Store, cfg.Shards)
-	results := make([]shardResult, cfg.Shards)
-	probers := make([]*Yarrp6, cfg.Shards)
+
 	// One template store for the whole campaign: shard codecs differ
 	// only by instance byte, which templates hold variable, so each
 	// target's probe template is built once instead of once per shard.
@@ -164,98 +270,165 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	if cfg.Shards > 1 {
 		tmpl = probe.NewTmplStore(tmplCacheSize(len(cfg.Targets)))
 	}
-	// Progress sampling: thresholds are epoch + k·step where step is a
-	// whole number of permutation slots — the same virtual-time grid the
-	// probe schedule lives on, so every shard crosses thresholds at
-	// identical campaign-global instants whatever its window offset.
-	var (
-		progs   []*telemetry.Progress
-		stepDur time.Duration
-		epoch   time.Duration
-	)
-	if cfg.Progress != nil {
-		slots := cfg.Progress.SampleEvery
-		if slots == 0 {
-			slots = domain/128 + 1
-		}
-		stepDur = time.Duration(slots) * gap
-		progs = make([]*telemetry.Progress, cfg.Shards)
-	}
+	// Per-shard interface first-seen tracking feeds the global
+	// discovery-curve merge and the progress interface counts;
+	// single-shard runs without progress skip the bookkeeping.
+	trackOn := cfg.Shards > 1 || hasProg
+
+	c.shards = make([]*shardState, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		lo, hi := shardRange(domain, s, cfg.Shards)
+		lo, hi := shardRange(c.domain, s, cfg.Shards)
+		ss := &shardState{index: s, lo: lo, hi: hi, instance: cfg.Instance + uint8(s)}
+		c.shards[s] = ss
+		var rsh *resumeShard
+		if c.res != nil {
+			rsh = c.res.shards[s]
+		}
+		if rsh != nil {
+			ss.store = rsh.store
+		} else {
+			ss.store = probe.NewStore(cfg.RecordPaths)
+		}
+		if trackOn {
+			ss.track = &ifaceTimes{first: make(map[netip.Addr]time.Duration)}
+			if rsh != nil {
+				for a, at := range rsh.firstSeen {
+					ss.track.first[a] = at
+				}
+			}
+		}
+		if rsh != nil && rsh.done {
+			// This shard finished before the checkpoint; its stored
+			// results feed the merge directly.
+			ss.done = true
+			ss.stats = rsh.stats
+			if hasProg {
+				ss.prog = telemetry.NewProgress(c.epoch, c.stepDur)
+				ss.prog.Restore(rsh.samples)
+			}
+			continue
+		}
 		scfg := cfg.Config
-		scfg.Instance = cfg.Instance + uint8(s)
+		scfg.Instance = ss.instance
 		scfg.PermStart, scfg.PermEnd = lo, hi
 		scfg.sharedTmpl = tmpl
+		scfg.stop = &c.stop
 		if cfg.NewObserver != nil {
 			scfg.Observer = cfg.NewObserver(s)
 		}
 		if cfg.Telemetry != nil {
 			scfg.telemetry = cfg.Telemetry.NewShard()
 		}
+		start := time.Duration(lo) * c.gap
+		if rsh != nil {
+			scfg.resume = rsh.rs
+			start = rsh.rs.now - c.res.epoch
+		}
 		// The factory runs serially: connection construction may mutate
 		// shared vantage state (clock-group registration).
-		conn := c.connOf(s, time.Duration(lo)*gap)
-		if s == 0 {
+		conn := c.connOf(s, start)
+		if s == 0 && c.res == nil {
 			// Shard 0's window opens at offset zero, so its connection's
 			// current instant is the campaign epoch in absolute virtual
 			// time — the origin every progress threshold counts from.
-			epoch = conn.Now()
+			c.epoch = conn.Now()
 		}
-		if progs != nil {
-			progs[s] = telemetry.NewProgress(epoch, stepDur)
-			scfg.progress = progs[s]
+		if cfg.InterruptAt > 0 {
+			scfg.interruptAt = c.epoch + cfg.InterruptAt
 		}
-		probers[s] = New(conn, scfg)
-		stores[s] = probe.NewStore(cfg.RecordPaths)
+		if hasProg {
+			ss.prog = telemetry.NewProgress(c.epoch, c.stepDur)
+			if rsh != nil {
+				ss.prog.Restore(rsh.rs.samples)
+			}
+			scfg.progress = ss.prog
+		}
+		if ss.track != nil {
+			ss.track.inner = scfg.Observer
+			scfg.Observer = ss.track
+		}
+		ss.conn = conn
+		ss.prober = New(conn, scfg)
 	}
 
-	// Per-shard interface first-seen tracking feeds the global
-	// discovery-curve merge and the progress interface counts;
-	// single-shard runs without progress keep the shard curve as-is and
-	// skip the bookkeeping.
-	var tracks []*ifaceTimes
-	if cfg.Shards > 1 || progs != nil {
-		tracks = make([]*ifaceTimes, cfg.Shards)
-		for s := 0; s < cfg.Shards; s++ {
-			tracks[s] = &ifaceTimes{inner: probers[s].cfg.Observer, first: make(map[netip.Addr]time.Duration)}
-			probers[s].cfg.Observer = tracks[s]
-		}
+	// Cancellation watcher: flips the shared stop flag the probers poll
+	// at batch boundaries. The watcher exits through stopWatch when the
+	// shards finish first, so no goroutine outlives RunContext.
+	stopWatch := make(chan struct{})
+	watcherDone := make(chan struct{})
+	if ctx != nil && ctx.Err() != nil {
+		// Already cancelled: flip the flag synchronously so no shard
+		// sends a single probe before noticing (the watcher goroutine
+		// could lose that race on a virtual-time run).
+		c.stop.Store(true)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				c.stop.Store(true)
+			case <-stopWatch:
+			}
+		}()
+	} else {
+		close(watcherDone)
 	}
 
-	var wg sync.WaitGroup
-	batchLabel := strconv.Itoa(cfg.Batch)
-	for s := 0; s < cfg.Shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			// Label the shard goroutine so -cpuprofile output from the
-			// drivers attributes campaign time to (shard, batch) without
-			// any manual goroutine archaeology in pprof.
-			pprof.Do(context.Background(), pprof.Labels("yarrp6-shard", strconv.Itoa(s), "yarrp6-batch", batchLabel), func(context.Context) {
-				stats, err := probers[s].Run(stores[s])
-				results[s] = shardResult{stats: stats, err: err}
-			})
-		}(s)
-	}
-	wg.Wait()
+	c.runShards(c.shards)
+	close(stopWatch)
+	<-watcherDone
 
+	// Classify outcomes: fatal shard errors quarantine the shard and
+	// hand its remaining range to recovery; interrupts keep the campaign
+	// checkpointable.
 	var out CampaignStats
-	out.PerShard = make([]Stats, cfg.Shards)
-	var end time.Duration
-	for s := 0; s < cfg.Shards; s++ {
-		if err := results[s].err; err != nil {
-			return nil, CampaignStats{}, fmt.Errorf("shard %d: %w", s, err)
+	interrupted := false
+	var failed []recoverRange
+	for _, ss := range c.shards {
+		switch {
+		case ss.err != nil:
+			out.Quarantined = append(out.Quarantined, ss.index)
+			rr := recoverRange{instance: ss.instance, lo: ss.lo, hi: ss.hi}
+			if ss.rs != nil {
+				rr.lo = ss.rs.cursor
+				rr.pending = ss.rs.pending
+			}
+			if rr.lo < rr.hi || len(rr.pending) > 0 {
+				failed = append(failed, rr)
+			}
+		case ss.rs != nil:
+			interrupted = true
 		}
-		st := results[s].stats
-		out.PerShard[s] = st
+	}
+	recovered := c.recoverRanges(failed, tmpl, trackOn, hasProg, &out)
+	c.quarantined = len(out.Quarantined) > 0
+	c.keep = interrupted || cfg.InterruptAt > 0
+
+	all := make([]*shardState, 0, len(c.shards)+len(recovered))
+	all = append(all, c.shards...)
+	all = append(all, recovered...)
+
+	out.PerShard = make([]Stats, 0, len(all))
+	var end time.Duration
+	starts := make([]time.Duration, 0, len(all))
+	for _, ss := range all {
+		st := ss.stats
+		out.PerShard = append(out.PerShard, st)
+		starts = append(starts, time.Duration(ss.lo)*c.gap)
 		out.ProbesSent += st.ProbesSent
 		out.Fills += st.Fills
 		out.Skipped += st.Skipped
 		out.Replies += st.Replies
 		out.NotMine += st.NotMine
-		lo, _ := shardRange(domain, s, cfg.Shards)
-		if t := time.Duration(lo)*gap + st.Elapsed; t > end {
+		out.Retries += st.Retries
+		var t time.Duration
+		if ss.rs != nil && !ss.done {
+			t = ss.rs.now - c.epoch
+		} else {
+			t = time.Duration(ss.lo)*c.gap + st.Elapsed
+		}
+		if t > end {
 			end = t
 		}
 	}
@@ -267,50 +440,225 @@ func (c *Campaign) Run() (*probe.Store, CampaignStats, error) {
 	// permutation slices, so the tree shape cannot change the result;
 	// pairing adjacent shards additionally keeps the fold in
 	// virtual-time order, preserving the documented first-answer rule
-	// even for overlapping ad-hoc inputs.
+	// even for overlapping ad-hoc inputs. A checkpointable run merges
+	// clones so Checkpoint can still serialize the per-shard stores.
+	stores := make([]*probe.Store, len(all))
+	for i, ss := range all {
+		stores[i] = ss.store
+	}
+	if c.keep {
+		for i := range stores {
+			clone := probe.NewStore(cfg.RecordPaths)
+			clone.Merge(stores[i])
+			stores[i] = clone
+		}
+	}
 	merged := mergeStoreTree(stores)
 	// Elapsed spans the whole virtual schedule: from the campaign epoch
-	// to the last shard's drain deadline.
+	// to the last shard's drain deadline (or the interrupt instant).
 	out.Elapsed = end
-	if cfg.Shards == 1 {
-		out.Curve = results[0].stats.Curve
-	} else {
+	switch {
+	case len(all) == 1:
+		out.Curve = all[0].stats.Curve
+	case trackOn:
+		tracks := make([]*ifaceTimes, 0, len(all))
+		for _, ss := range all {
+			if ss.track != nil {
+				tracks = append(tracks, ss.track)
+			}
+		}
 		out.Curve = mergeCurves(out.PerShard, tracks)
 	}
-	if progs != nil {
+	if hasProg {
 		// First sightings relative to the campaign epoch, sorted: the
 		// merge counts interfaces by walking this list against each
 		// threshold.
+		tracks := make([]*ifaceTimes, 0, len(all))
+		progs := make([]*telemetry.Progress, 0, len(all))
+		for _, ss := range all {
+			if ss.track != nil {
+				tracks = append(tracks, ss.track)
+			}
+			if ss.prog != nil {
+				progs = append(progs, ss.prog)
+			}
+		}
 		seenAt := firstSeenAt(tracks)
 		for i := range seenAt {
-			seenAt[i] -= epoch
+			seenAt[i] -= c.epoch
 		}
-		out.Progress = telemetry.Merge(progs, seenAt, stepDur, end)
-		if w := cfg.Progress.Writer; w != nil {
-			if err := c.writeProgress(w, out, domain, gap); err != nil {
+		out.Progress = telemetry.Merge(progs, seenAt, c.stepDur, end)
+		if w := cfg.Progress.Writer; w != nil && !interrupted {
+			if err := c.writeProgress(w, out, starts); err != nil {
 				return merged, out, fmt.Errorf("progress stream: %w", err)
 			}
 		}
 	}
+	if interrupted {
+		return merged, out, ErrInterrupted
+	}
 	return merged, out, nil
+}
+
+// runShards drives the given probers concurrently, one goroutine per
+// shard, recording each outcome on its shardState. Done shards (resumed
+// completed ones) are skipped.
+func (c *Campaign) runShards(shards []*shardState) {
+	var wg sync.WaitGroup
+	batchLabel := strconv.Itoa(c.cfg.Batch)
+	for _, ss := range shards {
+		if ss.done || ss.prober == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(ss *shardState) {
+			defer wg.Done()
+			// Label the shard goroutine so -cpuprofile output from the
+			// drivers attributes campaign time to (shard, batch) without
+			// any manual goroutine archaeology in pprof.
+			pprof.Do(context.Background(), pprof.Labels("yarrp6-shard", strconv.Itoa(ss.index), "yarrp6-batch", batchLabel), func(context.Context) {
+				stats, err := ss.prober.Run(ss.store)
+				ss.stats = stats
+				switch {
+				case err == nil:
+					ss.done = true
+				case errors.Is(err, ErrInterrupted):
+					ss.rs = ss.prober.ResumeState()
+				default:
+					ss.err = err
+					ss.rs = ss.prober.ResumeState()
+				}
+			})
+		}(ss)
+	}
+	wg.Wait()
+}
+
+// recoverRange is a quarantined shard's unprobed remainder: the
+// permutation range past its cursor plus the replies that were in
+// flight when it died.
+type recoverRange struct {
+	lo, hi   uint64
+	instance uint8
+	pending  []pendingReply
+}
+
+// recoverRanges re-probes quarantined ranges through fresh connections.
+// Each range is re-sharded across as many recovery probers as there are
+// surviving shards, every recovery connection's clock opening at the
+// instant the range's probes were originally scheduled — against a
+// deterministic simulator the re-probed replies are the ones the dead
+// shard would have collected, so the merged store matches the
+// fault-free run whenever no replies were lost. Recovery probers keep
+// the quarantined shard's instance byte, honor cancellation, and rounds
+// are bounded: ranges whose recovery probers keep dying are returned in
+// CampaignStats.Incomplete.
+func (c *Campaign) recoverRanges(ranges []recoverRange, tmpl *probe.TmplStore, trackOn, hasProg bool, out *CampaignStats) []*shardState {
+	if len(ranges) == 0 {
+		return nil
+	}
+	cfg := &c.cfg
+	survivors := cfg.Shards - len(out.Quarantined)
+	if survivors < 1 {
+		survivors = 1
+	}
+	var recovered []*shardState
+	nextIdx := cfg.Shards
+	for round := 0; round < maxRecoveryRounds && len(ranges) > 0; round++ {
+		var batch []*shardState
+		for _, rr := range ranges {
+			span := rr.hi - rr.lo
+			k := survivors
+			if span > 0 && uint64(k) > span {
+				k = int(span)
+			}
+			if span == 0 {
+				k = 1 // pending replies only: one drain-only prober
+			}
+			for j := 0; j < k; j++ {
+				a := rr.lo + span*uint64(j)/uint64(k)
+				b := rr.lo + span*uint64(j+1)/uint64(k)
+				if a == b && !(j == 0 && len(rr.pending) > 0) {
+					continue
+				}
+				ss := &shardState{index: nextIdx, lo: a, hi: b, instance: rr.instance}
+				nextIdx++
+				scfg := cfg.Config
+				scfg.Instance = rr.instance
+				scfg.PermStart, scfg.PermEnd = a, b
+				scfg.sharedTmpl = tmpl
+				scfg.stop = &c.stop
+				if cfg.Telemetry != nil {
+					scfg.telemetry = cfg.Telemetry.NewShard()
+				}
+				conn := c.connOf(ss.index, time.Duration(a)*c.gap)
+				if hasProg {
+					ss.prog = telemetry.NewProgress(c.epoch, c.stepDur)
+					scfg.progress = ss.prog
+				}
+				if trackOn {
+					ss.track = &ifaceTimes{first: make(map[netip.Addr]time.Duration)}
+					scfg.Observer = ss.track
+				}
+				if j == 0 && len(rr.pending) > 0 {
+					// The dead shard's in-flight replies drain through the
+					// first recovery connection at their original instants.
+					if ck, ok := conn.(probe.ConnCheckpointer); ok {
+						for _, pr := range rr.pending {
+							ck.InjectReply(pr.at, pr.data)
+						}
+					}
+				}
+				ss.store = probe.NewStore(cfg.RecordPaths)
+				ss.conn = conn
+				ss.prober = New(conn, scfg)
+				batch = append(batch, ss)
+			}
+		}
+		c.runShards(batch)
+		recovered = append(recovered, batch...)
+		ranges = ranges[:0]
+		for _, ss := range batch {
+			switch {
+			case ss.err != nil:
+				rr := recoverRange{instance: ss.instance, lo: ss.lo, hi: ss.hi}
+				if ss.rs != nil {
+					rr.lo = ss.rs.cursor
+					rr.pending = ss.rs.pending
+				}
+				if rr.lo < rr.hi || len(rr.pending) > 0 {
+					ranges = append(ranges, rr)
+				}
+			case ss.rs != nil:
+				// Cancelled mid-recovery: the partial results merge and
+				// the remainder is reported, not retried.
+				out.Incomplete = append(out.Incomplete, PermRange{Lo: ss.rs.cursor, Hi: ss.hi})
+			}
+		}
+	}
+	for _, rr := range ranges {
+		if rr.lo < rr.hi {
+			out.Incomplete = append(out.Incomplete, PermRange{Lo: rr.lo, Hi: rr.hi})
+		}
+	}
+	return recovered
 }
 
 // writeProgress streams the merged progress series as NDJSON: sample
 // records, optional per-shard window records, and the summary record.
-func (c *Campaign) writeProgress(w io.Writer, out CampaignStats, domain uint64, gap time.Duration) error {
+// starts holds each PerShard entry's window-open instant.
+func (c *Campaign) writeProgress(w io.Writer, out CampaignStats, starts []time.Duration) error {
 	if err := telemetry.WritePoints(w, out.Progress); err != nil {
 		return err
 	}
 	if c.cfg.Progress.PerShard {
 		lines := make([]telemetry.ShardLine, len(out.PerShard))
 		for s, st := range out.PerShard {
-			lo, _ := shardRange(domain, s, len(out.PerShard))
-			start := time.Duration(lo) * gap
 			lines[s] = telemetry.ShardLine{
 				Shard:   s,
-				Start:   start,
+				Start:   starts[s],
 				Elapsed: st.Elapsed,
-				Lag:     out.Elapsed - (start + st.Elapsed),
+				Lag:     out.Elapsed - (starts[s] + st.Elapsed),
 				Probes:  st.ProbesSent,
 				Fills:   st.Fills,
 				Replies: st.Replies,

@@ -1,0 +1,635 @@
+// Campaign checkpoint artifacts.
+//
+// Yarrp6's statelessness means a shard's entire progress is one
+// permutation cursor plus its result store; everything else a resumed
+// run needs — clocks, codec epochs, counters, curve and progress
+// series, in-flight replies — is small bookkeeping around that fact.
+// Checkpoint serializes it all into one versioned artifact: a magic
+// header followed by length-prefixed sections, each protected by its
+// own CRC32, so truncation and corruption are detected per section
+// with typed errors and the decoder never panics on arbitrary bytes
+// (FuzzCheckpointDecode pins this). Resume reconstructs the campaign
+// so that interrupt-at-any-instant plus resume reproduces the
+// uninterrupted run byte for byte — stores, discovery curves, and
+// progress streams alike — at any shard count and batch size.
+//
+// One deliberate deviation: netsim router token buckets are not part of
+// the artifact (they are simulator internals, not prober state), so a
+// resumed run's recovery connections find full buckets the way shard
+// windows always have. Under rate-limit saturation a resumed run can
+// therefore see a few extra replies near the resume instant; the
+// unsaturated regime — randomized probing's whole point — is exact.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+)
+
+// checkpointMagic opens every artifact; the trailing digits are the
+// format version, so a future layout bumps the magic itself.
+const checkpointMagic = "Y6CKPT01"
+
+// Artifact section types.
+const (
+	sectConfig = 1
+	sectShard  = 2
+)
+
+// Checkpoint decode errors. Every failure wraps ErrCheckpoint;
+// corruption detected by a section checksum additionally wraps
+// ErrCheckpointCRC.
+var (
+	ErrCheckpoint    = errors.New("yarrp6: invalid checkpoint artifact")
+	ErrCheckpointCRC = errors.New("checksum mismatch")
+)
+
+// ErrNotCheckpointable reports that the campaign has no interrupted
+// state to serialize: it has not run, ran to completion without an
+// interrupt request, or was degraded by shard quarantine (recovery
+// probers are not part of the artifact schema).
+var ErrNotCheckpointable = errors.New("yarrp6: campaign is not checkpointable")
+
+// resumeShard is one shard's decoded checkpoint state.
+type resumeShard struct {
+	done      bool
+	stats     Stats
+	rs        *shardResume // nil when done
+	samples   []telemetry.Sample
+	firstSeen map[netip.Addr]time.Duration
+	store     *probe.Store
+}
+
+// resumeState is a decoded artifact: the campaign shape plus every
+// shard's state.
+type resumeState struct {
+	epoch  time.Duration
+	shards []*resumeShard
+}
+
+// Checkpoint serializes the campaign's complete state after an
+// interrupted RunContext (InterruptAt or context cancellation). The
+// artifact captures per-shard permutation cursors, store snapshots,
+// discovery-curve and progress series, counter deltas, and in-flight
+// replies; Resume reconstructs a campaign that continues the run
+// exactly. Quarantine-degraded campaigns are not checkpointable.
+func (c *Campaign) Checkpoint() ([]byte, error) {
+	if !c.keep || len(c.shards) == 0 {
+		return nil, ErrNotCheckpointable
+	}
+	if c.quarantined {
+		return nil, fmt.Errorf("%w: shards were quarantined", ErrNotCheckpointable)
+	}
+	buf := append([]byte(nil), checkpointMagic...)
+	buf = appendSection(buf, sectConfig, c.appendConfig(nil))
+	for _, ss := range c.shards {
+		buf = appendSection(buf, sectShard, c.appendShard(nil, ss))
+	}
+	return buf, nil
+}
+
+func appendSection(buf []byte, typ byte, payload []byte) []byte {
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+func (c *Campaign) appendConfig(buf []byte) []byte {
+	cfg := &c.cfg
+	var flags byte
+	if cfg.RecordPaths {
+		flags |= 1
+	}
+	if cfg.Fill {
+		flags |= 2
+	}
+	if cfg.Progress != nil {
+		flags |= 4
+	}
+	buf = append(buf, flags, cfg.MinTTL, cfg.MaxTTL, cfg.Proto, cfg.Instance, cfg.FillLimit, cfg.NeighborhoodTTL)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(cfg.PPS))
+	buf = binary.LittleEndian.AppendUint64(buf, cfg.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cfg.Shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cfg.Batch))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cfg.NeighborhoodWindow))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cfg.DrainTimeout))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.epoch))
+	buf = binary.LittleEndian.AppendUint64(buf, c.slots)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cfg.Targets)))
+	for _, t := range cfg.Targets {
+		t16 := t.As16()
+		buf = append(buf, t16[:]...)
+	}
+	return buf
+}
+
+func (c *Campaign) appendShard(buf []byte, ss *shardState) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ss.index))
+	done := byte(0)
+	if ss.done {
+		done = 1
+	}
+	buf = append(buf, done)
+	rs := ss.rs
+	if rs == nil {
+		rs = &shardResume{}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, rs.cursor)
+	buf = appendDur(buf, rs.epoch)
+	buf = appendDur(buf, rs.now)
+	buf = appendDur(buf, rs.drainDeadline)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rs.nextCurve))
+
+	st := ss.stats
+	buf = appendDur(buf, time.Duration(st.ProbesSent))
+	buf = appendDur(buf, time.Duration(st.Fills))
+	buf = appendDur(buf, time.Duration(st.Skipped))
+	buf = appendDur(buf, time.Duration(st.Replies))
+	buf = appendDur(buf, time.Duration(st.NotMine))
+	buf = appendDur(buf, time.Duration(st.Retries))
+	buf = appendDur(buf, st.Elapsed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Curve)))
+	for _, p := range st.Curve {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Probes))
+		buf = appendDur(buf, p.At)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Interfaces))
+	}
+	for _, k := range rs.kindCount {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	nLast := 0
+	for _, at := range rs.lastNew {
+		if at != 0 {
+			nLast++
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nLast))
+	for ttl, at := range rs.lastNew {
+		if at != 0 {
+			buf = append(buf, byte(ttl))
+			buf = appendDur(buf, at)
+		}
+	}
+	samples := rs.samples
+	if ss.done && ss.prog != nil {
+		samples = ss.prog.Samples()
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(samples)))
+	for _, s := range samples {
+		buf = appendDur(buf, s.At)
+		buf = appendDur(buf, time.Duration(s.Probes))
+		buf = appendDur(buf, time.Duration(s.Fills))
+		buf = appendDur(buf, time.Duration(s.Replies))
+		buf = appendDur(buf, time.Duration(s.TimeExceeded))
+		buf = appendDur(buf, time.Duration(s.EchoReplies))
+		buf = appendDur(buf, time.Duration(s.DestUnreach))
+		buf = appendDur(buf, time.Duration(s.TCPRsts))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rs.pending)))
+	for _, pr := range rs.pending {
+		buf = appendDur(buf, pr.at)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pr.data)))
+		buf = append(buf, pr.data...)
+	}
+	if ss.track != nil {
+		buf = append(buf, 1)
+		addrs := make([]netip.Addr, 0, len(ss.track.first))
+		for a := range ss.track.first {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(addrs)))
+		for _, a := range addrs {
+			a16 := a.As16()
+			buf = append(buf, a16[:]...)
+			buf = appendDur(buf, ss.track.first[a])
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	enc := ss.store.AppendBinary(nil)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+	return append(buf, enc...)
+}
+
+func appendDur(buf []byte, d time.Duration) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(d))
+}
+
+// ResumeConfig supplies the non-serializable halves of a resumed
+// campaign — observers, telemetry, progress output — plus an optional
+// new interrupt instant for chained checkpointing.
+type ResumeConfig struct {
+	// NewObserver rebuilds per-shard observers. Resumed shards only see
+	// replies arriving after the resume instant; derive streaming
+	// artifacts from the merged store (graph.FromStore) instead.
+	NewObserver func(shard int) probe.Observer
+	// Telemetry receives the resumed run's metrics. Restored counter
+	// totals replay into it on the first flush, so its final state
+	// matches an uninterrupted run's registry.
+	Telemetry *telemetry.Registry
+	// ProgressWriter receives the full progress NDJSON stream when the
+	// original campaign had progress enabled (ignored otherwise): the
+	// restored pre-interrupt samples and the resumed run's together,
+	// byte-identical to the uninterrupted stream.
+	ProgressWriter io.Writer
+	// ProgressPerShard adds the per-shard window records to the stream.
+	ProgressPerShard bool
+	// InterruptAt, when nonzero, interrupts the resumed run in turn at
+	// that instant (relative to the original campaign epoch), allowing
+	// checkpoint chains.
+	InterruptAt time.Duration
+}
+
+// Resume reconstructs a checkpointed campaign. connOf must produce
+// connections over the same (or an identically seeded) vantage universe
+// as the original run, opening each shard's clock at the requested
+// offset from the original campaign epoch — Campaign.Epoch exposes it.
+// RunContext then continues the run exactly where Checkpoint cut it.
+func Resume(artifact []byte, rc ResumeConfig, connOf ConnFactory) (*Campaign, error) {
+	if len(artifact) < len(checkpointMagic) || string(artifact[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	}
+	rest := artifact[len(checkpointMagic):]
+	var (
+		cfg     CampaignConfig
+		state   resumeState
+		slots   uint64
+		hasProg bool
+		gotCfg  bool
+	)
+	for len(rest) > 0 {
+		if len(rest) < 9 {
+			return nil, fmt.Errorf("%w: truncated section header", ErrCheckpoint)
+		}
+		typ := rest[0]
+		n := binary.LittleEndian.Uint32(rest[1:])
+		sum := binary.LittleEndian.Uint32(rest[5:])
+		rest = rest[9:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: section %d length %d exceeds input", ErrCheckpoint, typ, n)
+		}
+		payload := rest[:n]
+		rest = rest[n:]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("%w: section %d: %w", ErrCheckpoint, typ, ErrCheckpointCRC)
+		}
+		switch typ {
+		case sectConfig:
+			if gotCfg {
+				return nil, fmt.Errorf("%w: duplicate config section", ErrCheckpoint)
+			}
+			var err error
+			if slots, hasProg, err = decodeConfig(payload, &cfg, &state); err != nil {
+				return nil, err
+			}
+			gotCfg = true
+		case sectShard:
+			if !gotCfg {
+				return nil, fmt.Errorf("%w: shard section before config", ErrCheckpoint)
+			}
+			sh, idx, err := decodeShard(payload)
+			if err != nil {
+				return nil, err
+			}
+			if idx != len(state.shards) || idx >= cfg.Shards {
+				return nil, fmt.Errorf("%w: shard %d out of order", ErrCheckpoint, idx)
+			}
+			state.shards = append(state.shards, sh)
+		default:
+			return nil, fmt.Errorf("%w: unknown section type %d", ErrCheckpoint, typ)
+		}
+	}
+	if !gotCfg {
+		return nil, fmt.Errorf("%w: missing config section", ErrCheckpoint)
+	}
+	if len(state.shards) != cfg.Shards {
+		return nil, fmt.Errorf("%w: %d shard sections for %d shards", ErrCheckpoint, len(state.shards), cfg.Shards)
+	}
+	if hasProg {
+		cfg.Progress = &ProgressConfig{Writer: rc.ProgressWriter, SampleEvery: slots, PerShard: rc.ProgressPerShard}
+	}
+	cfg.NewObserver = rc.NewObserver
+	cfg.Telemetry = rc.Telemetry
+	cfg.InterruptAt = rc.InterruptAt
+	return &Campaign{cfg: cfg, connOf: connOf, epoch: state.epoch, res: &state}, nil
+}
+
+// ckReader is a bounds-checked cursor over an untrusted artifact
+// payload.
+type ckReader struct {
+	buf []byte
+	off int
+}
+
+func (r *ckReader) need(n int) error {
+	if len(r.buf)-r.off < n {
+		return fmt.Errorf("%w: truncated payload at offset %d", ErrCheckpoint, r.off)
+	}
+	return nil
+}
+
+func (r *ckReader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *ckReader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *ckReader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *ckReader) dur() (time.Duration, error) {
+	v, err := r.u64()
+	return time.Duration(v), err
+}
+
+func (r *ckReader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+// count reads a length prefix and rejects values that cannot fit in the
+// remaining payload, so corrupt lengths fail fast instead of driving
+// huge allocations.
+func (r *ckReader) count(elemMin int) (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(v)*int64(elemMin) > int64(len(r.buf)-r.off) {
+		return 0, fmt.Errorf("%w: implausible count %d at offset %d", ErrCheckpoint, v, r.off)
+	}
+	return int(v), nil
+}
+
+func (r *ckReader) addr() (netip.Addr, error) {
+	if err := r.need(16); err != nil {
+		return netip.Addr{}, err
+	}
+	var a16 [16]byte
+	copy(a16[:], r.buf[r.off:])
+	r.off += 16
+	return netip.AddrFrom16(a16), nil
+}
+
+func (r *ckReader) bytes(n int) ([]byte, error) {
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b, nil
+}
+
+func decodeConfig(payload []byte, cfg *CampaignConfig, state *resumeState) (slots uint64, hasProg bool, err error) {
+	r := ckReader{buf: payload}
+	flags, err := r.u8()
+	if err != nil {
+		return 0, false, err
+	}
+	cfg.RecordPaths = flags&1 != 0
+	cfg.Fill = flags&2 != 0
+	hasProg = flags&4 != 0
+	fields := []*uint8{&cfg.MinTTL, &cfg.MaxTTL, &cfg.Proto, &cfg.Instance, &cfg.FillLimit, &cfg.NeighborhoodTTL}
+	for _, f := range fields {
+		if *f, err = r.u8(); err != nil {
+			return 0, false, err
+		}
+	}
+	pps, err := r.u64()
+	if err != nil {
+		return 0, false, err
+	}
+	cfg.PPS = math.Float64frombits(pps)
+	if cfg.PPS <= 0 || math.IsNaN(cfg.PPS) || math.IsInf(cfg.PPS, 0) {
+		return 0, false, fmt.Errorf("%w: invalid PPS", ErrCheckpoint)
+	}
+	if cfg.Key, err = r.u64(); err != nil {
+		return 0, false, err
+	}
+	shards, err := r.u32()
+	if err != nil {
+		return 0, false, err
+	}
+	if shards == 0 || shards > 1<<16 {
+		return 0, false, fmt.Errorf("%w: invalid shard count %d", ErrCheckpoint, shards)
+	}
+	cfg.Shards = int(shards)
+	batch, err := r.u32()
+	if err != nil {
+		return 0, false, err
+	}
+	cfg.Batch = int(batch)
+	if cfg.NeighborhoodWindow, err = r.dur(); err != nil {
+		return 0, false, err
+	}
+	if cfg.DrainTimeout, err = r.dur(); err != nil {
+		return 0, false, err
+	}
+	if state.epoch, err = r.dur(); err != nil {
+		return 0, false, err
+	}
+	if slots, err = r.u64(); err != nil {
+		return 0, false, err
+	}
+	nt, err := r.count(16)
+	if err != nil {
+		return 0, false, err
+	}
+	cfg.Targets = make([]netip.Addr, nt)
+	for i := range cfg.Targets {
+		if cfg.Targets[i], err = r.addr(); err != nil {
+			return 0, false, err
+		}
+	}
+	if r.off != len(payload) {
+		return 0, false, fmt.Errorf("%w: %d trailing config bytes", ErrCheckpoint, len(payload)-r.off)
+	}
+	return slots, hasProg, nil
+}
+
+func decodeShard(payload []byte) (*resumeShard, int, error) {
+	r := ckReader{buf: payload}
+	idx32, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	doneB, err := r.u8()
+	if err != nil {
+		return nil, 0, err
+	}
+	sh := &resumeShard{done: doneB != 0}
+	rs := &shardResume{}
+	if rs.cursor, err = r.u64(); err != nil {
+		return nil, 0, err
+	}
+	if rs.epoch, err = r.dur(); err != nil {
+		return nil, 0, err
+	}
+	if rs.now, err = r.dur(); err != nil {
+		return nil, 0, err
+	}
+	if rs.drainDeadline, err = r.dur(); err != nil {
+		return nil, 0, err
+	}
+	nc, err := r.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	rs.nextCurve = int64(nc)
+	ints := []*int64{&sh.stats.ProbesSent, &sh.stats.Fills, &sh.stats.Skipped, &sh.stats.Replies, &sh.stats.NotMine, &sh.stats.Retries}
+	for _, f := range ints {
+		if *f, err = r.i64(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if sh.stats.Elapsed, err = r.dur(); err != nil {
+		return nil, 0, err
+	}
+	ncurve, err := r.count(20)
+	if err != nil {
+		return nil, 0, err
+	}
+	sh.stats.Curve = make([]CurvePoint, ncurve)
+	for i := range sh.stats.Curve {
+		p := &sh.stats.Curve[i]
+		if p.Probes, err = r.i64(); err != nil {
+			return nil, 0, err
+		}
+		if p.At, err = r.dur(); err != nil {
+			return nil, 0, err
+		}
+		ifaces, err := r.u32()
+		if err != nil {
+			return nil, 0, err
+		}
+		p.Interfaces = int(ifaces)
+	}
+	for i := range rs.kindCount {
+		if rs.kindCount[i], err = r.i64(); err != nil {
+			return nil, 0, err
+		}
+	}
+	nLast, err := r.count(9)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < nLast; i++ {
+		ttl, err := r.u8()
+		if err != nil {
+			return nil, 0, err
+		}
+		if rs.lastNew[ttl], err = r.dur(); err != nil {
+			return nil, 0, err
+		}
+	}
+	nSamples, err := r.count(64)
+	if err != nil {
+		return nil, 0, err
+	}
+	sh.samples = make([]telemetry.Sample, nSamples)
+	for i := range sh.samples {
+		s := &sh.samples[i]
+		if s.At, err = r.dur(); err != nil {
+			return nil, 0, err
+		}
+		ints := []*int64{&s.Probes, &s.Fills, &s.Replies, &s.TimeExceeded, &s.EchoReplies, &s.DestUnreach, &s.TCPRsts}
+		for _, f := range ints {
+			if *f, err = r.i64(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	nPend, err := r.count(12)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < nPend; i++ {
+		at, err := r.dur()
+		if err != nil {
+			return nil, 0, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		data, err := r.bytes(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		rs.pending = append(rs.pending, pendingReply{at: at, data: data})
+	}
+	hasSeen, err := r.u8()
+	if err != nil {
+		return nil, 0, err
+	}
+	if hasSeen != 0 {
+		nSeen, err := r.count(24)
+		if err != nil {
+			return nil, 0, err
+		}
+		sh.firstSeen = make(map[netip.Addr]time.Duration, nSeen)
+		for i := 0; i < nSeen; i++ {
+			a, err := r.addr()
+			if err != nil {
+				return nil, 0, err
+			}
+			if sh.firstSeen[a], err = r.dur(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	nStore, err := r.count(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	enc, err := r.bytes(nStore)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sh.store, err = probe.DecodeStore(enc); err != nil {
+		return nil, 0, fmt.Errorf("%w: shard store: %v", ErrCheckpoint, err)
+	}
+	if r.off != len(payload) {
+		return nil, 0, fmt.Errorf("%w: %d trailing shard bytes", ErrCheckpoint, len(payload)-r.off)
+	}
+	if !sh.done {
+		// Restore the full interrupted-run state. The curve, counters,
+		// and samples live in the resume capture; stats doubles as the
+		// merge-time view for done shards only.
+		rs.stats = sh.stats
+		rs.notMine = sh.stats.NotMine
+		rs.samples = sh.samples
+		sh.rs = rs
+	}
+	return sh, int(idx32), nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"beholder/internal/graph"
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+	"beholder/internal/wire"
+)
+
+// ckptRun is one campaign execution's comparable artifacts.
+type ckptRun struct {
+	store    *probe.Store
+	graph    []byte
+	progress []byte
+	stats    CampaignStats
+}
+
+// ckptVantage builds a fresh identically-seeded universe and vantage —
+// the resumed half of every test runs against its own universe, the way
+// a restarted process would.
+func ckptVantage(seed int64) *netsim.Vantage {
+	u := campaignUniverse(seed)
+	return u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+}
+
+// graphNDJSON derives the canonical topology-graph export from a store.
+// Resumed campaigns rebuild graphs from the merged store (streaming
+// observers cannot see pre-resume replies), so both sides of every
+// comparison derive theirs the same way.
+func graphNDJSON(t *testing.T, store *probe.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.FromStore(store, "US-EDU-1", wire.ProtoICMPv6).WriteNDJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ckptReference runs the uninterrupted campaign at the given cell.
+func ckptReference(t *testing.T, seed int64, targets []netip.Addr, shards, batch int) ckptRun {
+	t.Helper()
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = batch
+	var progress bytes.Buffer
+	camp := NewCampaign(CampaignConfig{
+		Config:      cfg,
+		Shards:      shards,
+		RecordPaths: true,
+		Telemetry:   telemetry.NewRegistry(),
+		Progress:    &ProgressConfig{Writer: &progress},
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, stats, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckptRun{store: store, graph: graphNDJSON(t, store), progress: progress.Bytes(), stats: stats}
+}
+
+// ckptInterruptResume interrupts the campaign at interruptAt, serializes
+// the checkpoint, then resumes it on a fresh identically-seeded universe
+// and runs to completion.
+func ckptInterruptResume(t *testing.T, seed int64, targets []netip.Addr, shards, batch int, interruptAt time.Duration) ckptRun {
+	t.Helper()
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = batch
+	camp := NewCampaign(CampaignConfig{
+		Config:      cfg,
+		Shards:      shards,
+		RecordPaths: true,
+		Telemetry:   telemetry.NewRegistry(),
+		Progress:    &ProgressConfig{},
+		InterruptAt: interruptAt,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	partial, _, err := camp.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run: got err %v, want ErrInterrupted", err)
+	}
+	if partial == nil {
+		t.Fatal("interrupted run returned no partial store")
+	}
+	art, err := camp.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return ckptResume(t, seed, art)
+}
+
+// ckptResume resumes an artifact against a fresh universe.
+func ckptResume(t *testing.T, seed int64, art []byte) ckptRun {
+	t.Helper()
+	v := ckptVantage(seed)
+	var progress bytes.Buffer
+	camp, err := Resume(art, ResumeConfig{
+		Telemetry:      telemetry.NewRegistry(),
+		ProgressWriter: &progress,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	store, stats, err := camp.Run()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	return ckptRun{store: store, graph: graphNDJSON(t, store), progress: progress.Bytes(), stats: stats}
+}
+
+// assertRunsEqual byte-compares the store, graph export, progress
+// stream, merged discovery curve, and counters of two runs.
+func assertRunsEqual(t *testing.T, label string, got, want ckptRun) {
+	t.Helper()
+	if !got.store.Equal(want.store) {
+		t.Fatalf("%s: store differs", label)
+	}
+	if !bytes.Equal(got.graph, want.graph) {
+		t.Errorf("%s: graph differs", label)
+	}
+	if !bytes.Equal(got.progress, want.progress) {
+		t.Errorf("%s: progress stream differs:\nwant: %s\ngot:  %s", label, want.progress, got.progress)
+	}
+	g, w := got.stats, want.stats
+	if g.ProbesSent != w.ProbesSent || g.Fills != w.Fills || g.Replies != w.Replies ||
+		g.NotMine != w.NotMine || g.Elapsed != w.Elapsed {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, g.Stats, w.Stats)
+	}
+	if len(g.Curve) != len(w.Curve) {
+		t.Fatalf("%s: curve length %d vs %d", label, len(g.Curve), len(w.Curve))
+	}
+	for i := range g.Curve {
+		if g.Curve[i] != w.Curve[i] {
+			t.Fatalf("%s: curve point %d differs: %+v vs %+v", label, i, g.Curve[i], w.Curve[i])
+		}
+	}
+}
+
+// TestCampaignCheckpointResumeMatrix is the checkpoint acceptance test:
+// at every (shards, batch) cell, a campaign interrupted mid-send and one
+// interrupted deep in its drain tail must — after resume on a fresh
+// identically-seeded universe — be byte-identical to the uninterrupted
+// run in store, graph export, progress stream, merged curve, and
+// counters.
+func TestCampaignCheckpointResumeMatrix(t *testing.T) {
+	const seed = 1213
+	targets := campaignTargets(t, seed, 61)
+	// 732-slot domain at 500 pps: sends span 1.464s, drains reach ~3.5s.
+	// 600ms lands mid-window for early shards and before late shard
+	// windows open; 1.6s lands inside every shard's drain tail.
+	instants := []time.Duration{600 * time.Millisecond, 1600 * time.Millisecond}
+	ref := ckptReference(t, seed, targets, 1, 1)
+	if len(ref.progress) == 0 {
+		t.Fatal("reference run produced an empty progress stream")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 64} {
+			// The resumed run must equal the same-cell uninterrupted run in
+			// every artifact including the merged curve (whose point count
+			// depends on the shard layout); store, graph, and progress are
+			// additionally shard-count-invariant, so they must also equal
+			// the serial reference.
+			refCell := ckptReference(t, seed, targets, shards, batch)
+			if !refCell.store.Equal(ref.store) {
+				t.Fatalf("shards=%d batch=%d: reference store differs from serial reference", shards, batch)
+			}
+			if !bytes.Equal(refCell.progress, ref.progress) {
+				t.Fatalf("shards=%d batch=%d: reference progress differs from serial reference", shards, batch)
+			}
+			for _, at := range instants {
+				got := ckptInterruptResume(t, seed, targets, shards, batch, at)
+				t.Logf("shards=%d batch=%d interrupt=%v", shards, batch, at)
+				assertRunsEqual(t, "resumed", got, refCell)
+			}
+		}
+	}
+}
+
+// TestCampaignCheckpointChain interrupts, resumes with a second
+// interrupt, and resumes again: checkpoints compose.
+func TestCampaignCheckpointChain(t *testing.T) {
+	const seed = 4242
+	targets := campaignTargets(t, seed, 61)
+	ref := ckptReference(t, seed, targets, 2, 64)
+
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = 64
+	camp := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 2, RecordPaths: true,
+		Telemetry: telemetry.NewRegistry(), Progress: &ProgressConfig{},
+		InterruptAt: 400 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := camp.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("first interrupt: %v", err)
+	}
+	art1, err := camp.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := ckptVantage(seed)
+	camp2, err := Resume(art1, ResumeConfig{
+		Telemetry:   telemetry.NewRegistry(),
+		InterruptAt: 900 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v2.Clone(start) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := camp2.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("second interrupt: %v", err)
+	}
+	art2, err := camp2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := ckptResume(t, seed, art2)
+	assertRunsEqual(t, "chained resume", got, ref)
+}
+
+// TestCampaignCancelBeforeRun: a pre-cancelled context stops every
+// shard before its first probe; the checkpoint resumes into the full
+// campaign.
+func TestCampaignCancelBeforeRun(t *testing.T) {
+	const seed = 99
+	targets := campaignTargets(t, seed, 61)
+	ref := ckptReference(t, seed, targets, 2, 64)
+
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = 64
+	camp := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 2, RecordPaths: true,
+		Telemetry: telemetry.NewRegistry(), Progress: &ProgressConfig{},
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	store, stats, err := camp.RunContext(ctx)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled run: got %v, want ErrInterrupted", err)
+	}
+	if store == nil {
+		t.Fatal("cancelled run returned no store")
+	}
+	if stats.ProbesSent != 0 {
+		t.Fatalf("pre-cancelled run sent %d probes", stats.ProbesSent)
+	}
+	art, err := camp.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ckptResume(t, seed, art)
+	assertRunsEqual(t, "resume from zero", got, ref)
+}
+
+// TestCampaignCancelMidRun cancels concurrently with the run under load.
+// Wherever the cut lands, the partial results must be valid and the
+// checkpoint must resume into the byte-identical full campaign; run with
+// -race this doubles as the cancellation data-race test.
+func TestCampaignCancelMidRun(t *testing.T) {
+	const seed = 311
+	targets := campaignTargets(t, seed, 61)
+	ref := ckptReference(t, seed, targets, 4, 64)
+
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = 64
+	camp := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 4, RecordPaths: true,
+		Telemetry: telemetry.NewRegistry(), Progress: &ProgressConfig{},
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	store, _, err := camp.RunContext(ctx)
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled run: %v", err)
+	}
+	if store == nil {
+		t.Fatal("cancelled run returned no store")
+	}
+	if err == nil {
+		// The campaign outran the cancel; nothing to resume.
+		return
+	}
+	art, cerr := camp.Checkpoint()
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	got := ckptResume(t, seed, art)
+	assertRunsEqual(t, "resume after concurrent cancel", got, ref)
+}
+
+// TestCheckpointErrors pins the typed-error surface: completed and
+// un-run campaigns are not checkpointable, and malformed artifacts are
+// rejected with ErrCheckpoint (CRC corruption specifically with
+// ErrCheckpointCRC) rather than panics.
+func TestCheckpointErrors(t *testing.T) {
+	const seed = 7
+	targets := campaignTargets(t, seed, 13)
+	v := ckptVantage(seed)
+	camp := NewCampaign(CampaignConfig{Config: campaignCfg(targets), Shards: 2},
+		func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, err := camp.Checkpoint(); !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("un-run campaign: %v", err)
+	}
+	if _, _, err := camp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.Checkpoint(); !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("completed campaign: %v", err)
+	}
+
+	// A real artifact to corrupt.
+	v2 := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	camp2 := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 2, RecordPaths: true,
+		InterruptAt: 100 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v2.Clone(start) })
+	if _, _, err := camp2.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatal(err)
+	}
+	art, err := camp2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(art[:4], ResumeConfig{}, nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("truncated magic: %v", err)
+	}
+	if _, err := Resume(art[:len(art)-3], ResumeConfig{}, nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("truncated artifact: %v", err)
+	}
+	flipped := append([]byte(nil), art...)
+	flipped[len(flipped)-1] ^= 0x40
+	if _, err := Resume(flipped, ResumeConfig{}, nil); !errors.Is(err, ErrCheckpointCRC) {
+		t.Fatalf("corrupted artifact: got %v, want ErrCheckpointCRC", err)
+	}
+	if _, err := Resume([]byte("Y6CKPT99"), ResumeConfig{}, nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("wrong version: %v", err)
+	}
+	// The intact artifact still resumes.
+	if _, err := Resume(art, ResumeConfig{}, nil); err != nil {
+		t.Fatalf("intact artifact rejected: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+)
+
+// fuzzArtifact builds one small valid checkpoint artifact for seeding.
+func fuzzArtifact(tb testing.TB) []byte {
+	tb.Helper()
+	const seed = 33
+	targets := campaignTargets(tb, seed, 13)
+	u := campaignUniverse(seed)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+	camp := NewCampaign(CampaignConfig{
+		Config:      campaignCfg(targets),
+		Shards:      2,
+		RecordPaths: true,
+		Telemetry:   telemetry.NewRegistry(),
+		Progress:    &ProgressConfig{},
+		InterruptAt: 120 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := camp.Run(); !errors.Is(err, ErrInterrupted) {
+		tb.Fatalf("seed campaign: %v", err)
+	}
+	art, err := camp.Checkpoint()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return art
+}
+
+// FuzzCheckpointDecode hammers the checkpoint artifact decoder:
+// arbitrary input must either resume into a campaign or fail with an
+// error wrapping ErrCheckpoint (CRC damage specifically wrapping
+// ErrCheckpointCRC) — never panic, never silently succeed on
+// structurally invalid input.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := fuzzArtifact(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte("Y6CKPT01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		camp, err := Resume(data, ResumeConfig{}, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("decode error does not wrap ErrCheckpoint: %v", err)
+			}
+			if camp != nil {
+				t.Fatal("non-nil campaign alongside decode error")
+			}
+			return
+		}
+		if camp == nil {
+			t.Fatal("nil campaign with nil error")
+		}
+	})
+}

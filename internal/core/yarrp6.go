@@ -12,8 +12,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"beholder/internal/perm"
@@ -104,6 +106,23 @@ type Config struct {
 	// samples after drain-tail activity and at run boundaries. Campaign
 	// sets it and merges the per-shard series.
 	progress *telemetry.Progress
+
+	// interruptAt, when nonzero, stops the run the moment the clock
+	// reaches that absolute virtual instant: Run captures its complete
+	// state (ResumeState) and returns ErrInterrupted. Because batched
+	// send runs are capped at the instant and early-stop drains never
+	// advance the clock, the interrupt lands exactly there — nothing is
+	// sent at or past it. Campaign sets it for checkpointing.
+	interruptAt time.Duration
+	// stop, when non-nil and set, requests an interrupt at the next
+	// batch boundary — the cancellation path. The prober polls it
+	// between send runs only, so a clean stop costs one predicted load
+	// per batch.
+	stop *atomic.Bool
+	// resume, when non-nil, restores the state captured by a previous
+	// interrupted run before probing continues. Campaign sets it when
+	// reconstructing a checkpointed campaign.
+	resume *shardResume
 }
 
 func (c *Config) setDefaults() error {
@@ -159,8 +178,48 @@ type Stats struct {
 	Skipped    int64 // suppressed by the neighborhood heuristic
 	Replies    int64
 	NotMine    int64 // replies failing authentication
+	Retries    int64 // transient send failures retried after backoff
 	Curve      []CurvePoint
 	Elapsed    time.Duration
+}
+
+// ErrInterrupted reports that a run stopped at its interrupt instant or
+// on a cancellation request. The prober's complete state was captured
+// first (ResumeState), so the run can be checkpointed and continued.
+var ErrInterrupted = errors.New("yarrp6: interrupted")
+
+// retryMax bounds consecutive transient send failures: each failure
+// backs off one send slot and rebuilds the unsent probes for their
+// shifted instants; one more failure past the bound fails the shard.
+const retryMax = 3
+
+// pendingReply is one undelivered in-flight reply captured at an
+// interrupt, keyed by its virtual delivery instant.
+type pendingReply struct {
+	at   time.Duration
+	data []byte
+}
+
+// shardResume is the complete captured state of one interrupted (or
+// failed) shard prober. Together with the immutable campaign
+// configuration it is sufficient to continue the run so that interrupt
+// plus resume reproduces the uninterrupted schedule byte for byte: the
+// permutation cursor and clock say what to send and when, the codec
+// epoch keeps probe timestamps on the original series, the counters and
+// curve continue unbroken, and the pending replies restore the
+// connection's in-flight delivery queue.
+type shardResume struct {
+	cursor        uint64        // next unsent permutation index
+	epoch         time.Duration // codec epoch (absolute virtual time)
+	now           time.Duration // clock at capture (absolute virtual time)
+	drainDeadline time.Duration // nonzero when captured inside the drain tail
+	stats         Stats
+	kindCount     [probe.KindOther + 1]int64
+	notMine       int64
+	nextCurve     int64
+	lastNew       [256]time.Duration
+	pending       []pendingReply
+	samples       []telemetry.Sample
 }
 
 // CurvePoint samples discovery progress (Figure 7): after Probes probes,
@@ -229,6 +288,10 @@ type Yarrp6 struct {
 	// Neighborhood heuristic state: bounded by the TTL range, not by
 	// targets — the prober stays O(1) in destinations.
 	lastNew [256]time.Duration
+
+	// rs is the state captured when a run is interrupted or fails; nil
+	// after a clean completion.
+	rs *shardResume
 }
 
 // telSink bundles the prober's telemetry instruments plus the
@@ -309,6 +372,55 @@ func (y *Yarrp6) recordSample(at time.Duration) {
 		TCPRsts:      y.kindCount[probe.KindTCPRst],
 	})
 }
+
+// stopNow reports whether the run must interrupt before the next send:
+// the clock has reached the interrupt instant, or cancellation was
+// requested. Both checks are dead predicted branches when the features
+// are off.
+func (y *Yarrp6) stopNow() bool {
+	if y.cfg.interruptAt > 0 && y.conn.Now() >= y.cfg.interruptAt {
+		return true
+	}
+	return y.cfg.stop != nil && y.cfg.stop.Load()
+}
+
+// capture snapshots the complete run state at an interrupt, fatal send
+// error, or drain-tail stop. cursor is the next unsent permutation
+// index; drainDeadline is nonzero only when the capture happened inside
+// the drain tail (the window itself is complete). Pending telemetry is
+// flushed so the registry is exact at the capture instant.
+func (y *Yarrp6) capture(cursor uint64, nextCurve int64, drainDeadline time.Duration) {
+	// Fold the live authentication-failure counter into the returned
+	// partial stats the same way a completed run would.
+	y.stats.NotMine = y.codec.NotMine
+	rs := &shardResume{
+		cursor:        cursor,
+		epoch:         y.codec.Epoch(),
+		now:           y.conn.Now(),
+		drainDeadline: drainDeadline,
+		stats:         y.stats,
+		kindCount:     y.kindCount,
+		notMine:       y.codec.NotMine,
+		nextCurve:     nextCurve,
+		lastNew:       y.lastNew,
+	}
+	rs.stats.Curve = append([]CurvePoint(nil), y.stats.Curve...)
+	if y.prog != nil {
+		rs.samples = append([]telemetry.Sample(nil), y.prog.Samples()...)
+	}
+	if ck, ok := y.conn.(probe.ConnCheckpointer); ok {
+		ck.ExportPending(func(at time.Duration, data []byte) {
+			rs.pending = append(rs.pending, pendingReply{at: at, data: append([]byte(nil), data...)})
+		})
+	}
+	y.telFlush()
+	y.rs = rs
+}
+
+// ResumeState returns the state captured by an interrupted or failed
+// run, nil after a clean completion. Campaign serializes it into
+// checkpoint artifacts and feeds it to shard recovery.
+func (y *Yarrp6) ResumeState() *shardResume { return y.rs }
 
 // maybeSample records a progress sample when the clock has crossed the
 // next threshold. Main-loop clock advances are whole gap multiples and
@@ -393,6 +505,7 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	cfg := y.cfg
 	y.stats = Stats{}
 	y.kindCount = [probe.KindOther + 1]int64{}
+	y.rs = nil
 	y.initTelemetry()
 
 	domain := Domain(&cfg)
@@ -426,6 +539,38 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 		y.nextSample = y.prog.NextThreshold(y.conn.Now())
 	}
 
+	// Resume restore: continue an interrupted run exactly where it
+	// stopped. The iterator starts at the captured cursor (curveStep
+	// stays derived from the original window, so thresholds fall on the
+	// uninterrupted run's probe counts), the codec epoch goes back to
+	// the original run's so probe timestamps continue the same series,
+	// and the captured in-flight replies are re-queued at their original
+	// delivery instants. The connection's clock is the caller's job: it
+	// must open at the captured instant.
+	iterStart := start
+	var drainDeadline time.Duration
+	if rs := cfg.resume; rs != nil {
+		y.codec.SetEpoch(rs.epoch)
+		y.codec.NotMine = rs.notMine
+		y.stats = rs.stats
+		y.stats.Curve = append(y.stats.Curve[:0:0], rs.stats.Curve...)
+		y.stats.Elapsed = 0
+		y.kindCount = rs.kindCount
+		y.lastNew = rs.lastNew
+		nextCurve = rs.nextCurve
+		iterStart = rs.cursor
+		drainDeadline = rs.drainDeadline
+		if y.prog != nil {
+			y.prog.Restore(rs.samples)
+			y.nextSample = y.prog.NextThreshold(y.conn.Now())
+		}
+		if ck, ok := y.conn.(probe.ConnCheckpointer); ok {
+			for _, pr := range rs.pending {
+				ck.InjectReply(pr.at, pr.data)
+			}
+		}
+	}
+
 	y.bc, _ = y.conn.(probe.BatchConn)
 	if y.bc != nil {
 		// Batched sends may defer shared-counter updates; publish exact
@@ -440,7 +585,7 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 		batch = 1
 	}
 
-	it := p.Resume(start)
+	it := p.Resume(iterStart)
 	if batch > 1 {
 		err = y.runBatched(store, it, end, gap, batch, curveStep, &nextCurve)
 	} else {
@@ -467,10 +612,24 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	// first such instant at or past its delivery time — the stepped
 	// loop's schedule exactly, minus the empty iterations.
 	deadline := y.conn.Now() + cfg.DrainTimeout
+	if drainDeadline > 0 {
+		// Resumed inside the drain tail: keep the original run's
+		// deadline instead of extending the tail from the resume instant.
+		deadline = drainDeadline
+	}
 	for {
 		now := y.conn.Now()
 		if now >= deadline {
 			break
+		}
+		if y.stopNow() {
+			// The window is complete; capture with the cursor at the
+			// window end and pin the drain deadline so a resumed run
+			// finishes the same tail. Interrupt instants inside a
+			// fast-forwarded empty stretch take effect at the next drain
+			// instant — nothing observable happens in between.
+			y.capture(end, nextCurve, deadline)
+			return y.stats, ErrInterrupted
 		}
 		steps := int64(1)
 		if y.bc != nil && gap > 0 {
@@ -514,7 +673,12 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 func (y *Yarrp6) runSerial(store *probe.Store, it *perm.Iterator, end uint64, gap time.Duration, curveStep int64, nextCurve *int64) error {
 	cfg := &y.cfg
 	nt := uint64(len(cfg.Targets))
+	retries := 0
 	for it.Pos() < end {
+		if y.stopNow() {
+			y.capture(it.Pos(), *nextCurve, 0)
+			return ErrInterrupted
+		}
 		v, ok := it.Next()
 		if !ok {
 			break
@@ -525,8 +689,21 @@ func (y *Yarrp6) runSerial(store *probe.Store, it *perm.Iterator, end uint64, ga
 			y.stats.Skipped++
 			continue
 		}
-		if err := y.sendProbe(target, ttl); err != nil {
-			return err
+		for {
+			err := y.sendProbe(target, ttl)
+			if err == nil {
+				retries = 0
+				break
+			}
+			if !probe.IsTransient(err) || retries >= retryMax {
+				y.capture(it.Pos()-1, *nextCurve, 0)
+				return err
+			}
+			// Transient send failure: back off one slot and rebuild at
+			// the new instant (sendProbe stamps at build time).
+			retries++
+			y.stats.Retries++
+			y.conn.Sleep(gap)
 		}
 		y.conn.Sleep(gap)
 		// Empty-queue fast path: when the connection can report that
@@ -550,9 +727,15 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 		y.pkts = make([][]byte, batch)
 	}
 	nt := uint64(len(cfg.Targets))
+	retries := 0
 	for it.Pos() < end {
+		posBase := it.Pos()
+		if y.stopNow() {
+			y.capture(posBase, *nextCurve, 0)
+			return ErrInterrupted
+		}
 		k := uint64(batch)
-		if rem := end - it.Pos(); rem < k {
+		if rem := end - posBase; rem < k {
 			k = rem
 		}
 		n := it.NextBatch(y.idx[:k])
@@ -575,6 +758,13 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 		}
 		sent := 0
 		for sent < n {
+			if sent > 0 && y.stopNow() {
+				// Mid-batch interrupt: the iterator already consumed the
+				// whole batch, so the cursor is the base position plus
+				// the probes actually sent.
+				y.capture(posBase+uint64(sent), *nextCurve, 0)
+				return ErrInterrupted
+			}
 			lim := n
 			// Cap each send run at the next curve threshold so the
 			// sample is taken at exactly the probe count the serial
@@ -593,6 +783,23 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 					lim = sent + int(rem)
 				}
 			}
+			// Cap at the interrupt instant: nothing departs at or past
+			// it, so the interrupted prefix of the schedule matches the
+			// uninterrupted run exactly. An off-grid instant caps the
+			// run mid-slot; the loop-top check then captures before the
+			// next send, which is the same cut a serial loop would make.
+			if y.cfg.interruptAt > 0 && gap > 0 {
+				if rem := int64((y.cfg.interruptAt - y.conn.Now()) / gap); rem < int64(lim-sent) {
+					if rem < 0 {
+						rem = 0
+					}
+					lim = sent + int(rem)
+				}
+				if lim == sent {
+					y.capture(posBase+uint64(sent), *nextCurve, 0)
+					return ErrInterrupted
+				}
+			}
 			m, deliverable, err := y.bc.SendBatch(y.pkts[sent:lim], gap)
 			if y.tel.sh != nil {
 				y.tel.batchFill.Observe(int64(m))
@@ -603,8 +810,34 @@ func (y *Yarrp6) runBatched(store *probe.Store, it *perm.Iterator, end uint64, g
 			y.stats.ProbesSent += int64(m)
 			sent += m
 			if err != nil {
-				return err
+				if !probe.IsTransient(err) || retries >= retryMax {
+					y.capture(posBase+uint64(sent), *nextCurve, 0)
+					return err
+				}
+				// Transient send failure: back off one slot, rebuild the
+				// unsent remainder for its shifted instants (the stamps
+				// must keep matching the actual departure times), drain
+				// anything that arrived meanwhile, and retry.
+				retries++
+				y.stats.Retries++
+				y.conn.Sleep(gap)
+				t := y.conn.Now()
+				for i := sent; i < n; i++ {
+					v := y.idx[i]
+					target := cfg.Targets[v%nt]
+					ttl := cfg.MinTTL + uint8(v/nt)
+					off := i * probeStride
+					w := y.codec.BuildProbeAt(y.ring[off:off+probeStride], target, ttl, t+time.Duration(i-sent)*gap)
+					y.pkts[i] = y.ring[off : off+w]
+				}
+				if y.bc.Pending() > 0 {
+					y.drainAll(store)
+				}
+				y.recordCurve(store, nextCurve, curveStep)
+				y.maybeSample()
+				continue
 			}
+			retries = 0
 			if deliverable {
 				y.drainAll(store)
 			}

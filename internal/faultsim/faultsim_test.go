@@ -1,0 +1,136 @@
+package faultsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPlanResolution(t *testing.T) {
+	cfg := &Config{Seed: 7, Rules: []Rule{
+		{Vantage: "A", Shard: 1, Kind: KindCrash, At: 5 * time.Second},
+		{Vantage: "A", Shard: MatchAnyShard, Kind: KindStall, At: time.Second, Duration: time.Second},
+		{Vantage: "", Shard: MatchAnyShard, Kind: KindTransientSend, Prob: 0.25},
+		{Vantage: "B", Shard: 0, Kind: KindCorruptReply, Prob: 0.5},
+	}}
+
+	a1 := cfg.PlanFor("A", 1)
+	if !a1.Active() || !a1.CrashNow(5*time.Second) || a1.CrashNow(5*time.Second-1) {
+		t.Fatalf("A/1 crash schedule wrong: %+v", a1)
+	}
+	if !a1.Stalled(1500*time.Millisecond) || a1.Stalled(2*time.Second) || a1.Stalled(time.Second-1) {
+		t.Fatalf("A/1 stall window wrong")
+	}
+
+	a0 := cfg.PlanFor("A", 0)
+	if a0.CrashNow(time.Hour) {
+		t.Fatal("crash rule for shard 1 leaked to shard 0")
+	}
+	if !a0.Active() {
+		t.Fatal("A/0 should still carry the stall + wildcard transient rules")
+	}
+
+	b3 := cfg.PlanFor("B", 3)
+	if b3.corruptProb != 0 {
+		t.Fatal("corrupt rule for shard 0 leaked to shard 3")
+	}
+	if b3.transientProb != 0.25 {
+		t.Fatal("wildcard transient rule should match every vantage")
+	}
+
+	var nilCfg *Config
+	if p := nilCfg.PlanFor("A", 0); p.Active() {
+		t.Fatal("nil config must resolve to an inert plan")
+	}
+}
+
+// TestDrawsDeterministicAndCalibrated: draws are pure functions of
+// (seed, subject, instant) and land near the configured probability.
+func TestDrawsDeterministicAndCalibrated(t *testing.T) {
+	cfg := &Config{Seed: 99, Rules: []Rule{
+		{Shard: MatchAnyShard, Kind: KindTransientSend, Prob: 0.2},
+		{Shard: MatchAnyShard, Kind: KindTruncateReply, Prob: 0.35},
+	}}
+	p := cfg.PlanFor("V", 0)
+	q := cfg.PlanFor("V", 0)
+
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * time.Millisecond
+		if p.DrawTransient(42, at) != q.DrawTransient(42, at) {
+			t.Fatal("transient draw not deterministic")
+		}
+		if p.DrawTruncate(42, at) != q.DrawTruncate(42, at) {
+			t.Fatal("truncate draw not deterministic")
+		}
+		if p.DrawTransient(42, at) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.18 || got > 0.22 {
+		t.Fatalf("transient hit rate %.3f far from configured 0.2", got)
+	}
+
+	// Different fault seeds must reschedule the draws.
+	cfg2 := &Config{Seed: 100, Rules: cfg.Rules}
+	p2 := cfg2.PlanFor("V", 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		at := time.Duration(i) * time.Millisecond
+		if p.DrawTransient(42, at) == p2.DrawTransient(42, at) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("fault seed does not influence the draw schedule")
+	}
+}
+
+func TestDelayBurst(t *testing.T) {
+	cfg := &Config{Rules: []Rule{
+		{Shard: MatchAnyShard, Kind: KindDelayBurst, At: 2 * time.Second, Duration: time.Second},
+	}}
+	p := cfg.PlanFor("V", 0)
+	if at, ok := p.DelayedUntil(2500 * time.Millisecond); !ok || at != 3*time.Second {
+		t.Fatalf("in-window delivery not pushed to window end: %v %v", at, ok)
+	}
+	if _, ok := p.DelayedUntil(3 * time.Second); ok {
+		t.Fatal("delivery at window end must pass through")
+	}
+	if _, ok := p.DelayedUntil(time.Second); ok {
+		t.Fatal("pre-window delivery must pass through")
+	}
+}
+
+func TestCorruptAt(t *testing.T) {
+	cfg := &Config{Rules: []Rule{{Shard: MatchAnyShard, Kind: KindCorruptReply, Prob: 1}}}
+	p := cfg.PlanFor("V", 0)
+	off, mask := p.CorruptAt(7, time.Second, 64)
+	if off < 0 || off >= 64 {
+		t.Fatalf("corrupt offset %d outside span", off)
+	}
+	if mask == 0 {
+		t.Fatal("corrupt mask must flip at least one bit")
+	}
+	off2, mask2 := p.CorruptAt(7, time.Second, 64)
+	if off != off2 || mask != mask2 {
+		t.Fatal("corrupt placement not deterministic")
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	var err error = &TransientSendError{Vantage: "V", At: time.Second}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("TransientSendError must classify as transient")
+	}
+	err = &CrashError{Vantage: "V", Shard: 2, At: time.Second}
+	if errors.As(err, &tr) {
+		t.Fatal("CrashError must not classify as transient")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

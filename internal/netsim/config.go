@@ -1,6 +1,10 @@
 package netsim
 
-import "time"
+import (
+	"time"
+
+	"beholder/internal/faultsim"
+)
 
 // ASKind categorizes an autonomous system; the kind selects the addressing
 // plan (subnet hierarchy and host population) and policy knobs.
@@ -87,6 +91,13 @@ type Config struct {
 	// byte-identical at any setting. Vantage.SetPlanCache overrides it
 	// per vantage.
 	PlanCacheSize int
+
+	// Faults attaches the deterministic fault-injection plane
+	// (internal/faultsim): per-vantage crash/stall schedules, transient
+	// send errors, reply truncation/corruption, and delayed-burst
+	// delivery, all keyed-hash-driven so faulted runs replay exactly.
+	// Nil injects nothing and costs one predictable branch per send.
+	Faults *faultsim.Config
 }
 
 // DefaultConfig returns a campaign-scale universe: large enough that

@@ -40,6 +40,7 @@ import (
 	"weak"
 
 	"beholder/internal/bgp"
+	"beholder/internal/faultsim"
 	"beholder/internal/ipv6"
 )
 
@@ -133,6 +134,19 @@ type SimStats struct {
 	PortUnreachSent   int64
 	LossDropped       int64
 	FilteredDrops     int64
+
+	// Fault-injection plane counters (internal/faultsim): zero unless
+	// Config.Faults injects something. CrashDenials counts sends refused
+	// by a crashed vantage, StallDrops probes swallowed inside a stall
+	// window, TransientErrs EAGAIN-shaped send failures, Truncated and
+	// Corrupted damaged replies, Delayed replies pushed to the end of a
+	// delay-burst window.
+	FaultCrashDenials  int64
+	FaultStallDrops    int64
+	FaultTransientErrs int64
+	FaultTruncated     int64
+	FaultCorrupted     int64
+	FaultDelayed       int64
 }
 
 // Sub returns s minus prev, field for field — the event counts of the
@@ -149,6 +163,13 @@ func (s SimStats) Sub(prev SimStats) SimStats {
 		PortUnreachSent:   s.PortUnreachSent - prev.PortUnreachSent,
 		LossDropped:       s.LossDropped - prev.LossDropped,
 		FilteredDrops:     s.FilteredDrops - prev.FilteredDrops,
+
+		FaultCrashDenials:  s.FaultCrashDenials - prev.FaultCrashDenials,
+		FaultStallDrops:    s.FaultStallDrops - prev.FaultStallDrops,
+		FaultTransientErrs: s.FaultTransientErrs - prev.FaultTransientErrs,
+		FaultTruncated:     s.FaultTruncated - prev.FaultTruncated,
+		FaultCorrupted:     s.FaultCorrupted - prev.FaultCorrupted,
+		FaultDelayed:       s.FaultDelayed - prev.FaultDelayed,
 	}
 }
 
@@ -201,6 +222,13 @@ func (u *Universe) ASByASN(asn uint32) (*AS, bool) {
 
 // Clock returns the universe's virtual clock.
 func (u *Universe) Clock() *Clock { return &u.clock }
+
+// SetFaults installs (or, with nil, clears) the fault-injection plane
+// for vantages created from now on. Existing vantages keep the plans
+// they resolved at creation; set faults before attaching or cloning the
+// vantages they should afflict. Must not run concurrently with vantage
+// creation.
+func (u *Universe) SetFaults(f *faultsim.Config) { u.cfg.Faults = f }
 
 // ResetState clears universe-held mutable state (the shared clock and the
 // event counters) while keeping the generated topology, so that
@@ -257,6 +285,13 @@ func (u *Universe) StatsSnapshot() SimStats {
 		PortUnreachSent:   atomic.LoadInt64(&u.Stats.PortUnreachSent),
 		LossDropped:       atomic.LoadInt64(&u.Stats.LossDropped),
 		FilteredDrops:     atomic.LoadInt64(&u.Stats.FilteredDrops),
+
+		FaultCrashDenials:  atomic.LoadInt64(&u.Stats.FaultCrashDenials),
+		FaultStallDrops:    atomic.LoadInt64(&u.Stats.FaultStallDrops),
+		FaultTransientErrs: atomic.LoadInt64(&u.Stats.FaultTransientErrs),
+		FaultTruncated:     atomic.LoadInt64(&u.Stats.FaultTruncated),
+		FaultCorrupted:     atomic.LoadInt64(&u.Stats.FaultCorrupted),
+		FaultDelayed:       atomic.LoadInt64(&u.Stats.FaultDelayed),
 	}
 }
 

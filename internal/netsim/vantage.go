@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beholder/internal/faultsim"
 	"beholder/internal/ipv6"
 	"beholder/internal/wire"
 )
@@ -114,6 +115,20 @@ type Vantage struct {
 	// sends defer them.
 	pend simDelta
 
+	// Fault-injection plane (internal/faultsim). faults is this clone's
+	// resolved plan; hasFaults guards every packet-path fault check
+	// behind one predictable branch, so a fault-free universe pays one
+	// compare per send. shardOrd is the clone ordinal rules match on
+	// (creation order within a shard group; the parent is 0), and
+	// nextClone numbers this vantage's future clones. errTransient is
+	// reused across transient failures so the fault path allocates
+	// nothing per packet.
+	faults       faultsim.Plan
+	hasFaults    bool
+	shardOrd     int
+	nextClone    int
+	errTransient faultsim.TransientSendError
+
 	// Stats counts prober-visible events at this vantage.
 	Stats VantageStats
 }
@@ -168,6 +183,9 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	v.srcU = ipv6.FromAddr(v.addr)
 	v.parent = u.bfsTree(as.Idx)
 	v.shared = u.sharedPlansFor(nameKey, v.planSize)
+	v.faults = u.cfg.Faults.PlanFor(spec.Name, 0)
+	v.hasFaults = v.faults.Active()
+	v.errTransient.Vantage = spec.Name
 	u.registerVantage(v)
 	return v
 }
@@ -232,7 +250,12 @@ func (v *Vantage) Clone(start time.Duration) *Vantage {
 		routers:  make(map[RouterKey]*Router),
 		planSize: v.planSize,
 		shared:   v.shared,
+		shardOrd: v.nextClone,
 	}
+	v.nextClone++
+	nv.faults = v.u.cfg.Faults.PlanFor(v.spec.Name, nv.shardOrd)
+	nv.hasFaults = nv.faults.Active()
+	nv.errTransient.Vantage = v.spec.Name
 	if v.group == nil {
 		v.group = &ClockGroup{}
 	}
@@ -245,11 +268,18 @@ func (v *Vantage) Clone(start time.Duration) *Vantage {
 // campaign: subsequent Clones join it, and earlier campaigns' dead
 // shard clocks no longer weigh on Watermark/Horizon. Callers running
 // more than one sharded campaign from the same vantage must call it
-// before each campaign's clones are created.
+// before each campaign's clones are created. Clone ordinals restart at
+// zero too, so fault rules keyed on campaign shard numbers re-match the
+// new campaign's clones.
 func (v *Vantage) BeginShardGroup() *ClockGroup {
 	v.group = &ClockGroup{}
+	v.nextClone = 0
 	return v.group
 }
+
+// ShardOrdinal returns this vantage's clone ordinal within its shard
+// group (0 for the parent), the identity fault rules match on.
+func (v *Vantage) ShardOrdinal() int { return v.shardOrd }
 
 // ShardClocks returns the ClockGroup coordinating this vantage's cloned
 // shards (nil when no clone exists). Its Watermark is the current
@@ -396,6 +426,14 @@ type simDelta struct {
 	portUnreachSent   int64
 	lossDropped       int64
 	filteredDrops     int64
+
+	// Fault-injection plane counters (zero unless Config.Faults is set).
+	faultCrashDenials  int64
+	faultStallDrops    int64
+	faultTransientErrs int64
+	faultTruncated     int64
+	faultCorrupted     int64
+	faultDelayed       int64
 }
 
 // flush applies the accumulated counts to the shared universe stats,
@@ -430,6 +468,24 @@ func (d *simDelta) flush(s *SimStats) {
 	}
 	if d.filteredDrops != 0 {
 		atomic.AddInt64(&s.FilteredDrops, d.filteredDrops)
+	}
+	if d.faultCrashDenials != 0 {
+		atomic.AddInt64(&s.FaultCrashDenials, d.faultCrashDenials)
+	}
+	if d.faultStallDrops != 0 {
+		atomic.AddInt64(&s.FaultStallDrops, d.faultStallDrops)
+	}
+	if d.faultTransientErrs != 0 {
+		atomic.AddInt64(&s.FaultTransientErrs, d.faultTransientErrs)
+	}
+	if d.faultTruncated != 0 {
+		atomic.AddInt64(&s.FaultTruncated, d.faultTruncated)
+	}
+	if d.faultCorrupted != 0 {
+		atomic.AddInt64(&s.FaultCorrupted, d.faultCorrupted)
+	}
+	if d.faultDelayed != 0 {
+		atomic.AddInt64(&s.FaultDelayed, d.faultDelayed)
 	}
 	*d = simDelta{}
 }
@@ -494,6 +550,29 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 		return fmt.Errorf("netsim: undecodable probe: %w", err)
 	}
 	d := &v.dec
+	if v.hasFaults {
+		now := v.clk.Now()
+		if v.faults.CrashNow(now) {
+			// Fatal: the vantage's send path is dead. The packet was not
+			// sent; every further attempt fails the same way.
+			st.faultCrashDenials++
+			at, _ := v.faults.CrashAt()
+			return &faultsim.CrashError{Vantage: v.spec.Name, Shard: v.shardOrd, At: at}
+		}
+		if v.faults.DrawTransient(v.id, now) {
+			// EAGAIN-shaped: the packet was not sent, a retry at a later
+			// instant redraws independently.
+			st.faultTransientErrs++
+			v.errTransient.At = now
+			return &v.errTransient
+		}
+		if v.faults.Stalled(now) {
+			// The probe departs and vanishes; the prober sees nothing.
+			v.Stats.Sent++
+			st.faultStallDrops++
+			return nil
+		}
+	}
 	v.Stats.Sent++
 	st.packetsRouted++
 
@@ -522,7 +601,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			return nil
 		}
 		st.timeExceededSent++
-		v.scheduleError(r, wire.ICMPv6TimeExceeded, 0, pkt, plan, idx, now, pk)
+		v.scheduleError(st, r, wire.ICMPv6TimeExceeded, 0, pkt, plan, idx, now, pk)
 		return nil
 	}
 
@@ -556,7 +635,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			code = wire.CodeRejectRoute
 		}
 		st.errorsSent++
-		v.scheduleError(r, wire.ICMPv6DstUnreach, code, pkt, plan, idx, now, pk)
+		v.scheduleError(st, r, wire.ICMPv6DstUnreach, code, pkt, plan, idx, now, pk)
 		return nil
 
 	case outFilteredSilent:
@@ -588,17 +667,17 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 		}
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(payload))
 		n := wire.BuildEchoReply(v.bufs[bi], d.IPv6.Dst, v.addr, &d.ICMPv6, payload, 64)
-		v.deliver(bi, n, now+rtt)
+		v.deliverReply(st, bi, n, now+rtt, pk, now)
 	case plan.exists && d.Proto == wire.ProtoUDP:
 		st.portUnreachSent++
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(pkt))
 		n := wire.BuildICMPv6Error(v.bufs[bi], wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
-		v.deliver(bi, n, now+rtt)
+		v.deliverReply(st, bi, n, now+rtt, pk, now)
 	case plan.exists && d.Proto == wire.ProtoTCP:
 		st.tcpRstsSent++
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.TCPHeaderLen)
 		n := wire.BuildTCPRst(v.bufs[bi], d.IPv6.Dst, v.addr, &d.TCP, 64)
-		v.deliver(bi, n, now+rtt)
+		v.deliverReply(st, bi, n, now+rtt, pk, now)
 	default:
 		// No such host: the gateway's neighbor discovery fails and it
 		// reports address-unreachable some of the time (rate-limited).
@@ -606,7 +685,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			r := v.stepRouter(plan, int(plan.errorIdx))
 			if !r.unresponsive && r.allowICMP(now) {
 				st.errorsSent++
-				v.scheduleError(r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, plan, int(plan.errorIdx), now, pk)
+				v.scheduleError(st, r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, plan, int(plan.errorIdx), now, pk)
 			} else {
 				st.rateLimitDropped++
 			}
@@ -617,7 +696,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 
 // scheduleError builds and enqueues an ICMPv6 error from router r quoting
 // the probe, arriving after the round-trip to step idx.
-func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, plan *planEntry, idx int, now time.Duration, pk uint64) {
+func (v *Vantage) scheduleError(st *simDelta, r *Router, typ, code uint8, probe []byte, plan *planEntry, idx int, now time.Duration, pk uint64) {
 	quote := probe
 	if r.truncateQuote && len(quote) > 48 {
 		// Legacy gear quoting IPv4-style: header plus 8 bytes.
@@ -629,7 +708,34 @@ func (v *Vantage) scheduleError(r *Router, typ, code uint8, probe []byte, plan *
 	bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(quote))
 	n := wire.BuildICMPv6Error(v.bufs[bi], typ, code, r.Addr, v.addr, quote, 64)
 	rtt := v.stepAt(plan.stepOff+uint32(idx)).rtt + v.jitter(pk, now)
-	v.deliver(bi, n, now+rtt)
+	v.deliverReply(st, bi, n, now+rtt, pk, now)
+}
+
+// deliverReply applies the reply-side fault plane — truncation,
+// corruption, delayed-burst release — to one built reply before
+// enqueueing it. With no faults configured it is a direct deliver.
+func (v *Vantage) deliverReply(st *simDelta, bi int32, n int, t time.Duration, pk uint64, now time.Duration) {
+	if v.hasFaults {
+		const hdr = wire.IPv6HeaderLen + wire.ICMPv6HeaderLen
+		if n > hdr && v.faults.DrawTruncate(pk, now) {
+			// Cut into the body: the bytes carrying recoverable probe
+			// state are gone, and the stale outer length/checksum make
+			// the damage visible to the prober's parser, as on real
+			// networks.
+			n = hdr + (n-hdr)/4
+			st.faultTruncated++
+		}
+		if n > hdr && v.faults.DrawCorrupt(pk, now) {
+			off, mask := v.faults.CorruptAt(pk, now, n-hdr)
+			v.bufs[bi][hdr+off] ^= mask
+			st.faultCorrupted++
+		}
+		if until, ok := v.faults.DelayedUntil(t); ok {
+			t = until
+			st.faultDelayed++
+		}
+	}
+	v.deliver(bi, n, t)
 }
 
 // jitter returns the probe's return-path delay variation.
@@ -751,6 +857,28 @@ func (v *Vantage) NextDeliveryAt() (time.Duration, bool) {
 		return 0, false
 	}
 	return v.queue[0].at, true
+}
+
+// ExportPending visits every queued (undelivered) reply in delivery
+// order without disturbing the queue, handing the callback each reply's
+// delivery instant and bytes; the bytes are only valid during the
+// callback. Campaign checkpointing captures in-flight replies this way
+// so a resumed run folds them at exactly the instants the uninterrupted
+// run would have.
+func (v *Vantage) ExportPending(fn func(at time.Duration, data []byte)) {
+	q := append(deliveryQueue(nil), v.queue...)
+	for len(q) > 0 {
+		d := q.pop()
+		fn(d.at, v.bufs[d.buf][:d.n])
+	}
+}
+
+// InjectReply enqueues a copy of reply bytes for delivery at virtual
+// instant at — the resume-side counterpart of ExportPending.
+func (v *Vantage) InjectReply(at time.Duration, data []byte) {
+	bi := v.getBuf(len(data))
+	n := copy(v.bufs[bi], data)
+	v.deliver(bi, n, at)
 }
 
 // delivery is one scheduled reply: a pool buffer index plus its valid

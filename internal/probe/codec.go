@@ -131,6 +131,12 @@ func NewCodec(conn Conn, proto, instance uint8) *Codec {
 // Epoch returns the campaign time origin used for RTT timestamps.
 func (c *Codec) Epoch() time.Duration { return c.epoch }
 
+// SetEpoch re-anchors the campaign time origin. A resumed campaign
+// restores the interrupted run's epoch so the elapsed timestamps its
+// probes embed — and the RTTs recovered from quoted replies — continue
+// the original series instead of restarting from the resume instant.
+func (c *Codec) SetEpoch(epoch time.Duration) { c.epoch = epoch }
+
 // targetSum is the per-target constant carried in ports/identifiers and
 // forced into the transport checksum.
 func targetSum(target netip.Addr) uint16 {

@@ -61,6 +61,44 @@ type BatchConn interface {
 	FlushStats()
 }
 
+// ConnCheckpointer is the optional checkpoint extension of Conn: a
+// connection that can export its undelivered replies and accept them
+// back after a resume. netsim.Vantage implements it; a live raw-socket
+// implementation has no virtual in-flight queue and simply omits it
+// (the kernel's own queue drains into Recv regardless). Campaign
+// checkpointing uses it so that interrupt-at-any-instant plus resume
+// replays the uninterrupted run byte for byte.
+type ConnCheckpointer interface {
+	// ExportPending visits every undelivered reply in delivery order;
+	// the bytes are only valid during the callback.
+	ExportPending(fn func(at time.Duration, data []byte))
+	// InjectReply enqueues a copy of reply bytes for delivery at
+	// virtual instant at.
+	InjectReply(at time.Duration, data []byte)
+}
+
+// IsTransient reports whether a send error is retryable — EAGAIN-shaped
+// failures where the packet was not sent but a later attempt may
+// succeed. Fault classification follows the error's own testimony (an
+// errors.As match on `interface{ Transient() bool }`), so connection
+// implementations decide which of their failures are worth a bounded
+// retry and which must fail the shard.
+func IsTransient(err error) bool {
+	for e := err; e != nil; e = unwrap(e) {
+		if t, ok := e.(interface{ Transient() bool }); ok {
+			return t.Transient()
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	if u, ok := err.(interface{ Unwrap() error }); ok {
+		return u.Unwrap()
+	}
+	return nil
+}
+
 // SendBatch sends pkts through c with inter-packet gap pacing: a
 // batch-capable connection processes the whole batch in one call, and
 // any other Conn falls back to a single packet per call (the shim that

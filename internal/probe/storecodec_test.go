@@ -1,0 +1,91 @@
+package probe
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func storeFixture(recordPaths bool) *Store {
+	s := NewStore(recordPaths)
+	targets := []netip.Addr{
+		netip.MustParseAddr("2001:db8:1::1"),
+		netip.MustParseAddr("2001:db8:2::1"),
+		netip.MustParseAddr("2001:db8:3::1"),
+	}
+	hop := func(i int) netip.Addr {
+		a := netip.MustParseAddr("2001:db8:ff::1").As16()
+		a[14] = byte(i)
+		return netip.AddrFrom16(a)
+	}
+	n := 0
+	for ti, target := range targets {
+		for ttl := 1; ttl <= 4+ti; ttl++ {
+			n++
+			s.Add(Reply{
+				At:     time.Duration(n) * time.Millisecond,
+				From:   hop(ti*8 + ttl),
+				Target: target,
+				Kind:   KindTimeExceeded,
+				TTL:    uint8(ttl),
+			})
+		}
+	}
+	s.Add(Reply{From: targets[0], Target: targets[0], Kind: KindEchoReply, TTL: 9})
+	s.Add(Reply{From: hop(60), Target: targets[1], Kind: KindDestUnreach, Code: 1, TTL: 7})
+	s.Add(Reply{From: targets[2], Target: targets[2], Kind: KindDestUnreach, Code: 4, TTL: 8})
+	s.Add(Reply{Kind: KindOther})
+	s.Rewritten++
+	return s
+}
+
+func TestStoreCodecRoundTrip(t *testing.T) {
+	for _, recordPaths := range []bool{true, false} {
+		s := storeFixture(recordPaths)
+		enc := s.AppendBinary(nil)
+		got, err := DecodeStore(enc)
+		if err != nil {
+			t.Fatalf("recordPaths=%v: decode: %v", recordPaths, err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("recordPaths=%v: round-tripped store differs", recordPaths)
+		}
+		// Canonical form: re-encoding the decoded store reproduces the
+		// original bytes exactly.
+		enc2 := got.AppendBinary(nil)
+		if string(enc) != string(enc2) {
+			t.Fatalf("recordPaths=%v: re-encoding differs", recordPaths)
+		}
+	}
+}
+
+func TestStoreCodecEmpty(t *testing.T) {
+	s := NewStore(true)
+	got, err := DecodeStore(s.AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("empty store round-trip differs")
+	}
+}
+
+func TestStoreCodecRejectsMalformed(t *testing.T) {
+	enc := storeFixture(true).AppendBinary(nil)
+	// Every truncation fails with the typed error and never panics.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeStore(enc[:cut]); !errors.Is(err, ErrStoreDecode) {
+			t.Fatalf("truncation at %d: got %v, want ErrStoreDecode", cut, err)
+		}
+	}
+	if _, err := DecodeStore(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrStoreDecode) {
+		t.Fatalf("trailing byte: got %v, want ErrStoreDecode", err)
+	}
+	// A corrupt length prefix must fail fast rather than allocate.
+	bad := append([]byte(nil), enc...)
+	bad[41] = 0xff // low byte of the DestUnreachByCode count
+	if _, err := DecodeStore(bad); !errors.Is(err, ErrStoreDecode) {
+		t.Fatalf("corrupt count: got %v, want ErrStoreDecode", err)
+	}
+}

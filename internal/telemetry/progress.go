@@ -89,6 +89,13 @@ func (p *Progress) Record(s Sample) {
 // Samples returns the recorded series in record order.
 func (p *Progress) Samples() []Sample { return p.samples }
 
+// Restore replaces the recorded series with a copy of samples — the
+// checkpoint/resume path, where a resumed shard recorder continues the
+// interrupted shard's series so Merge sees one uninterrupted history.
+func (p *Progress) Restore(samples []Sample) {
+	p.samples = append(p.samples[:0], samples...)
+}
+
 // Point is one merged campaign-global progress sample. At is relative to
 // the campaign epoch, so equal campaigns launched at different absolute
 // virtual times stream identically.

@@ -1,15 +1,19 @@
-// gencorpus writes the checked-in fuzz seed corpora for internal/wire
-// and internal/probe in Go's corpus file format.
+// gencorpus writes the checked-in fuzz seed corpora for internal/wire,
+// internal/probe, and internal/core in Go's corpus file format.
 package main
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"os"
 	"path/filepath"
 	"strconv"
 	"time"
 
+	"beholder/internal/core"
+	"beholder/internal/netsim"
 	"beholder/internal/probe"
 	"beholder/internal/wire"
 )
@@ -89,5 +93,52 @@ func main() {
 	write(pe, "seed-udp", bs([]byte{0x20, 0x01, 0xff, 0xff}), by(16), by(1), by(200))
 	write(pe, "seed-tcp", bs([]byte{0x3f, 0xfe}), by(255), by(2), by(63))
 
+	// core: FuzzCheckpointDecode — a real interrupted-campaign artifact,
+	// a truncation, and a CRC flip.
+	art := checkpointArtifact()
+	cd := "internal/core/testdata/fuzz/FuzzCheckpointDecode"
+	write(cd, "seed-valid", bs(art))
+	write(cd, "seed-truncated", bs(art[:len(art)*2/3]))
+	flipped := append([]byte(nil), art...)
+	flipped[len(flipped)/2] ^= 0x04
+	write(cd, "seed-crc-flip", bs(flipped))
+
 	fmt.Println("corpus written")
+}
+
+// checkpointArtifact interrupts a small deterministic netsim campaign
+// and serializes its checkpoint.
+func checkpointArtifact() []byte {
+	cfg := netsim.TestConfig(77)
+	cfg.AggressivePercent = 0
+	u := netsim.NewUniverse(cfg)
+	v := u.NewVantage(netsim.VantageSpec{Name: "US-EDU-1", Kind: netsim.KindUniversity, ChainLen: 4})
+
+	rng := rand.New(rand.NewSource(77))
+	var targets []netip.Addr
+	kinds := []netsim.ASKind{netsim.KindHosting, netsim.KindEyeballISP, netsim.KindEnterprise}
+	for len(targets) < 13 {
+		as := u.RandomAS(rng, kinds[len(targets)%len(kinds)])
+		lan, ok := u.RandomLAN(rng, as)
+		if !ok {
+			continue
+		}
+		targets = append(targets, u.GatewayAddr(lan, as))
+	}
+
+	camp := core.NewCampaign(core.CampaignConfig{
+		Config:      core.Config{Targets: targets, PPS: 500, MaxTTL: 12, Key: 11, Fill: true},
+		Shards:      2,
+		RecordPaths: true,
+		Progress:    &core.ProgressConfig{},
+		InterruptAt: 120 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := camp.Run(); !errors.Is(err, core.ErrInterrupted) {
+		panic(fmt.Sprintf("gencorpus checkpoint campaign: %v", err))
+	}
+	art, err := camp.Checkpoint()
+	if err != nil {
+		panic(err)
+	}
+	return art
 }
