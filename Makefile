@@ -2,31 +2,40 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover chaos
+.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover chaos soak
 
 # chaos runs the fault-injection matrix, checkpoint/resume equivalence,
 # and cancellation tests under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Checkpoint|Cancel' ./internal/core
 
+# soak runs the multi-tenant scheduler chaos harness under the race
+# detector: concurrent tenant campaigns under injected crash/stall/
+# transient faults, supervisor-neutrality byte-equality, watchdog
+# failover, and the drain -> restart -> drain continuation chain. The
+# wall cap keeps a wedged supervisor from hanging CI.
+soak:
+	$(GO) test -race -count=1 -timeout 5m -run 'Soak|ChaosSoak|Neutrality|Watchdog|Admission|Breaker' ./internal/sched
+
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# bench writes BENCH_PR5.json: probes/s and allocs/probe for the
+# bench writes BENCH_PR8.json: probes/s and allocs/probe for the
 # hot-path benchmarks, the shard-scaling sweep (shards x batch sizes,
 # engine time only) with core-normalized parallel efficiency, and the
 # recorded PR 3 baseline with the speedup over it.
 bench:
-	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR5.json
+	$(GO) run ./cmd/bench -benchtime 1.5s -out BENCH_PR8.json
 
 # bench-check is the CI gate: short-form run that fails when any hot
 # benchmark's steady-state allocs/probe exceeds the bound, when
-# 4-shard parallel efficiency falls below 0.6, or when the fully
+# 4-shard parallel efficiency falls below 0.6, when the fully
 # instrumented campaign (telemetry registry + progress stream) drops
-# below 0.95x the bare campaign's throughput.
+# below 0.95x the bare campaign's throughput, or when a supervised
+# single-tenant campaign drops below 0.95x the bare campaign.
 bench-check:
 	$(GO) run ./cmd/bench -benchtime 150ms -check
 

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"beholder/internal/ipv6"
+
+	"beholder/internal/testutil"
 )
 
 // smallExperiments returns a fast suite for tests.
@@ -15,6 +17,7 @@ func smallExperiments() *Experiments {
 }
 
 func TestFacadeQuickCampaign(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	in := NewSmallInternet(3)
 	v := in.NewVantage("test-vantage")
 	targets, err := in.TargetSet("caida", 64, "lowbyte1", 0.2)
@@ -176,6 +179,7 @@ func TestExperimentCampaigns(t *testing.T) {
 // reproduce the single-instance run exactly — interfaces, paths,
 // counters — while reporting the per-shard breakdown.
 func TestFacadeShardedCampaignMatches(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	run := func(shards int) *Result {
 		in := NewSmallInternet(3)

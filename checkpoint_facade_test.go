@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"beholder/internal/testutil"
 )
 
 // TestFacadeCheckpointResume drives the interrupt → checkpoint → resume
@@ -12,6 +14,7 @@ import (
 // and resumed on a replayed Internet must reproduce the uninterrupted
 // run byte for byte.
 func TestFacadeCheckpointResume(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	run := func(interruptAt time.Duration) (*Result, *Vantage) {
 		in := NewSmallInternet(3)
 		v := in.NewVantage("ckpt-test")
@@ -68,6 +71,7 @@ func TestFacadeCheckpointResume(t *testing.T) {
 // re-probes its range, and with lossless replies the result equals the
 // fault-free campaign's.
 func TestFacadeFaultedCampaign(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	run := func(fc *FaultConfig) (*Result, *TelemetryRegistry) {
 		in := NewSmallInternet(3)
 		in.SetFaults(fc)

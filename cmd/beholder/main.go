@@ -34,6 +34,7 @@ func main() {
 		progress = flag.String("progress", "", `stream one NDJSON record per completed experiment to this file ("-" for stderr)`)
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs (e.g. localhost:6060)")
 		faults   = flag.Bool("faults", false, "append the fault-robustness study: campaign recovery under injected crash/stall/transient/corruption faults")
+		sched    = flag.Bool("sched", false, "append the supervision study: concurrent multi-tenant campaigns under the scheduler vs bare runs")
 	)
 	flag.Parse()
 
@@ -127,6 +128,11 @@ func main() {
 		// Opt-in: the paper's evaluation has no fault figures, so the
 		// robustness study stays out of the canonical All() artifact.
 		fmt.Fprintln(w, e.FaultStudy().Render())
+	}
+	if *sched {
+		// Opt-in for the same reason: supervision is infrastructure, not
+		// a paper figure.
+		fmt.Fprintln(w, e.SchedStudy().Render())
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 

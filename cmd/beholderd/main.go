@@ -1,0 +1,399 @@
+// Command beholderd is the long-running campaign supervisor daemon: it
+// multiplexes many tenants' Yarrp6 campaigns over one simulated
+// internetwork with admission control, watchdog failover, and
+// per-vantage circuit breaking, and exposes the service over HTTP:
+//
+//	POST /submit     submit a campaign (JSON body; see campaignReq)
+//	GET  /campaigns  status of every admitted campaign
+//	POST /drain      graceful shutdown: checkpoint running campaigns
+//	                 into -state-dir and exit; a beholderd restarted on
+//	                 the same state dir resumes them byte-identically
+//	/metrics, /debug/vars, /debug/pprof/  the telemetry surface
+//
+// Each campaign's NDJSON result stream (lifecycle events plus
+// incremental graph deltas) is appended to -state-dir as
+// <tenant>__<name>.stream.ndjson while it runs.
+//
+// Example (two tenants, one resumable state dir):
+//
+//	beholderd -small -addr localhost:6464 -state-dir ./state \
+//	    -tenants alice:4000:1,bob
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"beholder"
+	"beholder/internal/telemetry"
+)
+
+// campaignReq is the /submit body and the drain sidecar format. Targets
+// come either explicit or from the seed-generation pipeline; on resume
+// the checkpoint artifact supplies them instead.
+type campaignReq struct {
+	Tenant  string   `json:"tenant"`
+	Name    string   `json:"name"`
+	Vantage string   `json:"vantage,omitempty"` // default US-EDU-1
+	Targets []string `json:"targets,omitempty"`
+	// Seed-generation pipeline (used when Targets is empty).
+	Seeds string  `json:"seeds,omitempty"` // default caida
+	ZN    int     `json:"zn,omitempty"`    // default 64
+	Synth string  `json:"synth,omitempty"` // default lowbyte1
+	Scale float64 `json:"scale,omitempty"` // default 0.2
+	// Probing options, as in yarrp6.
+	Rate       float64 `json:"rate,omitempty"`
+	MaxTTL     int     `json:"maxttl,omitempty"`
+	Transport  string  `json:"transport,omitempty"`
+	Fill       bool    `json:"fill,omitempty"`
+	Key        uint64  `json:"key,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+}
+
+// daemon ties the scheduler to the HTTP surface and the state dir.
+type daemon struct {
+	in       *beholder.Internet
+	sch      *beholder.Scheduler
+	stateDir string
+
+	mu       sync.Mutex
+	vantages map[string]*beholder.Vantage
+}
+
+func main() {
+	var (
+		simSeed  = flag.Int64("sim-seed", 2018, "simulated internetwork seed")
+		small    = flag.Bool("small", false, "use the small universe")
+		addr     = flag.String("addr", "localhost:6464", "HTTP listen address")
+		workers  = flag.Int("workers", 4, "campaigns run concurrently")
+		queue    = flag.Int("queue", 32, "admission queue limit")
+		tenants  = flag.String("tenants", "default", "comma-separated tenants, each name[:rate-budget[:priority]]")
+		stateDir = flag.String("state-dir", "beholderd-state", "directory for result streams and drain checkpoints")
+		stall    = flag.Duration("stall-budget", 2*time.Second, "watchdog stall budget before failover")
+		retries  = flag.Int("retries", 2, "watchdog failover budget per campaign")
+	)
+	flag.Parse()
+
+	tl, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+		fatal(err)
+	}
+	var in *beholder.Internet
+	if *small {
+		in = beholder.NewSmallInternet(*simSeed)
+	} else {
+		in = beholder.NewInternet(*simSeed)
+	}
+	reg := beholder.NewTelemetry()
+	sch, err := in.NewScheduler(beholder.SchedulerOptions{
+		Tenants: tl, Workers: *workers, QueueLimit: *queue,
+		StallBudget: *stall, MaxRetries: *retries, Telemetry: reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	d := &daemon{in: in, sch: sch, stateDir: *stateDir, vantages: map[string]*beholder.Vantage{}}
+
+	// A restarted daemon first consumes the previous generation's drain
+	// state: every sidecar (with its artifact, when one exists) is
+	// resubmitted before the HTTP surface opens.
+	resumed, err := d.recoverState()
+	if err != nil {
+		fatal(err)
+	}
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "beholderd: resumed %d drained campaign(s) from %s\n", resumed, *stateDir)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", d.handleSubmit)
+	mux.HandleFunc("/campaigns", d.handleCampaigns)
+	mux.HandleFunc("/drain", d.handleDrain)
+	mux.Handle("/", telemetry.Handler(reg))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "beholderd: %d tenant(s), %d worker(s), serving on http://%s\n", len(tl), *workers, ln.Addr())
+	fatal((&http.Server{Handler: mux}).Serve(ln))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beholderd:", err)
+	os.Exit(1)
+}
+
+// parseTenants decodes the -tenants flag: name[:rate-budget[:priority]].
+func parseTenants(s string) ([]beholder.Tenant, error) {
+	var out []beholder.Tenant
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if fields[0] == "" {
+			return nil, fmt.Errorf("empty tenant name in -tenants %q", s)
+		}
+		t := beholder.Tenant{Name: fields[0]}
+		if len(fields) > 1 && fields[1] != "" {
+			b, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: bad rate budget %q", t.Name, fields[1])
+			}
+			t.RateBudget = b
+		}
+		if len(fields) > 2 {
+			p, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: bad priority %q", t.Name, fields[2])
+			}
+			t.Priority = p
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// submit admits one campaign, streaming its NDJSON events to the state
+// dir; resume, when non-nil, continues from a drain artifact.
+func (d *daemon) submit(req campaignReq, resume []byte) (*beholder.CampaignHandle, error) {
+	if req.Tenant == "" || req.Name == "" {
+		return nil, errors.New("tenant and name are required")
+	}
+	vname := req.Vantage
+	if vname == "" {
+		vname = "US-EDU-1"
+	}
+	d.mu.Lock()
+	v := d.vantages[vname]
+	if v == nil {
+		v = d.in.NewVantage(vname)
+		d.vantages[vname] = v
+	}
+	d.mu.Unlock()
+
+	var targets []netip.Addr
+	if resume == nil {
+		if len(req.Targets) > 0 {
+			for _, s := range req.Targets {
+				a, err := netip.ParseAddr(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad target %q: %w", s, err)
+				}
+				targets = append(targets, a)
+			}
+		} else {
+			seeds, zn, synth, scale := req.Seeds, req.ZN, req.Synth, req.Scale
+			if seeds == "" {
+				seeds = "caida"
+			}
+			if zn == 0 {
+				zn = 64
+			}
+			if synth == "" {
+				synth = "lowbyte1"
+			}
+			if scale == 0 {
+				scale = 0.2
+			}
+			var err error
+			targets, err = d.in.TargetSet(seeds, zn, synth, scale)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	sp := d.streamPath(req.Tenant, req.Name)
+	_, statErr := os.Stat(sp)
+	stream, err := os.OpenFile(sp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.sch.Submit(v, targets, beholder.SubmitOptions{
+		Tenant: req.Tenant, Name: req.Name,
+		Rate: req.Rate, MaxTTL: req.MaxTTL, Transport: req.Transport,
+		Fill: req.Fill, Key: req.Key, Shards: req.Shards, Batch: req.Batch,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		Stream:   stream, Resume: resume,
+	})
+	if err != nil {
+		stream.Close()
+		if statErr != nil {
+			os.Remove(sp) // rejected before any event: drop the empty file
+		}
+		return nil, err
+	}
+	// The stream file lives as long as the campaign; close it once the
+	// terminal event is written.
+	go func() {
+		<-h.Done()
+		stream.Close()
+	}()
+	return h, nil
+}
+
+func (d *daemon) base(tenant, name string) string {
+	return filepath.Join(d.stateDir, tenant+"__"+name)
+}
+func (d *daemon) streamPath(tenant, name string) string {
+	return d.base(tenant, name) + ".stream.ndjson"
+}
+func (d *daemon) sidecarPath(tenant, name string) string  { return d.base(tenant, name) + ".spec.json" }
+func (d *daemon) artifactPath(tenant, name string) string { return d.base(tenant, name) + ".ckpt" }
+
+// recoverState resubmits every campaign the previous generation drained
+// into the state dir, consuming the sidecars and artifacts.
+func (d *daemon) recoverState() (int, error) {
+	sidecars, err := filepath.Glob(filepath.Join(d.stateDir, "*.spec.json"))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sc := range sidecars {
+		data, err := os.ReadFile(sc)
+		if err != nil {
+			return n, err
+		}
+		var req campaignReq
+		if err := json.Unmarshal(data, &req); err != nil {
+			return n, fmt.Errorf("%s: %w", sc, err)
+		}
+		var art []byte
+		ap := d.artifactPath(req.Tenant, req.Name)
+		if b, err := os.ReadFile(ap); err == nil {
+			art = b
+		}
+		if _, err := d.submit(req, art); err != nil {
+			return n, fmt.Errorf("resume %s/%s: %w", req.Tenant, req.Name, err)
+		}
+		os.Remove(sc)
+		os.Remove(ap)
+		n++
+	}
+	return n, nil
+}
+
+func (d *daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req campaignReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := d.submit(req, nil); err != nil {
+		http.Error(w, err.Error(), submitStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{
+		"status": "queued", "tenant": req.Tenant, "campaign": req.Name,
+		"stream": d.streamPath(req.Tenant, req.Name),
+	})
+}
+
+// submitStatus maps the scheduler's typed rejections onto HTTP codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, beholder.ErrQueueFull), errors.Is(err, beholder.ErrRateBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, beholder.ErrDuplicate):
+		return http.StatusConflict
+	case errors.Is(err, beholder.ErrDraining), errors.Is(err, beholder.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, beholder.ErrUnknownTenant):
+		return http.StatusForbidden
+	}
+	return http.StatusBadRequest
+}
+
+func (d *daemon) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
+	type line struct {
+		Tenant   string `json:"tenant"`
+		Campaign string `json:"campaign"`
+		Vantage  string `json:"vantage"`
+		State    string `json:"state"`
+		Reason   string `json:"reason,omitempty"`
+		Retries  int    `json:"retries,omitempty"`
+		Breaker  string `json:"breaker"`
+	}
+	var out []line
+	for _, cs := range d.sch.Status() {
+		out = append(out, line{
+			Tenant: cs.Tenant, Campaign: cs.Campaign, Vantage: cs.Vantage,
+			State: cs.State.String(), Reason: cs.Reason, Retries: cs.Retries,
+			Breaker: d.sch.BreakerState(cs.Vantage),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleDrain checkpoints every campaign into the state dir, reports
+// what survived, and exits: the drain is terminal for the supervisor,
+// so the process follows it. A restarted beholderd on the same state
+// dir resumes every drained campaign byte-identically.
+func (d *daemon) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
+	defer cancel()
+	drained, err := d.sch.Drain(ctx)
+	if err != nil && !errors.Is(err, beholder.ErrDraining) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var saved []string
+	for _, dc := range drained {
+		req := campaignReq{
+			Tenant: dc.Spec.Tenant, Name: dc.Spec.Name, Vantage: dc.Spec.Vantage,
+			Rate: dc.Spec.Rate, MaxTTL: int(dc.Spec.MaxTTL), Fill: dc.Spec.Fill,
+			Key: dc.Spec.Key, Shards: dc.Spec.Shards, Batch: dc.Spec.Batch,
+			DeadlineMS: dc.Spec.Deadline.Milliseconds(),
+		}
+		if dc.Artifact == nil {
+			// Never started: the sidecar must carry the target set the
+			// artifact would otherwise pin.
+			for _, a := range dc.Spec.Targets {
+				req.Targets = append(req.Targets, a.String())
+			}
+		} else if err := os.WriteFile(d.artifactPath(req.Tenant, req.Name), dc.Artifact, 0o644); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		sc, err := json.MarshalIndent(req, "", "  ")
+		if err == nil {
+			err = os.WriteFile(d.sidecarPath(req.Tenant, req.Name), sc, 0o644)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		saved = append(saved, req.Tenant+"/"+req.Name)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"drained": saved, "state_dir": d.stateDir})
+	fmt.Fprintf(os.Stderr, "beholderd: drained %d campaign(s) to %s; exiting\n", len(saved), d.stateDir)
+	go func() {
+		time.Sleep(200 * time.Millisecond) // let the response flush
+		os.Exit(0)
+	}()
+}

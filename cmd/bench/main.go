@@ -2,7 +2,7 @@
 // campaign throughput (with and without the graph observer), the
 // sharded campaign engine, and aliased-prefix detection — plus a
 // shard-scaling sweep (shard counts × send-batch sizes, engine time
-// only), and writes the results as JSON (BENCH_PR5.json by default):
+// only), and writes the results as JSON (BENCH_PR8.json by default):
 // probes per wall-clock second and allocations per probe for each,
 // alongside the recorded PR 3 baseline the speedup is judged against
 // and the parallel efficiency of the sharded engine.
@@ -22,13 +22,17 @@
 // -min-telemetry-ratio of the bare campaign's throughput, or if a
 // campaign with the fault-injection plane armed but never firing
 // (Yarrp6FaultIdle) drops below -min-faults-ratio of the fault-free
-// pair or adds more than 0.02 allocs/probe.
+// pair or adds more than 0.02 allocs/probe, or if a single-tenant
+// campaign under the supervisor (Yarrp6Supervised: admission, watchdog,
+// result streaming machinery) drops below -min-sched-ratio of the bare
+// campaign.
 // CI runs `go run ./cmd/bench -benchtime 150ms -check`
 // so a regression on the packet fast path or the shard-scaling path
 // fails the build; `make bench` writes the full JSON artifact.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -157,13 +161,14 @@ func measureAlternating(a, b func() int64, rounds int) (Result, Result) {
 func main() {
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_PR5.json", "output JSON path (empty: stdout only)")
+		out       = flag.String("out", "BENCH_PR8.json", "output JSON path (empty: stdout only)")
 		benchtime = flag.String("benchtime", "1.5s", "per-benchmark measuring time (testing -benchtime syntax)")
 		check     = flag.Bool("check", false, "enforce the fast-path bounds instead of writing the artifact")
 		maxAllocs = flag.Float64("max-allocs", 0.75, "with -check: fail when any benchmark exceeds this allocs/probe")
 		minEff    = flag.Float64("min-efficiency", 0.6, "with -check: fail when 4-shard parallel efficiency falls below this")
 		minTelem  = flag.Float64("min-telemetry-ratio", 0.95, "with -check: fail when telemetry-on throughput falls below this fraction of telemetry-off")
 		minFaults = flag.Float64("min-faults-ratio", 0.98, "with -check: fail when an armed-but-idle fault plane drops throughput below this fraction of the fault-free campaign")
+		minSched  = flag.Float64("min-sched-ratio", 0.95, "with -check: fail when a supervised single-tenant campaign drops throughput below this fraction of the bare campaign")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -259,6 +264,42 @@ func main() {
 		return res.ProbesSent
 	}
 	cur["Yarrp6FaultOff"], cur["Yarrp6FaultIdle"] = measureAlternating(campaignFn, faultIdleFn, 5)
+
+	// Supervision overhead pair: the same sharded campaign, bare vs
+	// routed through a single-tenant Scheduler (admission control, the
+	// heartbeat watchdog, the per-vantage breaker, and terminal graph
+	// construction all engaged). -check gates the ratio
+	// (-min-sched-ratio), so the supervisor stays a thin wrapper around
+	// Campaign.Run on the happy path.
+	schedFn := func() int64 {
+		thrIn.Reset()
+		v := thrIn.NewVantage("throughput")
+		key++
+		sch, err := thrIn.NewScheduler(beholder.SchedulerOptions{
+			Tenants: []beholder.Tenant{{Name: "bench"}}, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		h, err := sch.Submit(v, thrTargets, beholder.SubmitOptions{
+			Tenant: "bench", Name: "campaign", Rate: 10000, MaxTTL: 16, Key: key, Shards: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := h.Wait(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		if res.State != beholder.CampaignCompleted {
+			panic("bench: supervised campaign did not complete")
+		}
+		if _, err := sch.Drain(context.Background()); err != nil {
+			panic(err)
+		}
+		return res.Stats.ProbesSent
+	}
+	cur["Yarrp6Bare"], cur["Yarrp6Supervised"] = measureAlternating(campaignFn, schedFn, 5)
 
 	// The same campaign with the streaming topology-graph observer
 	// attached (mirrors BenchmarkYarrp6GraphObserver): graph ingest must
@@ -400,6 +441,14 @@ func main() {
 	if *check {
 		failed := false
 		for name, r := range cur {
+			if name == "Yarrp6Supervised" {
+				// The supervisor builds the campaign's terminal topology
+				// graph (graph.FromStore) as part of its result — a
+				// once-per-campaign artifact, not per-probe work — so its
+				// allocs/probe is judged by the throughput ratio gate
+				// below, not the flat per-probe bound.
+				continue
+			}
 			if r.AllocsPerProbe > *maxAllocs {
 				fmt.Fprintf(os.Stderr, "bench: %s allocs/probe %.3f exceeds bound %.3f\n", name, r.AllocsPerProbe, *maxAllocs)
 				failed = true
@@ -428,6 +477,12 @@ func main() {
 			}
 			if delta := on.AllocsPerProbe - off.AllocsPerProbe; delta > 0.02 {
 				fmt.Fprintf(os.Stderr, "bench: armed-but-idle fault plane adds %.3f allocs/probe (bound 0.020)\n", delta)
+				failed = true
+			}
+		}
+		if bare, sup := cur["Yarrp6Bare"], cur["Yarrp6Supervised"]; bare.ProbesPerSec > 0 {
+			if ratio := sup.ProbesPerSec / bare.ProbesPerSec; ratio < *minSched {
+				fmt.Fprintf(os.Stderr, "bench: supervised campaign throughput ratio %.3f below bound %.3f\n", ratio, *minSched)
 				failed = true
 			}
 		}

@@ -23,8 +23,42 @@ import (
 	"sort"
 
 	"beholder"
+	"beholder/internal/core"
 	"beholder/internal/graph"
+	"beholder/internal/wire"
 )
+
+// conflictf renders one flag-vs-artifact conflict when cond holds.
+func conflictf(cond bool, format string, args ...any) string {
+	if !cond {
+		return ""
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// protoOfTransport maps the -transport flag to a wire protocol number.
+func protoOfTransport(name string) (uint8, error) {
+	switch name {
+	case "", "icmp6", "icmpv6":
+		return wire.ProtoICMPv6, nil
+	case "udp":
+		return wire.ProtoUDP, nil
+	case "tcp":
+		return wire.ProtoTCP, nil
+	}
+	return 0, fmt.Errorf("unknown transport %q", name)
+}
+
+// transportOfProto names a wire protocol number like the -transport flag.
+func transportOfProto(p uint8) string {
+	switch p {
+	case wire.ProtoUDP:
+		return "udp"
+	case wire.ProtoTCP:
+		return "tcp"
+	}
+	return "icmp6"
+}
 
 func main() {
 	var (
@@ -52,7 +86,7 @@ func main() {
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		interrupt = flag.Duration("interrupt-at", 0, "stop the campaign at this virtual instant and write the -checkpoint artifact (resume later with -resume)")
 		ckptPath  = flag.String("checkpoint", "", "file for the resume artifact of an interrupted campaign (required with -interrupt-at)")
-		resume    = flag.String("resume", "", "resume a campaign from this checkpoint artifact; the artifact pins the campaign configuration, so target and tuning flags are ignored")
+		resume    = flag.String("resume", "", "resume a campaign from this checkpoint artifact; the artifact pins the campaign configuration, and explicitly-set target or tuning flags that contradict it are an error")
 	)
 	flag.Parse()
 	if *interrupt > 0 && *ckptPath == "" {
@@ -102,8 +136,79 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
 			len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
-	} else {
-		fmt.Fprintf(os.Stderr, "yarrp6: resuming from %s on vantage %s (%s)\n", *resume, *vantage, v.Addr())
+	}
+
+	// On resume, the artifact is authoritative for targets and tuning.
+	// Validate it up front and cross-check every explicitly-set flag
+	// against the embedded configuration: a contradiction is an error,
+	// never a silent preference for the artifact's values.
+	var resumeArt []byte
+	if *resume != "" {
+		var err error
+		resumeArt, err = os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		info, err := core.InspectCheckpoint(resumeArt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yarrp6: %s is not a usable checkpoint: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		effBatch := *batch
+		if effBatch <= 0 {
+			effBatch = core.DefaultBatch
+		}
+		wantProto, protoErr := protoOfTransport(*transport)
+		conflicts := map[string]func() string{
+			"shards": func() string {
+				return conflictf(*shards != info.Shards, "-shards %d (artifact: %d)", *shards, info.Shards)
+			},
+			"batch": func() string {
+				return conflictf(effBatch != info.Batch, "-batch %d (artifact: %d)", *batch, info.Batch)
+			},
+			"transport": func() string {
+				if protoErr != nil {
+					return fmt.Sprintf("-transport %q (unknown; artifact: %s)", *transport, transportOfProto(info.Proto))
+				}
+				return conflictf(wantProto != info.Proto, "-transport %s (artifact: %s)", *transport, transportOfProto(info.Proto))
+			},
+			"rate": func() string {
+				return conflictf(*rate != info.PPS, "-rate %g (artifact: %g)", *rate, info.PPS)
+			},
+			"maxttl": func() string {
+				return conflictf(*maxTTL != int(info.MaxTTL), "-maxttl %d (artifact: %d)", *maxTTL, info.MaxTTL)
+			},
+			"key": func() string {
+				return conflictf(*key != info.Key, "-key %#x (artifact: %#x)", *key, info.Key)
+			},
+			"fill": func() string {
+				return conflictf(*fill != info.Fill, "-fill %v (artifact: %v)", *fill, info.Fill)
+			},
+			"input": func() string { return "-input (the artifact pins the target set)" },
+			"seeds": func() string { return "-seeds (the artifact pins the target set)" },
+			"zn":    func() string { return "-zn (the artifact pins the target set)" },
+			"synth": func() string { return "-synth (the artifact pins the target set)" },
+			"scale": func() string { return "-scale (the artifact pins the target set)" },
+		}
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			if chk := conflicts[f.Name]; chk != nil {
+				if msg := chk(); msg != "" {
+					bad = append(bad, msg)
+				}
+			}
+		})
+		if len(bad) > 0 {
+			fmt.Fprintln(os.Stderr, "yarrp6: -resume: the checkpoint pins the campaign configuration; conflicting flags:")
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "  "+m)
+			}
+			fmt.Fprintln(os.Stderr, "yarrp6: drop these flags, or set them to the artifact's values shown above")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "yarrp6: resuming from %s on vantage %s (%s): %d targets, %d shard(s), batch %d, %s, %g pps\n",
+			*resume, *vantage, v.Addr(), info.Targets, info.Shards, info.Batch, transportOfProto(info.Proto), info.PPS)
 	}
 
 	// The checkpoint file opens before the campaign runs: an unwritable
@@ -147,12 +252,7 @@ func main() {
 	var res *beholder.Result
 	var err error
 	if *resume != "" {
-		art, rerr := os.ReadFile(*resume)
-		if rerr != nil {
-			fmt.Fprintln(os.Stderr, "yarrp6:", rerr)
-			os.Exit(1)
-		}
-		res, err = v.ResumeYarrp6(art, beholder.YarrpOptions{
+		res, err = v.ResumeYarrp6(resumeArt, beholder.YarrpOptions{
 			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
 			InterruptAt: *interrupt,
 		})

@@ -167,6 +167,7 @@ type Campaign struct {
 	stepDur     time.Duration
 	shards      []*shardState
 	stop        atomic.Bool
+	beat        atomic.Int64
 	keep        bool // per-shard state preserved (interruptible run)
 	quarantined bool
 	res         *resumeState // non-nil when built by Resume
@@ -198,6 +199,23 @@ func NewCampaign(cfg CampaignConfig, connOf ConnFactory) *Campaign {
 // after RunContext has started the shards. Resume factories use it to
 // position recovery and resumed connections.
 func (c *Campaign) Epoch() time.Duration { return c.epoch }
+
+// Interrupt requests a cooperative stop from outside the run: every
+// shard stops at its next batch boundary, RunContext returns
+// ErrInterrupted with the partial results, and the campaign stays
+// checkpointable. Safe to call from any goroutine, any number of
+// times, including before or after the run. This is the supervision
+// hook — a watchdog that stops seeing Beat advance calls Interrupt,
+// checkpoints, and resumes on fresh connections.
+func (c *Campaign) Interrupt() { c.stop.Store(true) }
+
+// Beat returns the campaign's liveness heartbeat: a counter every
+// shard prober bumps each time it polls its stop conditions (per probe
+// on the serial path, per send run batched, per drain iteration). A
+// running campaign's Beat advances continuously in wall time; a value
+// that stops moving means every shard is wedged or finished. Safe to
+// read concurrently with the run.
+func (c *Campaign) Beat() int64 { return c.beat.Load() }
 
 // Proto returns the campaign's transport protocol — for resumed
 // campaigns, the one pinned by the checkpoint artifact.
@@ -313,6 +331,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 		scfg.PermStart, scfg.PermEnd = lo, hi
 		scfg.sharedTmpl = tmpl
 		scfg.stop = &c.stop
+		scfg.pulse = &c.beat
 		if cfg.NewObserver != nil {
 			scfg.Observer = cfg.NewObserver(s)
 		}
@@ -588,6 +607,7 @@ func (c *Campaign) recoverRanges(ranges []recoverRange, tmpl *probe.TmplStore, t
 				scfg.PermStart, scfg.PermEnd = a, b
 				scfg.sharedTmpl = tmpl
 				scfg.stop = &c.stop
+				scfg.pulse = &c.beat
 				if cfg.Telemetry != nil {
 					scfg.telemetry = cfg.Telemetry.NewShard()
 				}

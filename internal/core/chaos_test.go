@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"net/netip"
-	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"beholder/internal/netsim"
 	"beholder/internal/probe"
 	"beholder/internal/telemetry"
+	"beholder/internal/testutil"
 )
 
 // chaosEnv is one campaign execution environment: an identically-seeded
@@ -213,7 +213,9 @@ func TestCampaignChaosMatrix(t *testing.T) {
 		},
 	}
 
-	before := runtime.NumGoroutine()
+	// Every campaign below runs shard probers, a cancellation watcher,
+	// and recovery probers on their own goroutines; all must have exited.
+	testutil.NoGoroutineLeaks(t)
 	for _, sc := range scenarios {
 		fc := &faultsim.Config{Seed: 0xc4a05, Rules: sc.rules}
 		t.Run(sc.name, func(t *testing.T) {
@@ -244,17 +246,6 @@ func TestCampaignChaosMatrix(t *testing.T) {
 				}
 			}
 		})
-	}
-
-	// Every campaign above ran shard probers, a cancellation watcher, and
-	// recovery probers on their own goroutines; all must have exited.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutine leak: %d before, %d after chaos matrix", before, after)
 	}
 }
 

@@ -1,0 +1,103 @@
+// Checkpoint artifact inspection: the read-only view callers use to
+// validate an artifact against their own configuration before
+// committing to a resume — cmd/yarrp6 cross-checks its flags this way,
+// and the supervisor reports what a drained campaign contained.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// CheckpointInfo is the campaign shape embedded in a checkpoint
+// artifact's config section. Everything a resumed run pins from the
+// artifact rather than from caller flags is here, so a caller can fail
+// fast on a mismatch instead of silently continuing with different
+// parameters than it asked for.
+type CheckpointInfo struct {
+	Shards         int
+	Batch          int
+	Proto          uint8
+	Instance       uint8
+	MinTTL, MaxTTL uint8
+	PPS            float64
+	Key            uint64
+	Targets        int // target count (the addresses themselves stay in the artifact)
+	Fill           bool
+	RecordPaths    bool
+	Progress       bool
+	Epoch          time.Duration
+}
+
+// InspectCheckpoint decodes an artifact's config section without
+// reconstructing the campaign. It performs the same structural
+// validation as Resume — magic, section framing, per-section CRC, one
+// shard section per configured shard — so an artifact that inspects
+// cleanly will also decode (shard payloads themselves are only
+// CRC-verified here, not parsed).
+func InspectCheckpoint(artifact []byte) (CheckpointInfo, error) {
+	var info CheckpointInfo
+	if len(artifact) < len(checkpointMagic) || string(artifact[:len(checkpointMagic)]) != checkpointMagic {
+		return info, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	}
+	rest := artifact[len(checkpointMagic):]
+	var (
+		cfg    CampaignConfig
+		state  resumeState
+		gotCfg bool
+		shards int
+	)
+	for len(rest) > 0 {
+		if len(rest) < 9 {
+			return info, fmt.Errorf("%w: truncated section header", ErrCheckpoint)
+		}
+		typ := rest[0]
+		n := binary.LittleEndian.Uint32(rest[1:])
+		sum := binary.LittleEndian.Uint32(rest[5:])
+		rest = rest[9:]
+		if uint64(n) > uint64(len(rest)) {
+			return info, fmt.Errorf("%w: section %d length %d exceeds input", ErrCheckpoint, typ, n)
+		}
+		payload := rest[:n]
+		rest = rest[n:]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return info, fmt.Errorf("%w: section %d: %w", ErrCheckpoint, typ, ErrCheckpointCRC)
+		}
+		switch typ {
+		case sectConfig:
+			if gotCfg {
+				return info, fmt.Errorf("%w: duplicate config section", ErrCheckpoint)
+			}
+			var err error
+			if _, info.Progress, err = decodeConfig(payload, &cfg, &state); err != nil {
+				return info, err
+			}
+			gotCfg = true
+		case sectShard:
+			shards++
+		default:
+			return info, fmt.Errorf("%w: unknown section type %d", ErrCheckpoint, typ)
+		}
+	}
+	if !gotCfg {
+		return info, fmt.Errorf("%w: missing config section", ErrCheckpoint)
+	}
+	if shards != cfg.Shards {
+		return info, fmt.Errorf("%w: %d shard sections for %d shards", ErrCheckpoint, shards, cfg.Shards)
+	}
+	info.Shards = cfg.Shards
+	info.Batch = cfg.Batch
+	info.Proto = cfg.Proto
+	info.Instance = cfg.Instance
+	info.MinTTL = cfg.MinTTL
+	info.MaxTTL = cfg.MaxTTL
+	info.PPS = cfg.PPS
+	info.Key = cfg.Key
+	info.Targets = len(cfg.Targets)
+	info.Fill = cfg.Fill
+	info.RecordPaths = cfg.RecordPaths
+	info.Epoch = state.epoch
+	return info, nil
+}

@@ -119,6 +119,11 @@ type Config struct {
 	// between send runs only, so a clean stop costs one predicted load
 	// per batch.
 	stop *atomic.Bool
+	// pulse, when non-nil, is incremented every time the prober polls
+	// its stop conditions — the liveness heartbeat supervision
+	// watchdogs read. A prober that stops beating is wedged (or its
+	// connection is blocked), whatever its virtual clock says.
+	pulse *atomic.Int64
 	// resume, when non-nil, restores the state captured by a previous
 	// interrupted run before probing continues. Campaign sets it when
 	// reconstructing a checkpointed campaign.
@@ -378,6 +383,12 @@ func (y *Yarrp6) recordSample(at time.Duration) {
 // requested. Both checks are dead predicted branches when the features
 // are off.
 func (y *Yarrp6) stopNow() bool {
+	if y.cfg.pulse != nil {
+		// One heartbeat per stop poll covers every loop at a single
+		// touchpoint: per probe on the serial path, per send run on the
+		// batched path, per iteration in the drain tail.
+		y.cfg.pulse.Add(1)
+	}
 	if y.cfg.interruptAt > 0 && y.conn.Now() >= y.cfg.interruptAt {
 		return true
 	}

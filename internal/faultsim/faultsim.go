@@ -78,6 +78,14 @@ const MatchAnyShard = -1
 type Rule struct {
 	// Vantage names the afflicted vantage; "" matches every vantage.
 	Vantage string
+	// Campaign names the afflicted campaign: vantages (and their shard
+	// clones) carry a campaign tag when they probe on behalf of a
+	// supervised campaign, and a rule with a non-empty Campaign applies
+	// only to vantages tagged with exactly that name. "" matches every
+	// campaign (including untagged vantages). This is what lets a chaos
+	// soak afflict one tenant's campaign while its neighbours on the
+	// same universe — even on the same vantage name — run clean.
+	Campaign string
 	// Shard selects one clone ordinal of the vantage (clones are
 	// numbered 0, 1, 2, … in creation order within a shard group —
 	// campaign shard s probes through clone s), or MatchAnyShard.
@@ -106,9 +114,13 @@ type Config struct {
 	Rules []Rule
 }
 
-// matches reports whether the rule applies to the given vantage clone.
-func (r *Rule) matches(vantage string, shard int) bool {
+// matches reports whether the rule applies to the given vantage clone,
+// identified by vantage name, campaign tag, and clone ordinal.
+func (r *Rule) matches(vantage, campaign string, shard int) bool {
 	if r.Vantage != "" && r.Vantage != vantage {
+		return false
+	}
+	if r.Campaign != "" && r.Campaign != campaign {
 		return false
 	}
 	return r.Shard == MatchAnyShard || r.Shard == shard
@@ -137,10 +149,11 @@ type Plan struct {
 	corruptProb   float64
 }
 
-// PlanFor resolves the rules applying to one vantage clone. Multiple
-// rules of the same windowed kind keep the earliest activation;
-// probabilities combine by keeping the largest.
-func (c *Config) PlanFor(vantage string, shard int) Plan {
+// PlanFor resolves the rules applying to one vantage clone. campaign is
+// the clone's campaign tag ("" when untagged). Multiple rules of the
+// same windowed kind keep the earliest activation; probabilities
+// combine by keeping the largest.
+func (c *Config) PlanFor(vantage, campaign string, shard int) Plan {
 	var p Plan
 	if c == nil {
 		return p
@@ -148,7 +161,7 @@ func (c *Config) PlanFor(vantage string, shard int) Plan {
 	p.seed = mix64(c.Seed ^ 0xfa171a5e)
 	for i := range c.Rules {
 		r := &c.Rules[i]
-		if !r.matches(vantage, shard) {
+		if !r.matches(vantage, campaign, shard) {
 			continue
 		}
 		switch r.Kind {

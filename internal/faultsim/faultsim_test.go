@@ -14,7 +14,7 @@ func TestPlanResolution(t *testing.T) {
 		{Vantage: "B", Shard: 0, Kind: KindCorruptReply, Prob: 0.5},
 	}}
 
-	a1 := cfg.PlanFor("A", 1)
+	a1 := cfg.PlanFor("A", "", 1)
 	if !a1.Active() || !a1.CrashNow(5*time.Second) || a1.CrashNow(5*time.Second-1) {
 		t.Fatalf("A/1 crash schedule wrong: %+v", a1)
 	}
@@ -22,7 +22,7 @@ func TestPlanResolution(t *testing.T) {
 		t.Fatalf("A/1 stall window wrong")
 	}
 
-	a0 := cfg.PlanFor("A", 0)
+	a0 := cfg.PlanFor("A", "", 0)
 	if a0.CrashNow(time.Hour) {
 		t.Fatal("crash rule for shard 1 leaked to shard 0")
 	}
@@ -30,7 +30,7 @@ func TestPlanResolution(t *testing.T) {
 		t.Fatal("A/0 should still carry the stall + wildcard transient rules")
 	}
 
-	b3 := cfg.PlanFor("B", 3)
+	b3 := cfg.PlanFor("B", "", 3)
 	if b3.corruptProb != 0 {
 		t.Fatal("corrupt rule for shard 0 leaked to shard 3")
 	}
@@ -39,7 +39,7 @@ func TestPlanResolution(t *testing.T) {
 	}
 
 	var nilCfg *Config
-	if p := nilCfg.PlanFor("A", 0); p.Active() {
+	if p := nilCfg.PlanFor("A", "", 0); p.Active() {
 		t.Fatal("nil config must resolve to an inert plan")
 	}
 }
@@ -51,8 +51,8 @@ func TestDrawsDeterministicAndCalibrated(t *testing.T) {
 		{Shard: MatchAnyShard, Kind: KindTransientSend, Prob: 0.2},
 		{Shard: MatchAnyShard, Kind: KindTruncateReply, Prob: 0.35},
 	}}
-	p := cfg.PlanFor("V", 0)
-	q := cfg.PlanFor("V", 0)
+	p := cfg.PlanFor("V", "", 0)
+	q := cfg.PlanFor("V", "", 0)
 
 	hits := 0
 	const n = 20000
@@ -75,7 +75,7 @@ func TestDrawsDeterministicAndCalibrated(t *testing.T) {
 
 	// Different fault seeds must reschedule the draws.
 	cfg2 := &Config{Seed: 100, Rules: cfg.Rules}
-	p2 := cfg2.PlanFor("V", 0)
+	p2 := cfg2.PlanFor("V", "", 0)
 	same := 0
 	for i := 0; i < 1000; i++ {
 		at := time.Duration(i) * time.Millisecond
@@ -92,7 +92,7 @@ func TestDelayBurst(t *testing.T) {
 	cfg := &Config{Rules: []Rule{
 		{Shard: MatchAnyShard, Kind: KindDelayBurst, At: 2 * time.Second, Duration: time.Second},
 	}}
-	p := cfg.PlanFor("V", 0)
+	p := cfg.PlanFor("V", "", 0)
 	if at, ok := p.DelayedUntil(2500 * time.Millisecond); !ok || at != 3*time.Second {
 		t.Fatalf("in-window delivery not pushed to window end: %v %v", at, ok)
 	}
@@ -106,7 +106,7 @@ func TestDelayBurst(t *testing.T) {
 
 func TestCorruptAt(t *testing.T) {
 	cfg := &Config{Rules: []Rule{{Shard: MatchAnyShard, Kind: KindCorruptReply, Prob: 1}}}
-	p := cfg.PlanFor("V", 0)
+	p := cfg.PlanFor("V", "", 0)
 	off, mask := p.CorruptAt(7, time.Second, 64)
 	if off < 0 || off >= 64 {
 		t.Fatalf("corrupt offset %d outside span", off)
@@ -132,5 +132,43 @@ func TestErrorTypes(t *testing.T) {
 	}
 	if err.Error() == "" {
 		t.Fatal("empty error string")
+	}
+}
+
+// TestCampaignAddressing: rules with a Campaign tag apply only to
+// vantage clones carrying exactly that tag; untagged rules match every
+// campaign including untagged vantages.
+func TestCampaignAddressing(t *testing.T) {
+	cfg := &Config{Seed: 3, Rules: []Rule{
+		{Vantage: "V", Campaign: "tenant-a/c1", Shard: MatchAnyShard, Kind: KindCrash, At: time.Second},
+		{Campaign: "tenant-b/c2", Shard: MatchAnyShard, Kind: KindTransientSend, Prob: 0.5},
+		{Vantage: "V", Shard: MatchAnyShard, Kind: KindStall, At: time.Minute, Duration: time.Second},
+	}}
+
+	a := cfg.PlanFor("V", "tenant-a/c1", 2)
+	if !a.CrashNow(time.Second) {
+		t.Fatal("campaign-addressed crash rule must hit its campaign's clones")
+	}
+	if a.transientProb != 0 {
+		t.Fatal("other campaign's transient rule leaked")
+	}
+	if !a.Stalled(time.Minute) {
+		t.Fatal("campaign-less rule must still match tagged vantages")
+	}
+
+	b := cfg.PlanFor("V", "tenant-b/c2", 0)
+	if b.CrashNow(time.Hour) {
+		t.Fatal("crash rule for tenant-a leaked to tenant-b")
+	}
+	if b.transientProb != 0.5 {
+		t.Fatal("tenant-b transient rule missing")
+	}
+
+	untagged := cfg.PlanFor("V", "", 0)
+	if untagged.CrashNow(time.Hour) || untagged.transientProb != 0 {
+		t.Fatal("campaign-addressed rules must not match untagged vantages")
+	}
+	if !untagged.Stalled(time.Minute) {
+		t.Fatal("campaign-less rule must match untagged vantages")
 	}
 }

@@ -125,6 +125,7 @@ type Vantage struct {
 	// nothing per packet.
 	faults       faultsim.Plan
 	hasFaults    bool
+	campaign     string
 	shardOrd     int
 	nextClone    int
 	errTransient faultsim.TransientSendError
@@ -183,7 +184,7 @@ func (u *Universe) NewVantage(spec VantageSpec) *Vantage {
 	v.srcU = ipv6.FromAddr(v.addr)
 	v.parent = u.bfsTree(as.Idx)
 	v.shared = u.sharedPlansFor(nameKey, v.planSize)
-	v.faults = u.cfg.Faults.PlanFor(spec.Name, 0)
+	v.faults = u.cfg.Faults.PlanFor(spec.Name, "", 0)
 	v.hasFaults = v.faults.Active()
 	v.errTransient.Vantage = spec.Name
 	u.registerVantage(v)
@@ -250,10 +251,11 @@ func (v *Vantage) Clone(start time.Duration) *Vantage {
 		routers:  make(map[RouterKey]*Router),
 		planSize: v.planSize,
 		shared:   v.shared,
+		campaign: v.campaign,
 		shardOrd: v.nextClone,
 	}
 	v.nextClone++
-	nv.faults = v.u.cfg.Faults.PlanFor(v.spec.Name, nv.shardOrd)
+	nv.faults = v.u.cfg.Faults.PlanFor(v.spec.Name, nv.campaign, nv.shardOrd)
 	nv.hasFaults = nv.faults.Active()
 	nv.errTransient.Vantage = v.spec.Name
 	if v.group == nil {
@@ -280,6 +282,21 @@ func (v *Vantage) BeginShardGroup() *ClockGroup {
 // ShardOrdinal returns this vantage's clone ordinal within its shard
 // group (0 for the parent), the identity fault rules match on.
 func (v *Vantage) ShardOrdinal() int { return v.shardOrd }
+
+// SetCampaign tags this vantage (and every clone created from it
+// afterwards) with a campaign name, and re-resolves its fault plan so
+// rules addressed to that campaign apply. The campaign supervisor tags
+// each campaign's parent clone before sharding; untagged vantages keep
+// the empty tag, which campaign-scoped rules never match. Must be
+// called before the vantage probes or clones.
+func (v *Vantage) SetCampaign(tag string) {
+	v.campaign = tag
+	v.faults = v.u.cfg.Faults.PlanFor(v.spec.Name, tag, v.shardOrd)
+	v.hasFaults = v.faults.Active()
+}
+
+// Campaign returns the vantage's campaign tag ("" when untagged).
+func (v *Vantage) Campaign() string { return v.campaign }
 
 // ShardClocks returns the ClockGroup coordinating this vantage's cloned
 // shards (nil when no clone exists). Its Watermark is the current

@@ -1,0 +1,921 @@
+// Package sched is the campaign supervisor: a long-running service
+// multiplexing many concurrent tenant campaigns over shared simulated
+// universes. Where core.Campaign recovers from faults *within* one run
+// (shard quarantine, re-sharding, checkpoint/resume), the supervisor
+// adds the service layer around it — admission control with a bounded
+// queue and typed rejections, per-tenant rate budgets, deterministic
+// priority/fair-share dispatch, per-campaign virtual deadlines, a
+// wall-clock watchdog that interrupts wedged campaigns through the
+// heartbeat core exposes (Campaign.Beat), automatic failover that
+// checkpoints on interrupt and resumes through core.Resume with capped
+// exponential backoff and a bounded retry budget, and a per-vantage
+// circuit breaker that quarantines persistently faulty vantages
+// instead of letting them wedge the service.
+//
+// The supervision layer is deliberately invisible in the results: a
+// supervised campaign's store is byte-identical to the same campaign
+// run bare, because everything the supervisor does — interrupt,
+// checkpoint, back off, resume on fresh connections — commutes with
+// the deterministic virtual-time schedule (the chaos soak pins this
+// under concurrent crash/stall/transient faults). Graceful shutdown
+// drains running campaigns to checkpoint artifacts that a restarted
+// supervisor resumes byte-identically.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beholder/internal/core"
+	"beholder/internal/graph"
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+	"beholder/internal/wire"
+)
+
+// Opener builds the connection factory for one campaign attempt. It is
+// called once per attempt — the initial run and again for every
+// checkpoint-resume failover — and must return a factory producing
+// fresh connections positioned so that the campaign's epoch is virtual
+// time zero: shard s's connection opens its clock at exactly the start
+// offset the factory is called with. That pin is what makes a
+// supervised campaign's store byte-identical to the same campaign run
+// bare on a fresh universe. Implementations must be safe for
+// concurrent calls (campaign attempts run on worker goroutines) and
+// must serialize any shared vantage mutation internally.
+type Opener func(spec *CampaignSpec) (core.ConnFactory, error)
+
+// Tenant declares one paying (or at least rate-accounted) user of the
+// supervisor.
+type Tenant struct {
+	// Name identifies the tenant in specs, metrics, and streams.
+	Name string
+	// RateBudget caps the summed probing rate (PPS) of the tenant's
+	// admitted campaigns — queued and running both; admission reserves
+	// the rate, completion releases it. Zero means unlimited.
+	RateBudget float64
+	// Priority orders dispatch: higher-priority tenants' campaigns
+	// start first. Equal priorities share fairly (fewest-running tenant
+	// first, then submission order).
+	Priority int
+}
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Opener builds per-attempt connection factories. Required.
+	Opener Opener
+	// Tenants lists the admissible tenants. Submissions naming anyone
+	// else are rejected with ErrUnknownTenant.
+	Tenants []Tenant
+	// Workers is the number of campaigns run concurrently. Default 2.
+	Workers int
+	// QueueLimit bounds the admitted-but-not-running queue; submissions
+	// past it are rejected with ErrQueueFull. Default 32.
+	QueueLimit int
+	// WatchdogPoll is the wall-clock cadence at which the watchdog
+	// samples each running campaign's heartbeat. Default 10ms.
+	WatchdogPoll time.Duration
+	// StallBudget is how long a running campaign's heartbeat may sit
+	// still (wall clock) before the watchdog declares it stalled,
+	// interrupts it, and fails over from the checkpoint. Default 2s.
+	StallBudget time.Duration
+	// MaxRetries bounds watchdog failovers per campaign; exhaustion
+	// degrades the campaign to StateIncomplete. Default 2.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between failover attempts: attempt k waits
+	// min(BackoffBase << (k-1), BackoffMax). Defaults 10ms and 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// vantage's circuit breaker; BreakerCooldown is how long it stays
+	// open before admitting a half-open trial. Defaults 3 and 1s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Telemetry, when non-nil, receives the sched_* metrics and every
+	// campaign's hot-path yarrp_* metrics.
+	Telemetry *telemetry.Registry
+}
+
+func (c *Config) setDefaults() error {
+	if c.Opener == nil {
+		return errors.New("sched: Config.Opener is required")
+	}
+	if len(c.Tenants) == 0 {
+		return errors.New("sched: no tenants configured")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 32
+	}
+	if c.WatchdogPoll <= 0 {
+		c.WatchdogPoll = 10 * time.Millisecond
+	}
+	if c.StallBudget <= 0 {
+		c.StallBudget = 2 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	return nil
+}
+
+// CampaignSpec is one submitted campaign. The probing parameters
+// mirror core.Config; the supervisor owns sharding, deadlines, and
+// retry policy around them.
+type CampaignSpec struct {
+	// Tenant names the submitting tenant (must be configured).
+	Tenant string
+	// Name identifies the campaign within the tenant; (Tenant, Name)
+	// must be unique among active campaigns.
+	Name string
+	// Vantage names the vantage to probe from; the Opener resolves it.
+	// It is also the circuit-breaker key and the campaign tag prefix
+	// fault rules address (Tag).
+	Vantage string
+	// Targets, Rate, MinTTL, MaxTTL, Proto, Fill, Key, Shards, Batch
+	// parameterize the underlying campaign (zero values pick the core
+	// defaults; Rate zero means 1000 PPS).
+	Targets        []netip.Addr
+	Rate           float64
+	MinTTL, MaxTTL uint8
+	Proto          uint8
+	Fill           bool
+	Key            uint64
+	Shards         int
+	Batch          int
+	// Deadline, when nonzero, interrupts the campaign at that virtual
+	// instant (relative to the campaign epoch) and degrades it to
+	// StateIncomplete with reason "deadline".
+	Deadline time.Duration
+	// Stream, when non-nil, receives the tenant's NDJSON event stream:
+	// lifecycle events plus incremental graph deltas as the campaign's
+	// shard observers see new topology. Writes are serialized; the
+	// writer itself need not be concurrency-safe.
+	Stream io.Writer
+	// Resume, when non-nil, is a checkpoint artifact to continue
+	// instead of starting fresh — the restart half of a drained
+	// supervisor. The artifact supplies targets and tuning; the spec
+	// supplies tenant, vantage, stream, and policy.
+	Resume []byte
+}
+
+// Tag returns the campaign tag fault rules address: tenant-qualified
+// so two tenants' same-named campaigns stay distinct.
+func (s *CampaignSpec) Tag() string { return s.Tenant + "/" + s.Name }
+
+// effRate is the admission-ledger rate: the core default when unset.
+func (s *CampaignSpec) effRate() float64 {
+	if s.Rate > 0 {
+		return s.Rate
+	}
+	return 1000
+}
+
+// State is a campaign's lifecycle position.
+type State uint8
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = iota
+	// StateRunning: probing (or failing over between attempts).
+	StateRunning
+	// StateCompleted: ran to completion; the store is final. The run
+	// may still have been degraded by shard quarantine — Stats says.
+	StateCompleted
+	// StateIncomplete: terminated without completing — deadline,
+	// watchdog-retry exhaustion, open breaker, or a fatal error.
+	// Partial results are retained.
+	StateIncomplete
+	// StateDrained: shut down gracefully to a checkpoint artifact (or,
+	// for never-started campaigns, to its spec) for a future
+	// supervisor to resume.
+	StateDrained
+)
+
+// String names the state for status reports and stream events.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateIncomplete:
+		return "incomplete"
+	case StateDrained:
+		return "drained"
+	}
+	return "unknown"
+}
+
+// Typed admission rejections. Submit returns exactly one of these (or
+// an artifact-validation error) when it refuses a spec.
+var (
+	ErrQueueFull     = errors.New("sched: admission queue full")
+	ErrUnknownTenant = errors.New("sched: unknown tenant")
+	ErrRateBudget    = errors.New("sched: tenant rate budget exceeded")
+	ErrDraining      = errors.New("sched: supervisor is draining")
+	ErrDuplicate     = errors.New("sched: tenant already has an active campaign with this name")
+	ErrBreakerOpen   = errors.New("sched: vantage circuit breaker is open")
+)
+
+// Result is a finished campaign's outcome.
+type Result struct {
+	Tenant   string
+	Campaign string
+	State    State
+	// Reason qualifies non-completed states: "deadline",
+	// "watchdog-exhausted", "breaker-open", "open-failed", "fatal",
+	// "drained", "drained-queued".
+	Reason string
+	// Store and Stats are the merged results (partial for Incomplete,
+	// nil for queued-drained campaigns).
+	Store *probe.Store
+	Stats core.CampaignStats
+	// Graph is the topology graph derived from Store (nil without one).
+	Graph *graph.Graph
+	// Retries counts watchdog failovers performed.
+	Retries int
+	// Artifact is the drain checkpoint (StateDrained only; nil when
+	// the campaign never started).
+	Artifact []byte
+	// Err is the terminal error for "fatal"/"open-failed" outcomes.
+	Err error
+}
+
+// Handle tracks one admitted campaign.
+type Handle struct {
+	spec CampaignSpec
+	done chan struct{}
+
+	mu  sync.Mutex
+	res *Result
+}
+
+// Spec returns the submitted spec (Resume artifact elided).
+func (h *Handle) Spec() CampaignSpec {
+	sp := h.spec
+	sp.Resume = nil
+	return sp
+}
+
+// Done is closed when the campaign reaches a terminal state.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result returns the terminal outcome, nil while the campaign is live.
+func (h *Handle) Result() *Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res
+}
+
+// Wait blocks until the campaign terminates or ctx expires.
+func (h *Handle) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-h.done:
+		return h.Result(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Drained is one campaign surviving a graceful shutdown: a checkpoint
+// artifact for interrupted runs, or just the spec for campaigns that
+// never started. Resubmitting the spec (with Resume set to Artifact
+// when present) to a fresh supervisor continues the campaign.
+type Drained struct {
+	Spec     CampaignSpec
+	Artifact []byte
+}
+
+// CampaignStatus is one live or terminal campaign's status line.
+type CampaignStatus struct {
+	Tenant   string
+	Campaign string
+	Vantage  string
+	State    State
+	Reason   string
+	Retries  int
+}
+
+// tenantState is a tenant's live admission ledger.
+type tenantState struct {
+	cfg      Tenant
+	admitted float64 // summed effRate of queued+running campaigns
+	inflight int     // queued+running campaign count
+	running  int     // running campaign count (fair-share key)
+}
+
+// job is one admitted campaign's supervision state.
+type job struct {
+	seq     uint64
+	spec    CampaignSpec
+	h       *Handle
+	st      *stream
+	state   State
+	reason  string
+	retries int
+	// camp is the live campaign of the current attempt, for Drain and
+	// watchdog interrupts.
+	camp atomic.Pointer[core.Campaign]
+}
+
+// schedMetrics bundles the supervisor's telemetry instruments; all nil
+// when no registry is configured.
+type schedMetrics struct {
+	submitted, rejected, completed, incomplete *telemetry.Counter
+	drained, retries, watchdog, breakerOpened  *telemetry.Counter
+	queueDepth, running                        *telemetry.Gauge
+}
+
+// Supervisor is the multi-tenant campaign scheduler. Create with New,
+// submit with Submit, shut down with Drain.
+type Supervisor struct {
+	cfg     Config
+	breaker *breakerSet
+	met     schedMetrics
+	tel     *telemetry.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenantState
+	active   map[string]*job // Tag() -> live job
+	all      []*job          // every job ever admitted, submission order
+	queue    []*job
+	nextSeq  uint64
+	draining bool
+	stopping bool
+
+	drainCh chan struct{} // closed when draining starts
+	wg      sync.WaitGroup
+}
+
+// New validates the configuration and starts the worker pool.
+func New(cfg Config) (*Supervisor, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:     cfg,
+		breaker: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		tel:     cfg.Telemetry,
+		tenants: make(map[string]*tenantState),
+		active:  make(map[string]*job),
+		drainCh: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, t := range cfg.Tenants {
+		if t.Name == "" {
+			return nil, errors.New("sched: tenant with empty name")
+		}
+		if _, dup := s.tenants[t.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate tenant %q", t.Name)
+		}
+		s.tenants[t.Name] = &tenantState{cfg: t}
+	}
+	if r := cfg.Telemetry; r != nil {
+		s.met = schedMetrics{
+			submitted:     r.Counter("sched_submitted_total"),
+			rejected:      r.Counter("sched_rejected_total"),
+			completed:     r.Counter("sched_completed_total"),
+			incomplete:    r.Counter("sched_incomplete_total"),
+			drained:       r.Counter("sched_drained_total"),
+			retries:       r.Counter("sched_retries_total"),
+			watchdog:      r.Counter("sched_watchdog_interrupts_total"),
+			breakerOpened: r.Counter("sched_breaker_open_total"),
+			queueDepth:    r.Gauge("sched_queue_depth"),
+			running:       r.Gauge("sched_running"),
+		}
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits one campaign, or rejects it with a typed error:
+// ErrDraining, ErrUnknownTenant, ErrDuplicate, ErrBreakerOpen,
+// ErrRateBudget, ErrQueueFull, or an artifact-validation error for
+// unusable Resume artifacts.
+func (s *Supervisor) Submit(spec CampaignSpec) (*Handle, error) {
+	if spec.Resume != nil {
+		// Validate the artifact up front so a corrupt checkpoint is a
+		// typed admission failure, not a late worker-side surprise.
+		if _, err := core.InspectCheckpoint(spec.Resume); err != nil {
+			s.reject()
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.stopping {
+		s.reject()
+		return nil, ErrDraining
+	}
+	ts := s.tenants[spec.Tenant]
+	if ts == nil {
+		s.reject()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, spec.Tenant)
+	}
+	if _, dup := s.active[spec.Tag()]; dup {
+		s.reject()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, spec.Tag())
+	}
+	if s.breaker.state(spec.Vantage) == BreakerOpen {
+		// A closed (or half-open) breaker admits to the queue; the
+		// half-open trial slot is claimed at dispatch, not here.
+		s.reject()
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, spec.Vantage)
+	}
+	if b := ts.cfg.RateBudget; b > 0 && ts.admitted+spec.effRate() > b {
+		s.reject()
+		return nil, fmt.Errorf("%w: tenant %s at %.0f of %.0f pps", ErrRateBudget, spec.Tenant, ts.admitted, b)
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		s.reject()
+		return nil, ErrQueueFull
+	}
+
+	j := &job{
+		seq:   s.nextSeq,
+		spec:  spec,
+		h:     &Handle{spec: spec, done: make(chan struct{})},
+		st:    newStream(spec.Stream),
+		state: StateQueued,
+	}
+	s.nextSeq++
+	ts.admitted += spec.effRate()
+	ts.inflight++
+	s.active[spec.Tag()] = j
+	s.all = append(s.all, j)
+	s.queue = append(s.queue, j)
+	if s.met.submitted != nil {
+		s.met.submitted.Inc()
+		s.met.queueDepth.Set(int64(len(s.queue)))
+	}
+	if s.tel != nil {
+		s.tel.Counter("sched_tenant_submitted_total_" + spec.Tenant).Inc()
+	}
+	j.st.event(Event{Event: "submitted", Tenant: spec.Tenant, Campaign: spec.Name})
+	s.cond.Signal()
+	return j.h, nil
+}
+
+func (s *Supervisor) reject() {
+	if s.met.rejected != nil {
+		s.met.rejected.Inc()
+	}
+}
+
+// Status reports every admitted campaign in submission order.
+func (s *Supervisor) Status() []CampaignStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(s.all))
+	for _, j := range s.all {
+		out = append(out, CampaignStatus{
+			Tenant:   j.spec.Tenant,
+			Campaign: j.spec.Name,
+			Vantage:  j.spec.Vantage,
+			State:    j.state,
+			Reason:   j.reason,
+			Retries:  j.retries,
+		})
+	}
+	return out
+}
+
+// BreakerState reports a vantage's circuit-breaker position.
+func (s *Supervisor) BreakerState(vantage string) BreakerState {
+	return s.breaker.state(vantage)
+}
+
+// nextLocked picks the job to dispatch — a pure function of the queue
+// contents, so dispatch order is deterministic whatever the goroutine
+// interleaving that produced the queue: highest tenant priority first,
+// then the tenant with the fewest running campaigns (fair share), then
+// submission order.
+func (s *Supervisor) nextLocked() int {
+	best := -1
+	for i, j := range s.queue {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.queue[best]
+		tp, bp := s.tenants[j.spec.Tenant], s.tenants[b.spec.Tenant]
+		switch {
+		case tp.cfg.Priority != bp.cfg.Priority:
+			if tp.cfg.Priority > bp.cfg.Priority {
+				best = i
+			}
+		case tp.running != bp.running:
+			if tp.running < bp.running {
+				best = i
+			}
+		case j.seq < b.seq:
+			best = i
+		}
+	}
+	return best
+}
+
+// worker pulls and runs campaigns until the supervisor stops.
+func (s *Supervisor) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.stopping && (s.draining || len(s.queue) == 0) {
+			s.cond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		i := s.nextLocked()
+		j := s.queue[i]
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		j.state = StateRunning
+		ts := s.tenants[j.spec.Tenant]
+		ts.running++
+		if s.met.queueDepth != nil {
+			s.met.queueDepth.Set(int64(len(s.queue)))
+			s.met.running.Set(s.runningLocked())
+		}
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+func (s *Supervisor) runningLocked() int64 {
+	var n int64
+	for _, ts := range s.tenants {
+		n += int64(ts.running)
+	}
+	return n
+}
+
+func (s *Supervisor) isDraining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// campaignConfig maps a spec onto the core campaign configuration.
+func (s *Supervisor) campaignConfig(j *job) core.CampaignConfig {
+	sp := &j.spec
+	return core.CampaignConfig{
+		Config: core.Config{
+			Targets: sp.Targets,
+			MinTTL:  sp.MinTTL,
+			MaxTTL:  sp.MaxTTL,
+			PPS:     sp.Rate,
+			Proto:   sp.Proto,
+			Fill:    sp.Fill,
+			Key:     sp.Key,
+			Batch:   sp.Batch,
+		},
+		Shards:      sp.Shards,
+		RecordPaths: true,
+		Telemetry:   s.tel,
+		NewObserver: s.observerFactory(j),
+		InterruptAt: sp.Deadline,
+	}
+}
+
+// observerFactory builds the per-shard streaming observers; nil when
+// the tenant attached no stream (so core skips observer plumbing).
+func (s *Supervisor) observerFactory(j *job) func(shard int) probe.Observer {
+	if j.st == nil {
+		return nil
+	}
+	return func(shard int) probe.Observer {
+		return newDeltaObserver(j.st, j.spec.Vantage, j.spec.Tenant, j.spec.Name, shard)
+	}
+}
+
+// runJob drives one campaign through its attempts: run, and on a
+// watchdog interrupt checkpoint → back off → resume on fresh
+// connections, bounded by the retry budget.
+func (s *Supervisor) runJob(j *job) {
+	if !s.breaker.admit(j.spec.Vantage) {
+		// The vantage's breaker opened (or its half-open trial slot was
+		// claimed) while this campaign sat queued.
+		s.finalize(j, &Result{State: StateIncomplete, Reason: "breaker-open"})
+		return
+	}
+	artifact := j.spec.Resume
+	attempt := 0
+	for {
+		attempt++
+		factory, err := s.cfg.Opener(&j.spec)
+		if err != nil {
+			s.breakerFailure(j)
+			s.finalize(j, &Result{State: StateIncomplete, Reason: "open-failed", Err: err})
+			return
+		}
+		var camp *core.Campaign
+		if artifact == nil {
+			camp = core.NewCampaign(s.campaignConfig(j), factory)
+		} else {
+			camp, err = core.Resume(artifact, core.ResumeConfig{
+				NewObserver: s.observerFactory(j),
+				Telemetry:   s.tel,
+				InterruptAt: j.spec.Deadline,
+			}, factory)
+			if err != nil {
+				s.breakerFailure(j)
+				s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Err: err})
+				return
+			}
+		}
+		j.camp.Store(camp)
+		if s.isDraining() {
+			// Drain may have started between dispatch and campaign
+			// construction; interrupting before Run makes the very first
+			// stop poll capture, keeping the drain bounded.
+			camp.Interrupt()
+		}
+		j.st.event(Event{Event: "started", Tenant: j.spec.Tenant, Campaign: j.spec.Name, Attempt: attempt})
+
+		store, stats, runErr, fired := s.runAttempt(camp)
+		switch {
+		case runErr == nil:
+			res := &Result{State: StateCompleted, Store: store, Stats: stats}
+			if len(stats.Quarantined) > 0 || len(stats.Incomplete) > 0 {
+				// Completed through recovery: the result stands, but the
+				// vantage misbehaved — that history feeds the breaker.
+				s.breakerFailure(j)
+			} else {
+				s.breaker.success(j.spec.Vantage)
+			}
+			s.finalize(j, res)
+			return
+
+		case errors.Is(runErr, core.ErrInterrupted):
+			art, ckErr := camp.Checkpoint()
+			switch {
+			case s.isDraining():
+				if ckErr != nil {
+					// Quarantine-degraded mid-drain: nothing resumable to
+					// hand over; keep the partial results.
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: store, Stats: stats, Err: ckErr})
+					return
+				}
+				s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: store, Stats: stats, Artifact: art})
+				return
+			case fired:
+				if s.met.watchdog != nil {
+					s.met.watchdog.Inc()
+				}
+				if ckErr != nil {
+					s.breakerFailure(j)
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: store, Stats: stats, Err: ckErr})
+					return
+				}
+				if j.retries >= s.cfg.MaxRetries {
+					s.breakerFailure(j)
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "watchdog-exhausted", Store: store, Stats: stats})
+					return
+				}
+				j.retries++
+				if s.met.retries != nil {
+					s.met.retries.Inc()
+				}
+				j.st.event(Event{Event: "retry", Tenant: j.spec.Tenant, Campaign: j.spec.Name, Attempt: attempt, Reason: "watchdog"})
+				if s.backoff(j.retries) {
+					// Drain began during the backoff; the checkpoint in
+					// hand is the drain artifact.
+					s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: store, Stats: stats, Artifact: art})
+					return
+				}
+				artifact = art
+				continue
+			default:
+				// The campaign's own virtual deadline fired.
+				s.finalize(j, &Result{State: StateIncomplete, Reason: "deadline", Store: store, Stats: stats})
+				return
+			}
+
+		default:
+			s.breakerFailure(j)
+			s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: store, Stats: stats, Err: runErr})
+			return
+		}
+	}
+}
+
+// runAttempt runs the campaign while the watchdog samples its
+// heartbeat; fired reports whether the watchdog interrupted it.
+func (s *Supervisor) runAttempt(camp *core.Campaign) (store *probe.Store, stats core.CampaignStats, err error, fired bool) {
+	type runOut struct {
+		store *probe.Store
+		stats core.CampaignStats
+		err   error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		st, cs, e := camp.Run()
+		done <- runOut{st, cs, e}
+	}()
+	timer := time.NewTimer(s.cfg.WatchdogPoll)
+	defer timer.Stop()
+	lastBeat := camp.Beat()
+	lastMove := time.Now()
+	for {
+		select {
+		case out := <-done:
+			return out.store, out.stats, out.err, fired
+		case <-timer.C:
+			if b := camp.Beat(); b != lastBeat {
+				lastBeat, lastMove = b, time.Now()
+			} else if !fired && time.Since(lastMove) >= s.cfg.StallBudget {
+				// No stop poll within the budget: the campaign is wedged
+				// (or its connections are wall-blocked). Interrupt takes
+				// effect at the next boundary the prober reaches; until
+				// then we keep waiting — the run owns its goroutines.
+				fired = true
+				camp.Interrupt()
+			}
+			timer.Reset(s.cfg.WatchdogPoll)
+		}
+	}
+}
+
+// backoff sleeps the capped exponential failover delay; the return
+// value reports that a drain started and the retry must not happen.
+func (s *Supervisor) backoff(retry int) bool {
+	d := s.cfg.BackoffBase << (retry - 1)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return s.isDraining()
+	case <-s.drainCh:
+		return true
+	}
+}
+
+func (s *Supervisor) breakerFailure(j *job) {
+	if s.breaker.failure(j.spec.Vantage) && s.met.breakerOpened != nil {
+		s.met.breakerOpened.Inc()
+	}
+}
+
+// finalize publishes a job's terminal result and releases its
+// admission reservations.
+func (s *Supervisor) finalize(j *job, res *Result) {
+	res.Tenant = j.spec.Tenant
+	res.Campaign = j.spec.Name
+	res.Retries = j.retries
+	if res.Store != nil {
+		res.Graph = graph.FromStore(res.Store, j.spec.Vantage, s.protoOf(j, res))
+	}
+
+	s.mu.Lock()
+	wasRunning := j.state == StateRunning
+	j.state = res.State
+	j.reason = res.Reason
+	ts := s.tenants[j.spec.Tenant]
+	ts.admitted -= j.spec.effRate()
+	ts.inflight--
+	if wasRunning {
+		ts.running--
+	}
+	delete(s.active, j.spec.Tag())
+	if s.met.running != nil {
+		s.met.running.Set(s.runningLocked())
+	}
+	s.mu.Unlock()
+
+	switch res.State {
+	case StateCompleted:
+		if s.met.completed != nil {
+			s.met.completed.Inc()
+		}
+		if s.tel != nil {
+			s.tel.Counter("sched_tenant_completed_total_" + j.spec.Tenant).Inc()
+		}
+	case StateIncomplete:
+		if s.met.incomplete != nil {
+			s.met.incomplete.Inc()
+		}
+	case StateDrained:
+		if s.met.drained != nil {
+			s.met.drained.Inc()
+		}
+	}
+	ev := Event{Event: res.State.String(), Tenant: j.spec.Tenant, Campaign: j.spec.Name, Reason: res.Reason}
+	if res.Store != nil {
+		ev.Probes = res.Stats.ProbesSent
+		ev.Replies = res.Stats.Replies
+		ev.Nodes = res.Graph.NumNodes()
+		ev.Edges = res.Graph.NumEdges()
+	}
+	j.st.event(ev)
+
+	j.h.mu.Lock()
+	j.h.res = res
+	j.h.mu.Unlock()
+	close(j.h.done)
+}
+
+// protoOf resolves the transport for graph derivation — from the
+// artifact for resumed campaigns, from the spec otherwise.
+func (s *Supervisor) protoOf(j *job, res *Result) uint8 {
+	if c := j.camp.Load(); c != nil {
+		return c.Proto()
+	}
+	if j.spec.Proto != 0 {
+		return j.spec.Proto
+	}
+	return wire.ProtoICMPv6
+}
+
+// Drain shuts the supervisor down gracefully: new submissions are
+// rejected with ErrDraining, running campaigns are interrupted and
+// checkpointed, queued campaigns are returned as bare specs, and the
+// worker pool exits. The returned Drained list, resubmitted to a fresh
+// supervisor (Artifact as Resume), continues every campaign
+// byte-identically. Drain is terminal — the supervisor cannot be
+// reused — and returns ctx.Err if the context expires first.
+func (s *Supervisor) Drain(ctx context.Context) ([]Drained, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.draining = true
+	close(s.drainCh)
+	queued := s.queue
+	s.queue = nil
+	if s.met.queueDepth != nil {
+		s.met.queueDepth.Set(0)
+	}
+	var live []*job
+	for _, j := range s.all {
+		if j.state == StateRunning {
+			live = append(live, j)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	var out []Drained
+	for _, j := range queued {
+		s.finalize(j, &Result{State: StateDrained, Reason: "drained-queued"})
+		out = append(out, Drained{Spec: j.h.Spec()})
+	}
+	for _, j := range live {
+		if c := j.camp.Load(); c != nil {
+			c.Interrupt()
+		}
+	}
+	for _, j := range live {
+		select {
+		case <-j.h.Done():
+		case <-ctx.Done():
+			return out, ctx.Err()
+		}
+		if res := j.h.Result(); res.State == StateDrained && res.Artifact != nil {
+			sp := j.h.Spec()
+			out = append(out, Drained{Spec: sp, Artifact: res.Artifact})
+		}
+	}
+
+	s.mu.Lock()
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"beholder/internal/graph"
+	"beholder/internal/probe"
+)
+
+// Event is one NDJSON record on a tenant's result stream. Lifecycle
+// events (submitted, started, retry, drained, completed, incomplete)
+// come from the supervisor; delta events come from the per-shard graph
+// observers as the campaign's topology subgraphs grow, so a tenant
+// watching its stream sees discovery arrive incrementally instead of
+// waiting for the final artifact.
+type Event struct {
+	Event    string `json:"event"`
+	Tenant   string `json:"tenant"`
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Edges    int    `json:"edges,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Probes   int64  `json:"probes,omitempty"`
+	Replies  int64  `json:"replies,omitempty"`
+}
+
+// stream is a locked NDJSON encoder over one tenant's writer. Shard
+// observers emit concurrently from their own goroutines, so every event
+// write is serialized here; the writer itself sees whole lines only.
+type stream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newStream(w io.Writer) *stream {
+	if w == nil {
+		return nil
+	}
+	return &stream{enc: json.NewEncoder(w)}
+}
+
+// event encodes one record; nil streams swallow everything so callers
+// never branch.
+func (st *stream) event(ev Event) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_ = st.enc.Encode(ev) // a broken tenant sink must not fail the campaign
+}
+
+// deltaObserver is the per-shard streaming hook: it folds every stored
+// reply into its own topology subgraph and emits a delta event whenever
+// the subgraph grows. NumNodes/NumEdges are O(1) reads, so the novelty
+// check costs two comparisons per reply.
+type deltaObserver struct {
+	st       *stream
+	g        *graph.Graph
+	tenant   string
+	campaign string
+	shard    int
+	nodes    int
+	edges    int
+}
+
+func newDeltaObserver(st *stream, vantage, tenant, campaign string, shard int) *deltaObserver {
+	return &deltaObserver{st: st, g: graph.New(vantage), tenant: tenant, campaign: campaign, shard: shard}
+}
+
+func (o *deltaObserver) OnReply(r probe.Reply) {
+	o.g.OnReply(r)
+	if n, e := o.g.NumNodes(), o.g.NumEdges(); n > o.nodes || e > o.edges {
+		o.nodes, o.edges = n, e
+		o.st.event(Event{Event: "delta", Tenant: o.tenant, Campaign: o.campaign,
+			Shard: o.shard, Nodes: n, Edges: e})
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"beholder/internal/testutil"
 )
 
 // telemetryTargets builds a small deterministic target set for the
@@ -83,6 +85,7 @@ func TestProgressGolden(t *testing.T) {
 // TestRunYarrp6Telemetry checks that a telemetry-enabled campaign fills
 // the registry consistently with the campaign's own counters.
 func TestRunYarrp6Telemetry(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	in := NewSmallInternet(2018)
 	v := in.NewVantage("TEL-1")
 	reg := NewTelemetry()
@@ -145,6 +148,7 @@ func TestRunYarrp6Telemetry(t *testing.T) {
 // TestTelemetryEquivalence proves that switching telemetry and progress
 // on does not perturb the campaign: same store contents, same counters.
 func TestTelemetryEquivalence(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
 	run := func(instrument bool) (*Result, string) {
 		in := NewSmallInternet(2018)
 		v := in.NewVantage("EQ-1")
