@@ -34,8 +34,10 @@ bench:
 # benchmark's steady-state allocs/probe exceeds the bound, when
 # 4-shard parallel efficiency falls below 0.6, when the fully
 # instrumented campaign (telemetry registry + progress stream) drops
-# below 0.95x the bare campaign's throughput, or when a supervised
-# single-tenant campaign drops below 0.95x the bare campaign.
+# below 0.95x the bare campaign's throughput, when a supervised
+# single-tenant campaign drops below 0.95x the bare campaign, or when
+# the adaptive loop's discovery per probe falls below 1.1x an
+# equal-budget static target list.
 bench-check:
 	$(GO) run ./cmd/bench -benchtime 150ms -check
 

@@ -27,6 +27,7 @@ import (
 	"beholder/internal/alias"
 	"beholder/internal/core"
 	"beholder/internal/faultsim"
+	"beholder/internal/gen6prob"
 	"beholder/internal/graph"
 	"beholder/internal/ipv6"
 	"beholder/internal/netsim"
@@ -271,12 +272,14 @@ type YarrpOptions struct {
 	// Yarrp6 instances (distinct Instance bytes, same key), each on its
 	// own cloned vantage connection. The shards replay the exact
 	// single-prober virtual schedule in parallel wall time: results are
-	// deterministic at any shard count, and identical to a 1-shard run
-	// except that rate-limit-saturated routers may yield a few extra
-	// replies near shard-window starts (token buckets are epoch-scoped
-	// per shard — see core.Campaign). Result.Curve is the global
-	// discovery curve interleaved from the shard windows by virtual
-	// time; the per-window curves remain in Result.ShardStats.
+	// deterministic at any shard count and byte-identical to a 1-shard
+	// run — each shard clone opens with its router token buckets
+	// advanced through the serial schedule preceding its window, so
+	// even rate-limit-saturated regimes shard exactly (see
+	// core.Campaign; fill mode retains a narrow saturation caveat
+	// because fill probes are reply-dependent). Result.Curve is the
+	// global discovery curve interleaved from the shard windows by
+	// virtual time; the per-window curves remain in Result.ShardStats.
 	// Default 1.
 	Shards int
 	// Batch is the probe-pipeline send-batch size: permutation draw,
@@ -314,6 +317,42 @@ type YarrpOptions struct {
 	// error wrapping ErrInterrupted. Setting it forces the campaign
 	// engine even for one shard, so the run is checkpointable.
 	InterruptAt time.Duration
+	// Adaptive, when non-nil, switches the run to closed-loop
+	// probabilistic target generation: the targets passed to RunYarrp6
+	// become the generator's seed observations, and the campaign grows
+	// its own (target × TTL) domain epoch by epoch (see AdaptiveOptions).
+	Adaptive *AdaptiveOptions
+}
+
+// AdaptiveOptions parameterizes adaptive probabilistic target
+// generation (internal/gen6prob over the core adaptive campaign
+// engine). The run probes in epochs: a density-weighted prefix trie —
+// seeded from the 6Gen clusters of the observed addresses — samples
+// each epoch's target batch, and the epoch's results feed back before
+// the next batch: targets whose traces surfaced never-seen interfaces
+// reward their trie paths, and prefixes the between-epoch alias
+// detector flags are pruned outright. The whole series is
+// deterministic at any Shards × Batch combination, and an interrupted
+// run checkpoints its generation state alongside the campaign
+// artifact.
+type AdaptiveOptions struct {
+	// Budget caps total probes across all epochs. Zero leaves MaxEpochs
+	// alone to bound the run.
+	Budget int64
+	// EpochTargets caps the targets generated per epoch. Default 256.
+	EpochTargets int
+	// MaxEpochs bounds the epoch count. Default 16.
+	MaxEpochs int
+	// AliasMinHits is the fully-responsive-target count per /64 that
+	// nominates the prefix for alias detection at the epoch boundary
+	// (default 1 — the generator probes one low-byte address per /64;
+	// negative disables boundary detection).
+	AliasMinHits int
+	// Seeds supplies the original seed observations when resuming an
+	// adaptive checkpoint: ResumeYarrp6 rebuilds the generator from them
+	// and restores its serialized state from the artifact. Ignored by
+	// RunYarrp6 (the targets argument is the seed set there).
+	Seeds []netip.Addr
 }
 
 // ErrInterrupted is returned (wrapped) by RunYarrp6 and ResumeYarrp6
@@ -372,6 +411,11 @@ type Result struct {
 	// Feed it to Vantage.ResumeYarrp6 to finish the campaign with
 	// byte-identical results.
 	Checkpoint []byte
+	// Epochs holds the per-epoch breakdown of an adaptive run
+	// (YarrpOptions.Adaptive): targets generated, window placement, and
+	// the cumulative interface count at each boundary. Nil for static
+	// campaigns.
+	Epochs []core.EpochStats
 
 	store   *probe.Store
 	graph   *graph.Graph
@@ -445,8 +489,13 @@ func CollapseGraph(g *graph.Graph, aliases *AliasSet) *graph.RouterGraph {
 // concurrent prober instances, each on its own cloned vantage
 // connection, replaying the single-instance virtual schedule in a
 // fraction of the wall time (see YarrpOptions.Shards for the exact
-// equivalence guarantee).
+// equivalence guarantee). With opt.Adaptive the targets are instead the
+// generator's seed observations and the campaign grows its own domain
+// epoch by epoch (see AdaptiveOptions).
 func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, error) {
+	if opt.Adaptive != nil {
+		return v.runAdaptive(targets, opt)
+	}
 	proto, err := transportProto(opt.Transport)
 	if err != nil {
 		return nil, err
@@ -594,19 +643,20 @@ func (v *Vantage) RunYarrp6(targets []netip.Addr, opt YarrpOptions) (*Result, er
 // artifact a previous run's Result.Checkpoint carried, and runs it to
 // completion (or to opt.InterruptAt again — checkpoints compose). The
 // artifact pins the campaign configuration; of opt only Telemetry,
-// Progress, ProgressPerShard, and InterruptAt apply. Resumed on an
-// identically-seeded Internet replayed to the same virtual instant, the
-// finished campaign is byte-identical — store, graph, progress stream,
-// discovery curve — to one that was never interrupted, with the same
-// caveat sharding itself carries (see YarrpOptions.Shards): router
-// token-bucket levels are not serialized, so a rate-limiter saturated
-// across the interrupt instant can yield a few extra replies just
-// after resume. Below saturation — the normal regime for randomized
-// probing — the equivalence is exact. The resumed
-// run's Result.Graph() is batch-built from the trace store (streaming
-// observers cannot see pre-interrupt replies; the two constructions are
-// equivalent).
+// Progress, ProgressPerShard, and InterruptAt apply (plus Adaptive for
+// adaptive artifacts, which must carry the original seed set in
+// Adaptive.Seeds). Resumed on an identically-seeded Internet replayed
+// to the same virtual instant, the finished campaign is byte-identical
+// — store, graph, progress stream, discovery curve — to one that was
+// never interrupted: router token-bucket levels ride in the artifact,
+// so even rate-limiters saturated across the interrupt instant replay
+// exactly. The resumed run's Result.Graph() is batch-built from the
+// trace store (streaming observers cannot see pre-interrupt replies;
+// the two constructions are equivalent).
 func (v *Vantage) ResumeYarrp6(artifact []byte, opt YarrpOptions) (*Result, error) {
+	if core.IsAdaptiveCheckpoint(artifact) {
+		return v.resumeAdaptive(artifact, opt)
+	}
 	vsBefore := v.v.Stats
 	var simBefore netsim.SimStats
 	if opt.Telemetry != nil {
@@ -667,6 +717,188 @@ func (v *Vantage) ResumeYarrp6(artifact []byte, opt YarrpOptions) (*Result, erro
 		return res, err
 	}
 	return res, nil
+}
+
+// runAdaptive executes a closed-loop adaptive campaign: seeds build a
+// gen6prob source, and the core adaptive engine alternates sharded
+// probing epochs with trie re-weighting and boundary alias detection.
+func (v *Vantage) runAdaptive(seeds []netip.Addr, opt YarrpOptions) (*Result, error) {
+	proto, err := transportProto(opt.Transport)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Progress != nil {
+		return nil, fmt.Errorf("beholder: progress streaming is unsupported under adaptive generation")
+	}
+	ao := *opt.Adaptive
+	shards := opt.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	vsBefore := v.v.Stats
+	var simBefore netsim.SimStats
+	if opt.Telemetry != nil {
+		simBefore = v.in.u.StatsSnapshot()
+	}
+	src := gen6prob.New(seeds, gen6prob.Config{Key: opt.Key})
+	acfg := core.AdaptiveConfig{
+		CampaignConfig: core.CampaignConfig{
+			Config: core.Config{
+				PPS:    opt.Rate,
+				MaxTTL: uint8(opt.MaxTTL),
+				Proto:  proto,
+				Key:    opt.Key,
+				Fill:   opt.Fill,
+				Batch:  opt.Batch,
+			},
+			Shards:      shards,
+			RecordPaths: true,
+			Telemetry:   opt.Telemetry,
+			InterruptAt: opt.InterruptAt,
+		},
+		Source:        src,
+		Budget:        ao.Budget,
+		EpochTargets:  ao.EpochTargets,
+		MaxEpochs:     ao.MaxEpochs,
+		DetectAliases: v.adaptiveAliasHook(ao.AliasMinHits),
+	}
+	epoch := v.clk
+	v.v.BeginShardGroup()
+	var clones []*netsim.Vantage
+	camp := core.NewAdaptive(acfg, func(_ int, start time.Duration) probe.Conn {
+		nv := v.v.Clone(epoch + start)
+		clones = append(clones, nv)
+		return nv
+	})
+	store, astats, err := camp.Run()
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return nil, err
+	}
+	v.v.Sleep(astats.Elapsed)
+	v.clk = epoch + astats.Elapsed
+	res := v.adaptiveResult(store, astats, proto)
+	res.setPlanStats(v, vsBefore, clones)
+	if opt.Telemetry != nil {
+		v.publishRunTelemetry(opt.Telemetry, simBefore, res)
+		res.Telemetry = opt.Telemetry.Snapshot()
+	}
+	if interrupted {
+		art, cerr := camp.Checkpoint()
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Checkpoint = art
+		return res, err
+	}
+	return res, nil
+}
+
+// resumeAdaptive continues an interrupted adaptive campaign: the
+// generator is rebuilt from opt.Adaptive.Seeds, its state restored from
+// the artifact, and the run picks up mid-epoch or mid-adaptation
+// exactly where it stopped.
+func (v *Vantage) resumeAdaptive(artifact []byte, opt YarrpOptions) (*Result, error) {
+	if opt.Adaptive == nil || len(opt.Adaptive.Seeds) == 0 {
+		return nil, fmt.Errorf("beholder: adaptive checkpoint: set YarrpOptions.Adaptive.Seeds to the original seed observations")
+	}
+	if opt.Progress != nil {
+		return nil, fmt.Errorf("beholder: progress streaming is unsupported under adaptive generation")
+	}
+	ao := *opt.Adaptive
+	info, err := core.InspectCheckpoint(artifact)
+	if err != nil {
+		return nil, err
+	}
+	vsBefore := v.v.Stats
+	var simBefore netsim.SimStats
+	if opt.Telemetry != nil {
+		simBefore = v.in.u.StatsSnapshot()
+	}
+	// The artifact pins the permutation key; the generator's sampler is
+	// keyed identically so its restored counter replays the same draws.
+	src := gen6prob.New(ao.Seeds, gen6prob.Config{Key: info.Key})
+	v.v.BeginShardGroup()
+	var clones []*netsim.Vantage
+	var camp *core.AdaptiveCampaign
+	camp, err = core.ResumeAdaptive(artifact, core.AdaptiveResumeConfig{
+		Source:        src,
+		DetectAliases: v.adaptiveAliasHook(ao.AliasMinHits),
+		Telemetry:     opt.Telemetry,
+		InterruptAt:   opt.InterruptAt,
+	}, func(_ int, start time.Duration) probe.Conn {
+		nv := v.v.Clone(camp.Epoch() + start)
+		clones = append(clones, nv)
+		return nv
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, astats, err := camp.Run()
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return nil, err
+	}
+	v.v.Sleep(astats.Elapsed)
+	v.clk = camp.Epoch() + astats.Elapsed
+	res := v.adaptiveResult(store, astats, info.Proto)
+	res.setPlanStats(v, vsBefore, clones)
+	if opt.Telemetry != nil {
+		v.publishRunTelemetry(opt.Telemetry, simBefore, res)
+		res.Telemetry = opt.Telemetry.Snapshot()
+	}
+	if interrupted {
+		art, cerr := camp.Checkpoint()
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Checkpoint = art
+		return res, err
+	}
+	return res, nil
+}
+
+// adaptiveResult assembles a Result from an adaptive run's merged store
+// and statistics.
+func (v *Vantage) adaptiveResult(store *probe.Store, astats core.AdaptiveStats, proto uint8) *Result {
+	return &Result{
+		ProbesSent: astats.ProbesSent,
+		Fills:      astats.Fills,
+		Replies:    astats.Replies,
+		Elapsed:    astats.Elapsed,
+		Curve:      astats.Curve,
+		Epochs:     astats.Epochs,
+		store:      store,
+		vantage:    v.v.Name(),
+		proto:      proto,
+	}
+}
+
+// adaptiveAliasHook builds the between-epoch alias-detection hook:
+// candidate /64s whose targets all answered are probed with the APD
+// scheme on a private boundary clone. The clone owns its clock, token
+// buckets, and plan cache, so the verdicts are a pure function of
+// (universe seed, epoch, candidates) — deterministic at any shard count
+// — and the campaign schedule is undisturbed. A negative minHits
+// disables detection.
+func (v *Vantage) adaptiveAliasHook(minHits int) func(int, *probe.Store) []netip.Prefix {
+	if minHits < 0 {
+		return nil
+	}
+	if minHits == 0 {
+		minHits = 1
+	}
+	return func(epoch int, store *probe.Store) []netip.Prefix {
+		cands := gen6prob.AliasCandidates(store, minHits)
+		if len(cands) == 0 {
+			return nil
+		}
+		nv := v.v.Clone(0)
+		nv.SetPlanCache(0)
+		det := alias.NewDetector(nv, alias.DefaultParams())
+		rng := rand.New(rand.NewSource(v.in.seed ^ int64(epoch+1)*0xa11a5))
+		return det.Detect(cands, rng).Aliased.Prefixes()
+	}
 }
 
 // setPlanStats fills the result's flow-plan cache counters: the parent

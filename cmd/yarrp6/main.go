@@ -87,6 +87,12 @@ func main() {
 		interrupt = flag.Duration("interrupt-at", 0, "stop the campaign at this virtual instant and write the -checkpoint artifact (resume later with -resume)")
 		ckptPath  = flag.String("checkpoint", "", "file for the resume artifact of an interrupted campaign (required with -interrupt-at)")
 		resume    = flag.String("resume", "", "resume a campaign from this checkpoint artifact; the artifact pins the campaign configuration, and explicitly-set target or tuning flags that contradict it are an error")
+
+		adaptive  = flag.Bool("adaptive", false, "closed-loop probabilistic generation: the -input/-seeds addresses become seed observations for a density-weighted prefix trie that generates targets epoch by epoch from discovery feedback")
+		adBudget  = flag.Int64("adaptive-budget", 0, "total probe budget across adaptation epochs (0 = bounded by -adaptive-epochs alone)")
+		adPerEp   = flag.Int("adaptive-epoch-targets", 0, "targets generated per adaptation epoch (0 = engine default)")
+		adEpochs  = flag.Int("adaptive-epochs", 0, "maximum adaptation epochs (0 = engine default)")
+		adAPD     = flag.Int("adaptive-apd", 1, "fully-responsive targets per /64 that nominate it for boundary alias detection (negative disables APD pruning)")
 	)
 	flag.Parse()
 	if *interrupt > 0 && *ckptPath == "" {
@@ -117,8 +123,35 @@ func main() {
 	}
 	v := in.NewVantage(*vantage)
 
+	// On resume, the artifact is authoritative for targets and tuning.
+	// Validate it up front and cross-check every explicitly-set flag
+	// against the embedded configuration: a contradiction is an error,
+	// never a silent preference for the artifact's values.
+	var resumeArt []byte
+	var info core.CheckpointInfo
+	if *resume != "" {
+		var err error
+		resumeArt, err = os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yarrp6:", err)
+			os.Exit(1)
+		}
+		info, err = core.InspectCheckpoint(resumeArt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yarrp6: %s is not a usable checkpoint: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		if info.Adaptive && !*adaptive {
+			fmt.Fprintf(os.Stderr, "yarrp6: %s is an adaptive checkpoint: pass -adaptive plus the original -input/-seeds flags so the generator can be rebuilt\n", *resume)
+			os.Exit(1)
+		}
+	}
+
+	// Target loading. A fresh run always needs targets; an adaptive
+	// resume needs them too — they are the generator's original seed
+	// observations, from which the serialized trie state is rebuilt.
 	var targets []netip.Addr
-	if *resume == "" {
+	if *resume == "" || info.Adaptive {
 		if *input != "" {
 			var err error
 			targets, err = readTargets(*input)
@@ -134,27 +167,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "yarrp6: %d targets from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
-			len(targets), *vantage, v.Addr(), *rate, *maxTTL, *shards)
+		if *resume == "" {
+			noun := "targets"
+			if *adaptive {
+				noun = "seed observations"
+			}
+			fmt.Fprintf(os.Stderr, "yarrp6: %d %s from vantage %s (%s), %g pps, maxttl %d, %d shard(s)\n",
+				len(targets), noun, *vantage, v.Addr(), *rate, *maxTTL, *shards)
+		}
 	}
 
-	// On resume, the artifact is authoritative for targets and tuning.
-	// Validate it up front and cross-check every explicitly-set flag
-	// against the embedded configuration: a contradiction is an error,
-	// never a silent preference for the artifact's values.
-	var resumeArt []byte
 	if *resume != "" {
-		var err error
-		resumeArt, err = os.ReadFile(*resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yarrp6:", err)
-			os.Exit(1)
-		}
-		info, err := core.InspectCheckpoint(resumeArt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "yarrp6: %s is not a usable checkpoint: %v\n", *resume, err)
-			os.Exit(1)
-		}
 		effBatch := *batch
 		if effBatch <= 0 {
 			effBatch = core.DefaultBatch
@@ -190,6 +213,26 @@ func main() {
 			"zn":    func() string { return "-zn (the artifact pins the target set)" },
 			"synth": func() string { return "-synth (the artifact pins the target set)" },
 			"scale": func() string { return "-scale (the artifact pins the target set)" },
+			"adaptive": func() string {
+				return conflictf(!info.Adaptive, "-adaptive (the artifact is a static-target campaign)")
+			},
+			"adaptive-budget": func() string {
+				return "-adaptive-budget (the artifact pins the adaptive configuration)"
+			},
+			"adaptive-epoch-targets": func() string {
+				return "-adaptive-epoch-targets (the artifact pins the adaptive configuration)"
+			},
+			"adaptive-epochs": func() string {
+				return "-adaptive-epochs (the artifact pins the adaptive configuration)"
+			},
+		}
+		if info.Adaptive {
+			// An adaptive resume rebuilds the generator from the original
+			// seed observations, so the seed-pipeline flags are not only
+			// allowed but expected.
+			for _, f := range []string{"input", "seeds", "zn", "synth", "scale"} {
+				delete(conflicts, f)
+			}
 		}
 		var bad []string
 		flag.Visit(func(f *flag.Flag) {
@@ -251,18 +294,34 @@ func main() {
 
 	var res *beholder.Result
 	var err error
-	if *resume != "" {
+	switch {
+	case *resume != "" && info.Adaptive:
+		res, err = v.ResumeYarrp6(resumeArt, beholder.YarrpOptions{
+			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
+			InterruptAt: *interrupt,
+			Adaptive:    &beholder.AdaptiveOptions{AliasMinHits: *adAPD, Seeds: targets},
+		})
+	case *resume != "":
 		res, err = v.ResumeYarrp6(resumeArt, beholder.YarrpOptions{
 			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
 			InterruptAt: *interrupt,
 		})
-	} else {
-		res, err = v.RunYarrp6(targets, beholder.YarrpOptions{
+	default:
+		opt := beholder.YarrpOptions{
 			Rate: *rate, MaxTTL: *maxTTL, Transport: *transport, Fill: *fill, Key: *key,
 			Shards: *shards, Batch: *batch, Graph: *graphOut != "",
 			Telemetry: reg, Progress: progW, ProgressPerShard: *progShard,
 			InterruptAt: *interrupt,
-		})
+		}
+		if *adaptive {
+			opt.Adaptive = &beholder.AdaptiveOptions{
+				Budget:       *adBudget,
+				EpochTargets: *adPerEp,
+				MaxEpochs:    *adEpochs,
+				AliasMinHits: *adAPD,
+			}
+		}
+		res, err = v.RunYarrp6(targets, opt)
 	}
 	interrupted := errors.Is(err, beholder.ErrInterrupted)
 	if err != nil && !interrupted {

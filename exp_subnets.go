@@ -175,6 +175,7 @@ func (e *Experiments) Steps() []ExpStep {
 		{"subnet-validation", one(func() Renderable { return e.SubnetValidation() })},
 		{"alias-study", one(func() Renderable { return e.AliasStudy() })},
 		{"graph-study", one(func() Renderable { return e.GraphStudy() })},
+		{"adaptive-study", one(func() Renderable { return e.AdaptiveStudy() })},
 	}
 }
 
@@ -190,7 +191,7 @@ func (e *Experiments) All() []Renderable {
 	// Emission order differs from computation order in one place: the
 	// Figure3 pair renders after Table5 and Figure2, as the paper lays
 	// them out.
-	order := []int{0, 1, 2, 3, 5, 6, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	order := []int{0, 1, 2, 3, 5, 6, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
 	for _, i := range order {
 		out = append(out, got[i]...)
 	}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+)
+
+// epochPoolSource is a deterministic, serializable TargetSource over a
+// fixed target pool: each epoch takes the next slice of the pool, with
+// the slice length modulated by the previous epoch's feedback — so the
+// generated series genuinely depends on the results each epoch reports,
+// and any divergence in epoch boundaries or feedback content across
+// shard layouts shows up as a different target series.
+type epochPoolSource struct {
+	pool   []netip.Addr
+	cursor uint32
+	salt   uint64
+}
+
+func (s *epochPoolSource) NextEpoch(epoch, want int, fb *Feedback) []netip.Addr {
+	if fb != nil {
+		s.salt = s.salt*2654435761 + uint64(fb.Store.NumInterfaces()) + uint64(len(fb.Aliased))<<32
+	}
+	n := 5 + int(s.salt%7)
+	if n > want {
+		n = want
+	}
+	if rest := len(s.pool) - int(s.cursor); n > rest {
+		n = rest
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := s.pool[s.cursor : int(s.cursor)+n]
+	s.cursor += uint32(n)
+	return out
+}
+
+func (s *epochPoolSource) AppendState(buf []byte) []byte {
+	buf = append(buf, "PSRC"...)
+	buf = binary.LittleEndian.AppendUint32(buf, s.cursor)
+	return binary.LittleEndian.AppendUint64(buf, s.salt)
+}
+
+func (s *epochPoolSource) RestoreState(data []byte) error {
+	if len(data) != 16 || string(data[:4]) != "PSRC" {
+		return fmt.Errorf("epochPoolSource: bad state")
+	}
+	s.cursor = binary.LittleEndian.Uint32(data[4:])
+	s.salt = binary.LittleEndian.Uint64(data[8:])
+	return nil
+}
+
+// adaptiveRun is one adaptive execution's comparable artifacts.
+type adaptiveRun struct {
+	store *probe.Store
+	graph []byte
+	stats AdaptiveStats
+}
+
+func adaptiveCfg(pool []netip.Addr, shards, batch int, interruptAt time.Duration) AdaptiveConfig {
+	return AdaptiveConfig{
+		CampaignConfig: CampaignConfig{
+			Config:      Config{PPS: 8000, MaxTTL: 8, Key: 77, Fill: true, Batch: batch},
+			Shards:      shards,
+			RecordPaths: true,
+			Telemetry:   telemetry.NewRegistry(),
+			InterruptAt: interruptAt,
+		},
+		Source:       &epochPoolSource{pool: pool},
+		EpochTargets: 16,
+		MaxEpochs:    4,
+	}
+}
+
+// adaptiveReference runs the uninterrupted adaptive campaign on a fresh
+// saturating universe.
+func adaptiveReference(t *testing.T, seed int64, pool []netip.Addr, shards, batch int) adaptiveRun {
+	t.Helper()
+	_, v := saturationVantage(seed)
+	a := NewAdaptive(adaptiveCfg(pool, shards, batch, 0),
+		func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	store, stats, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adaptiveRun{store: store, graph: graphNDJSON(t, store), stats: stats}
+}
+
+func assertAdaptiveEqual(t *testing.T, label string, got, want adaptiveRun) {
+	t.Helper()
+	if !got.store.Equal(want.store) {
+		t.Fatalf("%s: merged store differs", label)
+	}
+	if !bytes.Equal(got.graph, want.graph) {
+		t.Errorf("%s: graph differs", label)
+	}
+	g, w := got.stats, want.stats
+	if g.ProbesSent != w.ProbesSent || g.Fills != w.Fills || g.Replies != w.Replies ||
+		g.NotMine != w.NotMine || g.Elapsed != w.Elapsed {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, g.Stats, w.Stats)
+	}
+	if len(g.Epochs) != len(w.Epochs) {
+		t.Fatalf("%s: epoch count %d vs %d", label, len(g.Epochs), len(w.Epochs))
+	}
+	if !reflect.DeepEqual(g.Epochs, w.Epochs) {
+		t.Fatalf("%s: epoch series differ: %+v vs %+v", label, g.Epochs, w.Epochs)
+	}
+}
+
+// TestAdaptiveShardBatchMatrix: the adaptive run — epochs, feedback,
+// generated series, merged results — is byte-identical at every (shards,
+// batch) cell, on a universe probed past its ICMPv6 rate limits. This is
+// the closed-loop half of the determinism story: it holds only because
+// epoch boundaries are virtual-time-deterministic and each epoch's
+// campaign is itself shard/batch-invariant.
+func TestAdaptiveShardBatchMatrix(t *testing.T) {
+	const seed = 311
+	u, _ := saturationVantage(seed)
+	pool := gatewayTargets(u, 56, seed)
+	ref := adaptiveReference(t, seed, pool, 1, 1)
+	if len(ref.stats.Epochs) < 3 {
+		t.Fatalf("reference adaptive run completed only %d epochs", len(ref.stats.Epochs))
+	}
+	if ref.store.NumInterfaces() == 0 {
+		t.Fatal("reference adaptive run discovered nothing")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 64} {
+			if shards == 1 && batch == 1 {
+				continue
+			}
+			got := adaptiveReference(t, seed, pool, shards, batch)
+			assertAdaptiveEqual(t, fmt.Sprintf("shards=%d batch=%d", shards, batch), got, ref)
+		}
+	}
+}
+
+// TestAdaptiveInterruptResume: an adaptive run interrupted mid-epoch —
+// mid-adaptation, with generation state and a partially probed epoch in
+// flight — checkpoints into one artifact and resumes on a fresh
+// identically-seeded universe into exactly the uninterrupted run.
+func TestAdaptiveInterruptResume(t *testing.T) {
+	const seed = 311
+	u, _ := saturationVantage(seed)
+	pool := gatewayTargets(u, 56, seed)
+	ref := adaptiveReference(t, seed, pool, 2, 64)
+	if len(ref.stats.Epochs) < 3 {
+		t.Fatalf("reference adaptive run completed only %d epochs", len(ref.stats.Epochs))
+	}
+	// One instant inside epoch 0's send window, one inside a later
+	// epoch's window: both cut the run mid-adaptation.
+	e1 := ref.stats.Epochs[1]
+	instants := []time.Duration{
+		ref.stats.Epochs[0].Base + 2*time.Millisecond,
+		e1.Base + e1.Stats.Elapsed/2,
+	}
+	for _, at := range instants {
+		_, v := saturationVantage(seed)
+		a := NewAdaptive(adaptiveCfg(pool, 2, 64, at),
+			func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+		if _, _, err := a.Run(); !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("interrupt at %v: got err %v, want ErrInterrupted", at, err)
+		}
+		art, err := a.Checkpoint()
+		if err != nil {
+			t.Fatalf("checkpoint at %v: %v", at, err)
+		}
+		if !IsAdaptiveCheckpoint(art) {
+			t.Fatal("adaptive artifact not recognized by IsAdaptiveCheckpoint")
+		}
+		_, v2 := saturationVantage(seed)
+		res, err := ResumeAdaptive(art, AdaptiveResumeConfig{
+			Source:    &epochPoolSource{pool: pool},
+			Telemetry: telemetry.NewRegistry(),
+		}, func(_ int, start time.Duration) probe.Conn { return v2.Clone(start) })
+		if err != nil {
+			t.Fatalf("resume at %v: %v", at, err)
+		}
+		store, stats, err := res.Run()
+		if err != nil {
+			t.Fatalf("resumed run at %v: %v", at, err)
+		}
+		got := adaptiveRun{store: store, graph: graphNDJSON(t, store), stats: stats}
+		assertAdaptiveEqual(t, fmt.Sprintf("resume at %v", at), got, ref)
+	}
+}

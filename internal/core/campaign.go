@@ -15,12 +15,14 @@
 // simulator whose per-packet behaviour is a pure function of (probe,
 // send time) — see netsim — the merged store is deterministic whatever
 // the goroutine interleaving, and a 1-shard Campaign is byte-identical
-// to calling Yarrp6.Run directly. A sharded run matches the 1-shard run
-// reply for reply up to one caveat: router token buckets are
-// epoch-scoped per shard (each shard's first touch finds a full
-// bucket), so under sustained rate-limit saturation a few extra replies
-// can appear near shard-window starts; buckets that are not saturated —
-// the normal regime for randomized probing — carry no deviation at all.
+// to calling Yarrp6.Run directly. Router token buckets — the one piece
+// of per-packet state that is NOT a pure function of (probe, send time)
+// — are carried across shard boundaries too: before the shards launch,
+// the campaign replays the schedule prefix [0, lo_max) once through the
+// simulator's prime fast path and hands each shard a bucket snapshot
+// taken at its own window start, so even under sustained ICMPv6
+// rate-limit saturation every shard sees exactly the bucket levels the
+// serial run would have left it (TestCampaignSaturationMatrix).
 //
 // The same statelessness that makes sharding trivial makes the campaign
 // recoverable. Each shard's progress is exactly one permutation cursor
@@ -46,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beholder/internal/perm"
 	"beholder/internal/probe"
 	"beholder/internal/telemetry"
 	"beholder/internal/wire"
@@ -193,6 +196,109 @@ type shardState struct {
 // NewCampaign creates a sharded campaign; validation happens in Run.
 func NewCampaign(cfg CampaignConfig, connOf ConnFactory) *Campaign {
 	return &Campaign{cfg: cfg, connOf: connOf}
+}
+
+// primeGroup advances every fresh shard's router token-bucket state to
+// its window-start instant with one shared replay pass. Shard k's
+// buckets must open exactly where the single serial prober's stood
+// after probes [0, lo_k) — per-shard replay achieves that but costs
+// Σ lo_k = domain·(N−1)/2 probe evaluations. Instead the highest-window
+// fresh shard's connection replays the serial prefix once (it needs the
+// full [0, lo_max) pass anyway), and as the replay cursor crosses each
+// lower shard's window boundary the bucket state is snapshotted and
+// handed to that shard's connection — identical state, domain·(N−1)/N
+// fewer evaluations, and the shared flow-plan and probe-template caches
+// are warm before any window sends. The replay rebuilds probes with the
+// campaign's base instance byte and epoch — the serial prober's exact
+// schedule, which is the history being reproduced. Shards whose
+// connections lack prime or snapshot support, resumed shards (their
+// artifact carries the interrupt-instant state), and recovery probers
+// keep the per-prober replay inside Yarrp6.Run.
+func (c *Campaign) primeGroup(tmpl *probe.TmplStore) {
+	var cands []*shardState
+	for _, ss := range c.shards {
+		if ss.done || ss.prober == nil || ss.prober.cfg.resume != nil || ss.lo == 0 {
+			continue
+		}
+		cands = append(cands, ss)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	last := cands[len(cands)-1]
+	pr, okP := last.conn.(probe.Primer)
+	exp, okS := last.conn.(probe.SimStateCheckpointer)
+	if !okP || !okS {
+		return
+	}
+	for _, ss := range cands[:len(cands)-1] {
+		if _, ok := ss.conn.(probe.SimStateCheckpointer); !ok {
+			return
+		}
+	}
+	cfg := &c.cfg.Config
+	p, err := perm.New(cfg.Key, c.domain)
+	if err != nil {
+		return
+	}
+	base := last.conn.Now() - time.Duration(last.lo)*c.gap
+	codec := probe.NewCodec(last.conn, cfg.Proto, cfg.Instance)
+	codec.SetEpoch(base)
+	if tmpl != nil {
+		codec.UseSharedTemplates(tmpl)
+	} else {
+		codec.SetProbeCache(tmplCacheSize(len(cfg.Targets)))
+	}
+	nt := uint64(len(cfg.Targets))
+	pkt := make([]byte, 128)
+	blobs := make([][]byte, len(cands)-1)
+	// Flow tokens, dense by target index: each target's flow is
+	// registered once from its first replayed probe, and the remaining
+	// ~TTL-span probes of the flow replay through the token — skipping
+	// the per-probe packet build and decode that dominate full Prime.
+	toks := make([]int, len(cfg.Targets))
+	for i := range toks {
+		toks[i] = -1
+	}
+	pr.BeginPrime()
+	it := p.Resume(0)
+	k := 0
+	for {
+		for k < len(blobs) && it.Pos() == cands[k].lo {
+			blobs[k] = exp.ExportSimState(nil)
+			k++
+		}
+		if it.Pos() >= last.lo {
+			break
+		}
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		at := base + time.Duration(it.Pos()-1)*c.gap
+		ti := v % nt
+		ttl := cfg.MinTTL + uint8(v/nt)
+		if toks[ti] < 0 {
+			n := codec.BuildProbeAt(pkt, cfg.Targets[ti], ttl, at)
+			t, err := pr.PrimeFlow(pkt[:n])
+			if err != nil {
+				continue
+			}
+			toks[ti] = t
+		}
+		pr.PrimeIdx(toks[ti], ttl, at)
+	}
+	pr.EndPrime()
+	for i, ss := range cands[:len(blobs)] {
+		if blobs[i] == nil {
+			continue
+		}
+		if err := ss.conn.(probe.SimStateCheckpointer).ImportSimState(blobs[i]); err != nil {
+			continue // the shard's own Run replays the prefix instead
+		}
+		ss.prober.cfg.primed = true
+	}
+	last.prober.cfg.primed = true
 }
 
 // Epoch returns the campaign epoch in absolute virtual time, valid
@@ -369,6 +475,8 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 		ss.conn = conn
 		ss.prober = New(conn, scfg)
 	}
+
+	c.primeGroup(tmpl)
 
 	// Cancellation watcher: flips the shared stop flag the probers poll
 	// at batch boundaries. The watcher exits through stopWatch when the

@@ -10,11 +10,11 @@ import (
 	"beholder/internal/probe"
 )
 
-// campaignUniverse builds a fresh universe for one campaign run. Keeping
-// token buckets out of the scarce regime (no aggressively rate-limited
-// routers) makes bucket state at shard-window boundaries exactly the
-// refilled steady state, so the epoch-scoped buckets of a sharded run
-// match the serial run's buckets at every decision point.
+// campaignUniverse builds a fresh universe for one campaign run. Token
+// buckets stay out of the scarce regime (no aggressively rate-limited
+// routers), keeping these matrices focused on schedule and merge
+// determinism; saturation_test.go runs the same matrices with the
+// buckets deliberately exhausted.
 func campaignUniverse(seed int64) *netsim.Universe {
 	cfg := netsim.TestConfig(seed)
 	cfg.AggressivePercent = 0

@@ -13,12 +13,14 @@
 // uninterrupted run byte for byte — stores, discovery curves, and
 // progress streams alike — at any shard count and batch size.
 //
-// One deliberate deviation: netsim router token buckets are not part of
-// the artifact (they are simulator internals, not prober state), so a
-// resumed run's recovery connections find full buckets the way shard
-// windows always have. Under rate-limit saturation a resumed run can
-// therefore see a few extra replies near the resume instant; the
-// unsaturated regime — randomized probing's whole point — is exact.
+// Router token-bucket levels ride along when the connection supports
+// it: each shard section ends with an opaque simulator-state blob
+// (probe.SimStateCheckpointer) that the resumed connection imports, so
+// interrupt plus resume is byte-exact even when an ICMPv6 rate limiter
+// was saturated across the interrupt instant. Version-01 artifacts lack
+// the blob; resuming one falls back to prime replay of the schedule
+// preceding the cursor (probe.Primer), which is exact for non-fill
+// runs.
 package core
 
 import (
@@ -37,13 +39,34 @@ import (
 )
 
 // checkpointMagic opens every artifact; the trailing digits are the
-// format version, so a future layout bumps the magic itself.
-const checkpointMagic = "Y6CKPT01"
+// format version, so a layout change bumps the magic itself. Version 02
+// added the per-shard simulator-state blob (router token-bucket levels)
+// and the adaptive-campaign section; version 01 artifacts still decode
+// (their shards carry no blob, so blob-less resume semantics apply).
+const (
+	checkpointMagic   = "Y6CKPT02"
+	checkpointMagicV1 = "Y6CKPT01"
+)
+
+// checkpointVersion validates the artifact magic, returning the format
+// version and the remaining section bytes.
+func checkpointVersion(artifact []byte) (int, []byte, error) {
+	if len(artifact) >= len(checkpointMagic) {
+		switch string(artifact[:len(checkpointMagic)]) {
+		case checkpointMagic:
+			return 2, artifact[len(checkpointMagic):], nil
+		case checkpointMagicV1:
+			return 1, artifact[len(checkpointMagic):], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+}
 
 // Artifact section types.
 const (
-	sectConfig = 1
-	sectShard  = 2
+	sectConfig   = 1
+	sectShard    = 2
+	sectAdaptive = 3
 )
 
 // Checkpoint decode errors. Every failure wraps ErrCheckpoint;
@@ -220,7 +243,9 @@ func (c *Campaign) appendShard(buf []byte, ss *shardState) []byte {
 	}
 	enc := ss.store.AppendBinary(nil)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
-	return append(buf, enc...)
+	buf = append(buf, enc...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rs.simState)))
+	return append(buf, rs.simState...)
 }
 
 func appendDur(buf []byte, d time.Duration) []byte {
@@ -258,10 +283,10 @@ type ResumeConfig struct {
 // offset from the original campaign epoch — Campaign.Epoch exposes it.
 // RunContext then continues the run exactly where Checkpoint cut it.
 func Resume(artifact []byte, rc ResumeConfig, connOf ConnFactory) (*Campaign, error) {
-	if len(artifact) < len(checkpointMagic) || string(artifact[:len(checkpointMagic)]) != checkpointMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	version, rest, err := checkpointVersion(artifact)
+	if err != nil {
+		return nil, err
 	}
-	rest := artifact[len(checkpointMagic):]
 	var (
 		cfg     CampaignConfig
 		state   resumeState
@@ -299,7 +324,7 @@ func Resume(artifact []byte, rc ResumeConfig, connOf ConnFactory) (*Campaign, er
 			if !gotCfg {
 				return nil, fmt.Errorf("%w: shard section before config", ErrCheckpoint)
 			}
-			sh, idx, err := decodeShard(payload)
+			sh, idx, err := decodeShard(payload, version)
 			if err != nil {
 				return nil, err
 			}
@@ -307,6 +332,8 @@ func Resume(artifact []byte, rc ResumeConfig, connOf ConnFactory) (*Campaign, er
 				return nil, fmt.Errorf("%w: shard %d out of order", ErrCheckpoint, idx)
 			}
 			state.shards = append(state.shards, sh)
+		case sectAdaptive:
+			return nil, fmt.Errorf("%w: adaptive artifact; use ResumeAdaptive", ErrCheckpoint)
 		default:
 			return nil, fmt.Errorf("%w: unknown section type %d", ErrCheckpoint, typ)
 		}
@@ -477,7 +504,7 @@ func decodeConfig(payload []byte, cfg *CampaignConfig, state *resumeState) (slot
 	return slots, hasProg, nil
 }
 
-func decodeShard(payload []byte) (*resumeShard, int, error) {
+func decodeShard(payload []byte, version int) (*resumeShard, int, error) {
 	r := ckReader{buf: payload}
 	idx32, err := r.u32()
 	if err != nil {
@@ -618,6 +645,17 @@ func decodeShard(payload []byte) (*resumeShard, int, error) {
 	}
 	if sh.store, err = probe.DecodeStore(enc); err != nil {
 		return nil, 0, fmt.Errorf("%w: shard store: %v", ErrCheckpoint, err)
+	}
+	if version >= 2 {
+		// The simulator-state blob closes every version-02 shard section;
+		// version-01 payloads end at the store.
+		nSim, err := r.count(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if rs.simState, err = r.bytes(nSim); err != nil {
+			return nil, 0, err
+		}
 	}
 	if r.off != len(payload) {
 		return nil, 0, fmt.Errorf("%w: %d trailing shard bytes", ErrCheckpoint, len(payload)-r.off)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+)
+
+// downgradeArtifactV1 rewrites a version-02 checkpoint artifact into the
+// version-01 layout: the magic drops to Y6CKPT01 and each shard section
+// loses its trailing simulator-state blob ([u32 length][u32 record
+// count][37-byte records]), with section lengths and CRCs recomputed.
+// The result is what a pre-sim-state build would have written for the
+// same interrupted campaign.
+func downgradeArtifactV1(t testing.TB, art []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), checkpointMagicV1...)
+	rest := art[len(checkpointMagic):]
+	for len(rest) > 0 {
+		typ := rest[0]
+		n := binary.LittleEndian.Uint32(rest[1:])
+		payload := rest[9 : 9+n]
+		rest = rest[9+n:]
+		if typ == sectShard {
+			payload = stripShardSimState(t, payload)
+		}
+		out = append(out, typ)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// stripShardSimState removes the [u32 length][sim-state blob] tail from
+// a version-02 shard payload. The blob is self-describing ([u32 record
+// count][count 37-byte records]), so the tail is located by solving for
+// the record count from the end; the resumed decode's exact-length check
+// would reject a wrong cut, so TestCheckpointV1Compat validates the cut.
+func stripShardSimState(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	L := len(payload)
+	for k := (L - 8) / 37; k >= 0; k-- {
+		tail := 8 + 37*k
+		if binary.LittleEndian.Uint32(payload[L-tail:]) == uint32(4+37*k) &&
+			binary.LittleEndian.Uint32(payload[L-tail+4:]) == uint32(k) {
+			return payload[:L-tail]
+		}
+	}
+	t.Fatal("shard payload carries no recognizable sim-state tail")
+	return nil
+}
+
+// TestCheckpointV1Compat: the decoder keeps reading version-01 artifacts
+// — no bucket state, shard payloads ending at the store — and the
+// resumed campaign reconstructs its bucket levels by schedule replay
+// instead. Below saturation that replay is exact, so the resumed run
+// must still be byte-identical to the uninterrupted reference.
+func TestCheckpointV1Compat(t *testing.T) {
+	const seed = 1213
+	targets := campaignTargets(t, seed, 61)
+	ref := ckptReference(t, seed, targets, 2, 64)
+
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = 64
+	camp := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 2, RecordPaths: true,
+		Telemetry: telemetry.NewRegistry(), Progress: &ProgressConfig{},
+		InterruptAt: 600 * time.Millisecond,
+	}, func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := camp.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupt: %v", err)
+	}
+	art, err := camp.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := downgradeArtifactV1(t, art)
+	if len(v1) >= len(art) {
+		t.Fatalf("downgrade did not shrink the artifact: %d vs %d bytes", len(v1), len(art))
+	}
+	got := ckptResume(t, seed, v1)
+	assertRunsEqual(t, "v1 resume", got, ref)
+}

@@ -35,11 +35,33 @@ func fuzzArtifact(tb testing.TB) []byte {
 	return art
 }
 
-// FuzzCheckpointDecode hammers the checkpoint artifact decoder:
+// fuzzAdaptiveArtifact builds one small valid adaptive checkpoint
+// artifact (magic + sectAdaptive section) for seeding.
+func fuzzAdaptiveArtifact(tb testing.TB) []byte {
+	tb.Helper()
+	const seed = 33
+	u, v := saturationVantage(seed)
+	pool := gatewayTargets(u, 24, seed)
+	a := NewAdaptive(adaptiveCfg(pool, 2, 64, 10*time.Millisecond),
+		func(_ int, start time.Duration) probe.Conn { return v.Clone(start) })
+	if _, _, err := a.Run(); !errors.Is(err, ErrInterrupted) {
+		tb.Fatalf("seed adaptive campaign: %v", err)
+	}
+	art, err := a.Checkpoint()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return art
+}
+
+// FuzzCheckpointDecode hammers the checkpoint artifact decoders:
 // arbitrary input must either resume into a campaign or fail with an
 // error wrapping ErrCheckpoint (CRC damage specifically wrapping
 // ErrCheckpointCRC) — never panic, never silently succeed on
-// structurally invalid input.
+// structurally invalid input. Adaptive-flavored inputs are pushed
+// through ResumeAdaptive under the same contract, and plain Resume on
+// an adaptive artifact must refuse with an ErrCheckpoint-wrapping
+// redirect rather than misread the artifact.
 func FuzzCheckpointDecode(f *testing.F) {
 	valid := fuzzArtifact(f)
 	f.Add(valid)
@@ -48,7 +70,15 @@ func FuzzCheckpointDecode(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0x10
 	f.Add(flipped)
+	f.Add(downgradeArtifactV1(f, valid))
+	adaptive := fuzzAdaptiveArtifact(f)
+	f.Add(adaptive)
+	f.Add(adaptive[:len(adaptive)-7])
+	aflipped := append([]byte(nil), adaptive...)
+	aflipped[len(aflipped)/2] ^= 0x04
+	f.Add(aflipped)
 	f.Add([]byte("Y6CKPT01"))
+	f.Add([]byte("Y6CKPT02"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		camp, err := Resume(data, ResumeConfig{}, nil)
@@ -59,10 +89,23 @@ func FuzzCheckpointDecode(f *testing.F) {
 			if camp != nil {
 				t.Fatal("non-nil campaign alongside decode error")
 			}
-			return
-		}
-		if camp == nil {
+		} else if camp == nil {
 			t.Fatal("nil campaign with nil error")
+		}
+		if IsAdaptiveCheckpoint(data) {
+			ac, aerr := ResumeAdaptive(data, AdaptiveResumeConfig{
+				Source: &epochPoolSource{},
+			}, func(_ int, start time.Duration) probe.Conn { return nil })
+			if aerr != nil {
+				if !errors.Is(aerr, ErrCheckpoint) {
+					t.Fatalf("adaptive decode error does not wrap ErrCheckpoint: %v", aerr)
+				}
+				if ac != nil {
+					t.Fatal("non-nil adaptive campaign alongside decode error")
+				}
+			} else if ac == nil {
+				t.Fatal("nil adaptive campaign with nil error")
+			}
 		}
 	})
 }

@@ -17,6 +17,9 @@ import (
 // fast on a mismatch instead of silently continuing with different
 // parameters than it asked for.
 type CheckpointInfo struct {
+	// Version is the artifact format version (the digits in the magic):
+	// 2 for current artifacts, 1 for pre-simulator-state ones.
+	Version        int
 	Shards         int
 	Batch          int
 	Proto          uint8
@@ -29,6 +32,13 @@ type CheckpointInfo struct {
 	RecordPaths    bool
 	Progress       bool
 	Epoch          time.Duration
+	// Adaptive reports an adaptive-campaign artifact (ResumeAdaptive
+	// decodes it, not Resume). Targets then counts the pending
+	// boundary-generated batch, and Epoch is the adaptive origin.
+	Adaptive bool
+	// AdaptiveEpoch is the interrupted run's epoch cursor: the index of
+	// the epoch that was running (or about to run) at the interrupt.
+	AdaptiveEpoch int
 }
 
 // InspectCheckpoint decodes an artifact's config section without
@@ -39,10 +49,11 @@ type CheckpointInfo struct {
 // CRC-verified here, not parsed).
 func InspectCheckpoint(artifact []byte) (CheckpointInfo, error) {
 	var info CheckpointInfo
-	if len(artifact) < len(checkpointMagic) || string(artifact[:len(checkpointMagic)]) != checkpointMagic {
-		return info, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	version, rest, err := checkpointVersion(artifact)
+	if err != nil {
+		return info, err
 	}
-	rest := artifact[len(checkpointMagic):]
+	info.Version = version
 	var (
 		cfg    CampaignConfig
 		state  resumeState
@@ -77,6 +88,29 @@ func InspectCheckpoint(artifact []byte) (CheckpointInfo, error) {
 			gotCfg = true
 		case sectShard:
 			shards++
+		case sectAdaptive:
+			if gotCfg || shards > 0 || len(rest) > 0 {
+				return info, fmt.Errorf("%w: adaptive section must be the artifact's only section", ErrCheckpoint)
+			}
+			st, err := decodeAdaptive(payload)
+			if err != nil {
+				return info, err
+			}
+			info.Adaptive = true
+			info.AdaptiveEpoch = st.epoch
+			info.Shards = st.cfg.Shards
+			info.Batch = st.cfg.Batch
+			info.Proto = st.cfg.Proto
+			info.Instance = st.cfg.Instance
+			info.MinTTL = st.cfg.MinTTL
+			info.MaxTTL = st.cfg.MaxTTL
+			info.PPS = st.cfg.PPS
+			info.Key = st.cfg.Key
+			info.Targets = len(st.pending)
+			info.Fill = st.cfg.Fill
+			info.RecordPaths = st.cfg.RecordPaths
+			info.Epoch = st.origin
+			return info, nil
 		default:
 			return info, fmt.Errorf("%w: unknown section type %d", ErrCheckpoint, typ)
 		}

@@ -128,6 +128,11 @@ type Config struct {
 	// interrupted run before probing continues. Campaign sets it when
 	// reconstructing a checkpointed campaign.
 	resume *shardResume
+	// primed records that the campaign already advanced this shard's
+	// rate-limiter state to the window-start instant (single-pass group
+	// priming with snapshot handoff), so Run must not replay the serial
+	// prefix again.
+	primed bool
 }
 
 func (c *Config) setDefaults() error {
@@ -225,6 +230,11 @@ type shardResume struct {
 	lastNew       [256]time.Duration
 	pending       []pendingReply
 	samples       []telemetry.Sample
+	// simState is the connection's exported simulator-state blob (router
+	// token-bucket levels) at the capture instant; nil for connections
+	// without checkpoint support. Restoring it makes a resumed run exact
+	// even when a rate limiter was saturated across the interrupt.
+	simState []byte
 }
 
 // CurvePoint samples discovery progress (Figure 7): after Probes probes,
@@ -424,6 +434,9 @@ func (y *Yarrp6) capture(cursor uint64, nextCurve int64, drainDeadline time.Dura
 			rs.pending = append(rs.pending, pendingReply{at: at, data: append([]byte(nil), data...)})
 		})
 	}
+	if sk, ok := y.conn.(probe.SimStateCheckpointer); ok {
+		rs.simState = sk.ExportSimState(nil)
+	}
 	y.telFlush()
 	y.rs = rs
 }
@@ -580,6 +593,32 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 				ck.InjectReply(pr.at, pr.data)
 			}
 		}
+		// Restore the rate-limiter state captured at the interrupt, or —
+		// for artifacts predating the sim-state blob — reconstruct it by
+		// replaying the serial schedule up to the captured cursor.
+		restored := false
+		if len(rs.simState) > 0 {
+			if sk, ok := y.conn.(probe.SimStateCheckpointer); ok {
+				if err := sk.ImportSimState(rs.simState); err != nil {
+					return Stats{}, fmt.Errorf("yarrp6: sim state: %w", err)
+				}
+				restored = true
+			}
+		}
+		if !restored {
+			y.primeBuckets(p, rs.cursor, rs.epoch-time.Duration(start)*gap, gap)
+		}
+	} else if start > 0 && !cfg.primed {
+		// Window-sliced run (campaign shard or recovery prober): advance
+		// the connection's rate-limiter state to the window-start instant
+		// by replaying the serial schedule that precedes the window, so
+		// the union of shard windows reproduces the serial run's reply
+		// counters even past ICMPv6 rate-limit saturation. Campaign
+		// shards normally arrive already primed — the group does one
+		// shared replay pass and hands each clone a bucket snapshot —
+		// leaving this per-prober replay to recovery probers and direct
+		// windowed Run calls.
+		y.primeBuckets(p, start, y.conn.Now()-time.Duration(start)*gap, gap)
 	}
 
 	y.bc, _ = y.conn.(probe.BatchConn)
@@ -677,6 +716,50 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 	}
 	y.telFlush()
 	return y.stats, nil
+}
+
+// primeBuckets replays the serial probe schedule for permutation
+// indices [0, hi) against the connection's rate-limiter state: every
+// probe preceding this prober's window is rebuilt and evaluated at its
+// original departure instant (base + i×gap), so router token buckets
+// open exactly where the single serial prober would have left them.
+// Connections without prime support (live sockets) skip it — a real
+// network carries its own history. Fill-mode follow-ups and
+// neighborhood skips are not part of the raw schedule the replay
+// covers; see the campaign package comment for what that bounds.
+func (y *Yarrp6) primeBuckets(p *perm.Perm, hi uint64, base, gap time.Duration) {
+	pr, ok := y.conn.(probe.Primer)
+	if !ok || hi == 0 {
+		return
+	}
+	nt := uint64(len(y.cfg.Targets))
+	toks := make([]int, len(y.cfg.Targets))
+	for i := range toks {
+		toks[i] = -1
+	}
+	pr.BeginPrime()
+	defer pr.EndPrime()
+	it := p.Resume(0)
+	for it.Pos() < hi {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		at := base + time.Duration(it.Pos()-1)*gap
+		ti := v % nt
+		ttl := y.cfg.MinTTL + uint8(v/nt)
+		if toks[ti] < 0 {
+			// First replayed probe of this target's flow: register it,
+			// then replay every probe of the flow by token.
+			n := y.codec.BuildProbeAt(y.pkt, y.cfg.Targets[ti], ttl, at)
+			t, err := pr.PrimeFlow(y.pkt[:n])
+			if err != nil {
+				continue
+			}
+			toks[ti] = t
+		}
+		pr.PrimeIdx(toks[ti], ttl, at)
+	}
 }
 
 // runSerial is the one-probe-per-iteration loop: the path for

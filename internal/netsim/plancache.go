@@ -20,18 +20,22 @@ import (
 // lookup), and the remaining probes of the same flow reuse it.
 //
 // Eviction is deterministic and allocation-bounded: the cache is a
-// fixed-size, direct-mapped slot array indexed by the flow hash. A miss
-// overwrites whatever occupied the slot, reusing its backing arrays when
-// they fit and carving exact-size replacements from per-vantage arenas
-// otherwise. No map iteration, no clock, no randomness is consulted, so
-// a replayed campaign touches slots in an identical sequence — and
-// because every cached value equals what a fresh computation would
-// produce, results are byte-identical at ANY cache size, including zero
-// (cache disabled). Shard determinism is preserved structurally, not
-// probabilistically.
+// fixed-size slot array organized as two-way sets indexed by the flow
+// hash, with a per-set LRU bit deciding which way a miss overwrites
+// (reusing the victim's backing arrays when they fit and carving
+// exact-size replacements from per-vantage arenas otherwise). Two ways
+// matter: under Yarrp6's randomized permutation a pair of flows hashing
+// to the same set alternates touches, so a direct-mapped slot would
+// evict on every one — the dominant miss class at campaign scale — while
+// two ways keep both resident. No map iteration, no clock, no randomness
+// is consulted, so a replayed campaign touches slots in an identical
+// sequence — and because every cached value equals what a fresh
+// computation would produce, results are byte-identical at ANY cache
+// size and associativity, including zero (cache disabled). Shard
+// determinism is preserved structurally, not probabilistically.
 
 // planCacheDefaultEntries sizes the per-vantage slot array when the
-// universe Config leaves PlanCacheSize zero. Direct-mapped hit rate decays
+// universe Config leaves PlanCacheSize zero. Conflict-miss rate decays
 // like e^(-targets/slots) under Yarrp6's randomized permutation, so the
 // default comfortably covers campaign-scale target sets; TestConfig trims
 // it for small universes.
@@ -41,14 +45,18 @@ const planCacheDefaultEntries = 1 << 16
 // vantage's materialized router for the step after its first touch, so
 // repeated probes of a cached flow skip the router-map lookup; it starts
 // nil and is filled lazily (see Vantage.stepRouter), never shared across
-// vantages. rtt carries the prefix-summed round-trip table inline:
-// steps[i].rtt is the doubled one-way latency over steps 0..i, so the
-// former per-reply pathRTT loop is a single O(1) field load.
+// vantages. The owning AS is held by index — the pointer is only needed
+// at router birth, and one pointer word fewer per step keeps the write
+// barriers off the bulk step copies (core rehydration, plan install,
+// prime-flow pinning) that run per flow at campaign scale. rtt carries
+// the prefix-summed round-trip table inline: steps[i].rtt is the
+// doubled one-way latency over steps 0..i, so the former per-reply
+// pathRTT loop is a single O(1) field load.
 type routerStep struct {
-	key RouterKey
-	as  *AS
-	r   *Router
-	rtt time.Duration
+	key   RouterKey
+	asIdx int32
+	r     *Router
+	rtt   time.Duration
 }
 
 // planEntry is one cached flow plan. The zero value is an empty slot.
@@ -69,6 +77,10 @@ type planEntry struct {
 	flowKey uint64
 	fh      uint64
 	used    bool
+	// lru lives on way 0 of each two-way set and marks way 0 as the
+	// least-recently-used way; the bit on way 1 is dead. Replacement
+	// state, not plan state — it never affects results.
+	lru bool
 
 	outcome outcomeKind
 	reject  bool // reject-route rather than no-route
@@ -137,9 +149,9 @@ func flowKeyOf(d *wire.Decoded) uint64 {
 	return extra<<28 | uint64(d.IPv6.FlowLabel)<<8 | uint64(d.Proto)
 }
 
-// planIdx spreads a flow over direct-mapped plan slots: two mixes in
-// place of the seven-mix ECMP hash. Slot placement affects only which
-// flows evict each other — results are byte-identical under any
+// planIdx spreads a flow over plan-cache sets: two mixes in place of
+// the seven-mix ECMP hash. Set placement affects only which flows
+// compete for residency — results are byte-identical under any
 // placement — so the cheaper spread trades nothing.
 func planIdx(d ipv6.U128, flowKey uint64) uint64 {
 	return mix64(d.Hi ^ mix64(d.Lo^flowKey))
@@ -151,7 +163,25 @@ func planIdx(d ipv6.U128, flowKey uint64) uint64 {
 func (v *Vantage) lookupPlan(d *wire.Decoded) *planEntry {
 	dstU := ipv6.FromAddr(d.IPv6.Dst)
 	fk := flowKeyOf(d)
-	if v.planSize <= 0 {
+	sets := uint64(v.planSize) / 2
+	if sets == 0 {
+		if v.planSize == 1 {
+			// One slot: degenerate direct-mapped cache.
+			if v.planSlots == nil {
+				v.planSlots = make([]planEntry, 1)
+			}
+			e := &v.planSlots[0]
+			if e.used && e.dst == dstU && e.flowKey == fk {
+				v.Stats.PlanHits++
+				return e
+			}
+			if e.used {
+				v.Stats.PlanEvictions++
+			}
+			v.Stats.PlanMisses++
+			v.computePlan(d, dstU, fk, e)
+			return e
+		}
 		v.Stats.PlanMisses++
 		v.computePlan(d, dstU, fk, &v.planScratch)
 		return &v.planScratch
@@ -159,25 +189,45 @@ func (v *Vantage) lookupPlan(d *wire.Decoded) *planEntry {
 	if v.planSlots == nil {
 		v.planSlots = make([]planEntry, v.planSize)
 	}
-	e := &v.planSlots[planIdx(dstU, fk)%uint64(v.planSize)]
-	if e.used && e.dst == dstU && e.flowKey == fk {
+	base := 2 * (planIdx(dstU, fk) % sets)
+	e0, e1 := &v.planSlots[base], &v.planSlots[base+1]
+	if e0.used && e0.dst == dstU && e0.flowKey == fk {
 		v.Stats.PlanHits++
-		return e
+		e0.lru = false
+		return e0
 	}
-	if e.used {
-		v.Stats.PlanEvictions++
+	if e1.used && e1.dst == dstU && e1.flowKey == fk {
+		v.Stats.PlanHits++
+		e0.lru = true
+		return e1
 	}
 	v.Stats.PlanMisses++
-	v.computePlan(d, dstU, fk, e)
-	return e
+	var victim *planEntry
+	switch {
+	case !e0.used:
+		victim = e0
+	case !e1.used:
+		victim = e1
+	case e0.lru:
+		victim = e0
+	default:
+		victim = e1
+	}
+	if victim.used {
+		v.Stats.PlanEvictions++
+	}
+	v.computePlan(d, dstU, fk, victim)
+	e0.lru = victim == e1
+	return victim
 }
 
 // SetPlanCache resizes this vantage's flow-plan cache to the given number
-// of direct-mapped slots; entries <= 0 disables caching (every probe
-// replans into a reused scratch entry). Results are byte-identical at any
-// setting — the cache stores pure-function values — so this knob trades
-// only memory against speed: disable it for workloads whose flows never
-// repeat (aliased-prefix detection probes each random address once).
+// of slots (organized as two-way sets); entries <= 0 disables caching
+// (every probe replans into a reused scratch entry). Results are
+// byte-identical at any setting — the cache stores pure-function values —
+// so this knob trades only memory against speed: disable it for workloads
+// whose flows never repeat (aliased-prefix detection probes each random
+// address once).
 // Existing cached plans are discarded. Clones inherit the parent's
 // configured size with a private (initially empty) cache.
 func (v *Vantage) SetPlanCache(entries int) {
@@ -273,7 +323,7 @@ func (v *Vantage) fillFromCore(e *planEntry, c *planCore) {
 	}
 	dst := v.stepsAt(e.stepOff, n)
 	for i := 0; i < n; i++ {
-		dst[i] = routerStep{key: c.steps[i].key, as: v.u.ases[c.steps[i].asIdx], rtt: c.steps[i].rtt}
+		dst[i] = routerStep{key: c.steps[i].key, asIdx: c.steps[i].asIdx, rtt: c.steps[i].rtt}
 	}
 }
 
@@ -305,7 +355,7 @@ func (v *Vantage) coreOf(e *planEntry) *planCore {
 	v.coreSteps = v.coreSteps[n:]
 	src := v.stepsAt(e.stepOff, n)
 	for i := 0; i < n; i++ {
-		c.steps[i] = coreStep{key: src[i].key, asIdx: int32(src[i].as.Idx), rtt: src[i].rtt}
+		c.steps[i] = coreStep{key: src[i].key, asIdx: src[i].asIdx, rtt: src[i].rtt}
 	}
 	return c
 }
@@ -325,7 +375,7 @@ func (v *Vantage) computePlanFresh(d *wire.Decoded, dstU ipv6.U128, flowKey uint
 
 	// On-premise access chain.
 	for i := 0; i < v.spec.ChainLen; i++ {
-		steps = append(steps, routerStep{key: RouterKey{ASN: v.as.ASN, Class: classAccess, K1: v.id, K2: uint64(i)}, as: v.as})
+		steps = append(steps, routerStep{key: RouterKey{ASN: v.as.ASN, Class: classAccess, K1: v.id, K2: uint64(i)}, asIdx: int32(v.as.Idx)})
 	}
 
 	rt, ok := u.table.Lookup(d.IPv6.Dst)
@@ -364,7 +414,7 @@ func (v *Vantage) computePlanFresh(d *wire.Decoded, dstU ipv6.U128, flowKey uint
 		}
 		ingress := h(u.seed, 34, uint64(prevASN), lbSel)
 		for j := 0; j < hops; j++ {
-			steps = append(steps, routerStep{key: RouterKey{ASN: as.ASN, Class: classBackbone, K1: ingress, K2: uint64(j)}, as: as})
+			steps = append(steps, routerStep{key: RouterKey{ASN: as.ASN, Class: classBackbone, K1: ingress, K2: uint64(j)}, asIdx: int32(as.Idx)})
 		}
 		// Transport filtering at the destination AS border.
 		if as == destAS && !filtered {
@@ -396,7 +446,7 @@ func (v *Vantage) computePlanFresh(d *wire.Decoded, dstU ipv6.U128, flowKey uint
 			Class: classLevel,
 			K1:    ipv6.FromAddr(sub.Addr()).Hi,
 			K2:    uint64(sub.Bits()),
-		}, as: destAS})
+		}, asIdx: int32(destAS.Idx)})
 	}
 	if !full {
 		e.outcome = outNoRoute

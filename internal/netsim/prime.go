@@ -1,0 +1,322 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"beholder/internal/wire"
+)
+
+// Prime replay and simulator-state checkpointing.
+//
+// The only mutable state the response side of the simulator carries is
+// router token buckets — everything else is a pure function of (seed,
+// probe bytes, send time). Two mechanisms make that state exact across
+// the campaign engine's structural transformations:
+//
+//   - Prime replay (BeginPrime/Prime/EndPrime): a shard clone replays
+//     the serial probe schedule that precedes its permutation window,
+//     evaluating every routing decision and token-bucket consumption at
+//     the replayed instants without scheduling replies, counting stats,
+//     or consulting the fault plane. After the replay the clone's
+//     buckets hold exactly the levels the single serial prober's would
+//     have held at the window-start instant, so N-shard reply counters
+//     match serial even past ICMPv6 rate-limit saturation.
+//
+//   - Sim-state blobs (ExportSimState/ImportSimState): a checkpointing
+//     prober exports the bucket levels at the interrupt instant and the
+//     resumed connection imports them, so a resumed run is byte-exact
+//     even when a rate limiter was saturated across the interrupt —
+//     including bucket consumption from fill probes, which a replay of
+//     the raw schedule alone could not reproduce.
+
+// BeginPrime enters priming mode: subsequent Prime calls route probes
+// against the router token buckets at explicit replayed instants while
+// the clock stays parked, no replies are scheduled, and the fault plane
+// is bypassed (a faulted vantage's own schedule deviates from serial
+// anyway, and prime replays the serial history). Vantage stats are
+// snapshotted and restored at EndPrime; universe stats are untouched.
+func (v *Vantage) BeginPrime() {
+	v.priming = true
+	v.primeSaved = v.Stats
+	v.primeFaults = v.hasFaults
+	v.hasFaults = false
+}
+
+// Prime replays one probe of the serial schedule at virtual instant at:
+// the path plan, loss/ND draws, and router token-bucket refill/consume
+// happen exactly as a serial sender's would have at that instant.
+// Callers must bracket Prime sequences in BeginPrime/EndPrime and replay
+// probes in schedule order (bucket refill clamps backwards time).
+func (v *Vantage) Prime(pkt []byte, at time.Duration) error {
+	v.primeNow = at
+	var st simDelta // discarded: prime contributes nothing to universe stats
+	return v.send1(pkt, &st)
+}
+
+// EndPrime leaves priming mode, restoring the vantage stats and fault
+// plane BeginPrime saved. Flow tokens issued by PrimeFlow are
+// invalidated.
+func (v *Vantage) EndPrime() {
+	v.Stats = v.primeSaved
+	v.hasFaults = v.primeFaults
+	v.priming = false
+	v.primeFlows = v.primeFlows[:0]
+}
+
+// primeFlow is the pinned per-flow replay state behind a PrimeFlow
+// token: the slice of the flow's plan that bucket evaluation consults,
+// copied out of the plan cache (whose entries are evictable and reuse
+// their step reservations) into a reservation owned by the token.
+type primeFlow struct {
+	fh       uint64
+	stepOff  uint32
+	n        uint16
+	errorIdx uint16
+	outcome  outcomeKind
+	// nd marks a reached-destination flow whose probes fall through to
+	// the gateway neighbor-discovery failure path — the only
+	// reached-destination case that touches a router token bucket.
+	nd bool
+}
+
+// PrimeFlow registers the probe's flow for fast replay and returns its
+// token. The full Prime path pays packet decode, plan lookup, and the
+// reply-construction branches on every replayed probe; a Yarrp6 replay
+// touches each flow ~TTL-span times, so callers register the flow once
+// (building one representative probe — flow identity is constant per
+// target by Yarrp6 construction) and replay each (TTL, instant) through
+// PrimeIdx. Tokens are valid until EndPrime.
+func (v *Vantage) PrimeFlow(pkt []byte) (int, error) {
+	if err := v.dec.Decode(pkt); err != nil {
+		return 0, fmt.Errorf("netsim: undecodable probe: %w", err)
+	}
+	d := &v.dec
+	plan := v.lookupPlan(d)
+	n := int(plan.n)
+	tok := len(v.primeFlows)
+	f := primeFlow{fh: plan.fh, n: plan.n, errorIdx: plan.errorIdx, outcome: plan.outcome, nd: true}
+	if plan.exists {
+		switch {
+		case d.Proto == wire.ProtoICMPv6 && d.ICMPv6.Type == wire.ICMPv6EchoRequest,
+			d.Proto == wire.ProtoUDP, d.Proto == wire.ProtoTCP:
+			// The destination host answers (or its AS filters silently);
+			// either way no router bucket is consulted past the path.
+			f.nd = false
+		}
+	}
+	cls := (n + 7) &^ 7
+	f.stepOff = v.reserveSteps(cls)
+	copy(v.stepsAt(f.stepOff, n), v.stepsAt(plan.stepOff, n))
+	v.primeFlows = append(v.primeFlows, f)
+	return tok, nil
+}
+
+// PrimeIdx replays one probe of a registered flow at virtual instant at:
+// the same loss/ND draws and router token-bucket refill/consume Prime
+// performs via send1, with everything that cannot touch a bucket —
+// packet parsing, plan lookup, reply construction — elided. The branch
+// structure mirrors send1's; the prime-equivalence test pins the two
+// paths together.
+func (v *Vantage) PrimeIdx(tok int, ttl uint8, at time.Duration) {
+	f := &v.primeFlows[tok]
+	pk := h(f.fh, 40, uint64(ttl))
+	n := int(f.n)
+	if t := int(ttl); t <= n {
+		// Hop-limit expiry on the path: Time Exceeded from step ttl-1.
+		if v.lost(pk, at, 2*t) {
+			return
+		}
+		st := v.stepAt(f.stepOff + uint32(t-1))
+		if st.r == nil {
+			st.r = v.router(st.key, v.u.ases[st.asIdx], at)
+		}
+		if st.r.unresponsive {
+			return
+		}
+		st.r.allowICMP(at)
+		return
+	}
+	switch f.outcome {
+	case outNoRoute, outFilteredAdmin:
+		if f.outcome == outNoRoute && hashFloat(h(pk, drawNoRoute, uint64(at))) < 0.65 {
+			return
+		}
+		idx := int(f.errorIdx)
+		if v.lost(pk, at, 2*(idx+1)) {
+			return
+		}
+		st := v.stepAt(f.stepOff + uint32(idx))
+		if st.r == nil {
+			st.r = v.router(st.key, v.u.ases[st.asIdx], at)
+		}
+		if st.r.unresponsive {
+			return
+		}
+		st.r.allowICMP(at)
+	case outFilteredSilent:
+	default: // outHost
+		if !f.nd {
+			return
+		}
+		if v.lost(pk, at, 2*(n+1)) {
+			return
+		}
+		if hashFloat(h(pk, drawND, uint64(at))) < 0.6 {
+			st := v.stepAt(f.stepOff + uint32(f.errorIdx))
+			if st.r == nil {
+				st.r = v.router(st.key, v.u.ases[st.asIdx], at)
+			}
+			if !st.r.unresponsive {
+				st.r.allowICMP(at)
+			}
+		}
+	}
+}
+
+// simStateEntrySize is the serialized size of one router bucket record:
+// RouterKey (ASN u32, Class u8, K1 u64, K2 u64) + tokens f64 + last i64.
+const simStateEntrySize = 4 + 1 + 8 + 8 + 8 + 8
+
+// simStateKeyLess is the router-key order sim-state blobs are sorted
+// in: (ASN, Class, K1, K2) lexicographic.
+func simStateKeyLess(a, b RouterKey) bool {
+	switch {
+	case a.ASN != b.ASN:
+		return a.ASN < b.ASN
+	case a.Class != b.Class:
+		return a.Class < b.Class
+	case a.K1 != b.K1:
+		return a.K1 < b.K1
+	}
+	return a.K2 < b.K2
+}
+
+// simEntry reads record i of a sim-state entry region.
+func simEntry(data []byte, i int) (k RouterKey, tokens float64, last time.Duration) {
+	e := data[i*simStateEntrySize:]
+	k.ASN = binary.LittleEndian.Uint32(e)
+	k.Class = e[4]
+	k.K1 = binary.LittleEndian.Uint64(e[5:])
+	k.K2 = binary.LittleEndian.Uint64(e[13:])
+	tokens = math.Float64frombits(binary.LittleEndian.Uint64(e[21:]))
+	last = time.Duration(binary.LittleEndian.Uint64(e[29:]))
+	return
+}
+
+// ExportSimState appends the vantage's mutable simulator state — the
+// router token-bucket levels — to buf and returns the extended slice:
+// the materialized routers, plus any imported records whose router was
+// never touched (and so still carries exactly the imported state).
+// Entries are sorted by router key, so equal states serialize to equal
+// bytes. Campaign checkpointing stores the blob in the artifact;
+// ImportSimState restores it.
+func (v *Vantage) ExportSimState(buf []byte) []byte {
+	type rec struct {
+		key    RouterKey
+		tokens float64
+		last   time.Duration
+	}
+	recs := make([]rec, 0, len(v.routers)+len(v.simPending)/simStateEntrySize)
+	for k, r := range v.routers {
+		recs = append(recs, rec{k, r.tokens, r.last})
+	}
+	for i := 0; i < len(v.simPending)/simStateEntrySize; i++ {
+		k, tokens, last := simEntry(v.simPending, i)
+		if _, ok := v.routers[k]; ok {
+			continue // materialized since import; the live bucket wins
+		}
+		recs = append(recs, rec{k, tokens, last})
+	}
+	// Sort an index permutation rather than the records: group priming
+	// snapshots a campaign's full router set several times per run, and
+	// 4-byte swaps keep that off the copy budget.
+	idx := make([]int32, len(recs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return simStateKeyLess(recs[idx[i]].key, recs[idx[j]].key) })
+	if buf == nil {
+		buf = make([]byte, 0, 4+len(recs)*simStateEntrySize)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, i := range idx {
+		r := &recs[i]
+		buf = binary.LittleEndian.AppendUint32(buf, r.key.ASN)
+		buf = append(buf, r.key.Class)
+		buf = binary.LittleEndian.AppendUint64(buf, r.key.K1)
+		buf = binary.LittleEndian.AppendUint64(buf, r.key.K2)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.tokens))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.last))
+	}
+	return buf
+}
+
+// ImportSimState restores the bucket levels serialized by
+// ExportSimState. Restoration is lazy: the record region is retained
+// (the caller hands over the buffer and must not modify it afterwards)
+// and consulted at router birth via binary search, so a shard clone
+// importing a whole campaign's bucket state materializes routers only
+// as its own window touches them — importing costs nothing per router,
+// and the untouched majority of a sibling's routers never exists here
+// at all.
+// Records for routers the vantage had already materialized are applied
+// immediately; every router property beyond the bucket is re-derived
+// purely from (seed, key), so restored routers are identical to the
+// exporting vantage's.
+func (v *Vantage) ImportSimState(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("netsim: sim state: truncated header")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if uint64(len(data)) != uint64(n)*simStateEntrySize {
+		return fmt.Errorf("netsim: sim state: %d bytes for %d routers", len(data), n)
+	}
+	for i := 0; i < int(n); i++ {
+		k, tokens, _ := simEntry(data, i)
+		if math.IsNaN(tokens) || math.IsInf(tokens, 0) || tokens < 0 {
+			return fmt.Errorf("netsim: sim state: invalid token level for router %v", k)
+		}
+		if _, ok := v.u.ASByASN(k.ASN); !ok {
+			return fmt.Errorf("netsim: sim state: unknown AS %d", k.ASN)
+		}
+	}
+	// The record region is retained and consulted at router birth; the
+	// caller must not modify data afterwards. (Checkpoint decoders and
+	// group priming both hand over buffers they never touch again.)
+	v.simPending = data
+	for k, r := range v.routers {
+		if tokens, last, ok := v.simLookup(k); ok {
+			r.tokens = tokens
+			if r.tokens > r.burst {
+				r.tokens = r.burst
+			}
+			r.last = last
+		}
+	}
+	return nil
+}
+
+// simLookup finds key's imported bucket record, if any.
+func (v *Vantage) simLookup(key RouterKey) (tokens float64, last time.Duration, ok bool) {
+	n := len(v.simPending) / simStateEntrySize
+	if n == 0 {
+		return 0, 0, false
+	}
+	i := sort.Search(n, func(i int) bool {
+		k, _, _ := simEntry(v.simPending, i)
+		return !simStateKeyLess(k, key)
+	})
+	if i == n {
+		return 0, 0, false
+	}
+	k, tokens, last := simEntry(v.simPending, i)
+	if k != key {
+		return 0, 0, false
+	}
+	return tokens, last, true
+}

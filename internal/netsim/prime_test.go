@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// primeTargets samples gateway destinations across hosting ASes: their
+// paths share the vantage's access chain, so an unpaced schedule drains
+// the shared routers' ICMPv6 token buckets — the regime prime replay
+// exists for.
+func primeTargets(u *Universe, n int) []netip.Addr {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]netip.Addr, 0, n)
+	for len(out) < n {
+		as := u.RandomAS(rng, KindHosting)
+		lan, _ := u.RandomLAN(rng, as)
+		out = append(out, u.GatewayAddr(lan, as))
+	}
+	return out
+}
+
+// primeSchedule visits the (target × TTL) domain in Yarrp6's round
+// order — every target at TTL 1, then every target at TTL 2, … — for
+// rounds passes at an unpaced 150µs inter-probe gap, calling
+// fn(target index, ttl, instant) per probe. Several passes at this rate
+// drain the shared access-chain buckets (burst ≤ 80, refill ≤ 400/s).
+func primeSchedule(nTargets, maxTTL, rounds int, fn func(ti int, ttl uint8, at time.Duration)) time.Duration {
+	const gap = 150 * time.Microsecond
+	domain := nTargets * maxTTL * rounds
+	for pos := 0; pos < domain; pos++ {
+		fn(pos%nTargets, uint8(1+(pos/nTargets)%maxTTL), time.Duration(pos)*gap)
+	}
+	return time.Duration(domain) * gap
+}
+
+// simStateTokens decodes a sim-state blob's token levels by record.
+func simStateTokens(t *testing.T, blob []byte) []float64 {
+	t.Helper()
+	if len(blob) < 4 {
+		t.Fatalf("sim state blob only %d bytes", len(blob))
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		_, tokens, _ := simEntry(blob[4:], i)
+		out[i] = tokens
+	}
+	return out
+}
+
+// TestPrimeFastPathMatchesPrime pins the three ways of evaluating the
+// same probe schedule's token-bucket history to each other: real sends,
+// the reference Prime replay, and the PrimeFlow/PrimeIdx fast path must
+// leave byte-identical exported bucket state — on a schedule fast
+// enough to saturate the shared access routers, where any divergence in
+// the replayed branch structure would surface as a token-level drift.
+func TestPrimeFastPathMatchesPrime(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "prime", Kind: KindUniversity, ChainLen: 3})
+	targets := primeTargets(u, 12)
+	const maxTTL = 8
+
+	real := v.Clone(0)
+	end := primeSchedule(len(targets), maxTTL, 16, func(ti int, ttl uint8, at time.Duration) {
+		_ = real.Send(buildEchoProbe(real.LocalAddr(), targets[ti], ttl))
+		real.Sleep(150 * time.Microsecond)
+	})
+	if real.Now() != end {
+		t.Fatalf("real schedule ended at %v, want %v", real.Now(), end)
+	}
+
+	ref := v.Clone(0)
+	ref.BeginPrime()
+	primeSchedule(len(targets), maxTTL, 16, func(ti int, ttl uint8, at time.Duration) {
+		if err := ref.Prime(buildEchoProbe(ref.LocalAddr(), targets[ti], ttl), at); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ref.EndPrime()
+
+	fast := v.Clone(0)
+	fast.BeginPrime()
+	toks := make([]int, len(targets))
+	for i := range toks {
+		toks[i] = -1
+	}
+	primeSchedule(len(targets), maxTTL, 16, func(ti int, ttl uint8, at time.Duration) {
+		if toks[ti] < 0 {
+			tok, err := fast.PrimeFlow(buildEchoProbe(fast.LocalAddr(), targets[ti], ttl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks[ti] = tok
+		}
+		fast.PrimeIdx(toks[ti], ttl, at)
+	})
+	fast.EndPrime()
+
+	blobReal := real.ExportSimState(nil)
+	blobRef := ref.ExportSimState(nil)
+	blobFast := fast.ExportSimState(nil)
+	if !bytes.Equal(blobRef, blobReal) {
+		t.Fatal("Prime replay and real sends leave different bucket state")
+	}
+	if !bytes.Equal(blobFast, blobRef) {
+		t.Fatal("PrimeFlow/PrimeIdx fast path and Prime leave different bucket state")
+	}
+	tokens := simStateTokens(t, blobRef)
+	if len(tokens) == 0 {
+		t.Fatal("schedule touched no routers")
+	}
+	drained := 0
+	for _, tk := range tokens {
+		if tk < 1 {
+			drained++
+		}
+	}
+	if drained == 0 {
+		t.Fatal("no bucket drained below one token; the schedule did not reach saturation")
+	}
+}
+
+// TestSimStateLazyImport: an imported blob passes through an untouched
+// vantage byte for byte, and a vantage that materializes some of the
+// imported routers by routing traffic merges live bucket state with the
+// still-pending records into the same export the original vantage
+// produces.
+func TestSimStateLazyImport(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "prime", Kind: KindUniversity, ChainLen: 3})
+	targets := primeTargets(u, 12)
+
+	a := v.Clone(0)
+	end := primeSchedule(len(targets), 8, 16, func(ti int, ttl uint8, at time.Duration) {
+		_ = a.Send(buildEchoProbe(a.LocalAddr(), targets[ti], ttl))
+		a.Sleep(150 * time.Microsecond)
+	})
+	blob := a.ExportSimState(nil)
+	if n := binary.LittleEndian.Uint32(blob); n == 0 {
+		t.Fatal("exporting vantage has no routers")
+	}
+
+	passthrough := v.Clone(end)
+	if err := passthrough.ImportSimState(append([]byte(nil), blob...)); err != nil {
+		t.Fatal(err)
+	}
+	if got := passthrough.ExportSimState(nil); !bytes.Equal(got, blob) {
+		t.Fatal("import/export of an untouched vantage is not byte-identical")
+	}
+
+	merged := v.Clone(end)
+	if err := merged.ImportSimState(append([]byte(nil), blob...)); err != nil {
+		t.Fatal(err)
+	}
+	// Route the same follow-up probes on both vantages at the same
+	// instants: merged materializes a subset of the imported routers and
+	// must export their live buckets merged with the untouched pending
+	// records — exactly a's state.
+	for i := 0; i < 3; i++ {
+		pkt := buildEchoProbe(v.LocalAddr(), targets[i], 3)
+		_ = a.Send(pkt)
+		a.Sleep(time.Millisecond)
+		_ = merged.Send(pkt)
+		merged.Sleep(time.Millisecond)
+	}
+	if got, want := merged.ExportSimState(nil), a.ExportSimState(nil); !bytes.Equal(got, want) {
+		t.Fatal("merged export (live + pending) differs from the uninterrupted vantage")
+	}
+}
+
+// TestImportSimStateErrors: structurally invalid blobs are rejected
+// before any state is retained.
+func TestImportSimStateErrors(t *testing.T) {
+	u := testUniverse(t)
+	v := u.NewVantage(VantageSpec{Name: "prime", Kind: KindUniversity, ChainLen: 3})
+	targets := primeTargets(u, 4)
+	a := v.Clone(0)
+	for i, dst := range targets {
+		_ = a.Send(buildEchoProbe(a.LocalAddr(), dst, uint8(2+i%3)))
+		a.Sleep(time.Millisecond)
+	}
+	blob := a.ExportSimState(nil)
+	if n := binary.LittleEndian.Uint32(blob); n == 0 {
+		t.Fatal("no routers to corrupt")
+	}
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"truncated header": {0x01},
+		"length mismatch":  blob[:len(blob)-simStateEntrySize/2],
+		"nan tokens": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[4+21:], math.Float64bits(math.NaN()))
+		}),
+		"negative tokens": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[4+21:], math.Float64bits(-1))
+		}),
+		"unknown AS": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], 0xfffffff0)
+		}),
+	}
+	for name, data := range cases {
+		fresh := v.Clone(0)
+		if err := fresh.ImportSimState(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

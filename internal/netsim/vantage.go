@@ -130,6 +130,22 @@ type Vantage struct {
 	nextClone    int
 	errTransient faultsim.TransientSendError
 
+	// Priming mode (prime.go): while priming, send1 evaluates routing
+	// decisions and router token-bucket consumption at primeNow instead of
+	// the clock, schedules no replies, and rolls its stat side effects
+	// back at EndPrime. primeSaved/primeFaults hold the state restored
+	// when the replay ends.
+	priming     bool
+	primeNow    time.Duration
+	primeSaved  VantageStats
+	primeFaults bool
+	primeFlows  []primeFlow // PrimeFlow token table, valid until EndPrime
+
+	// simPending holds imported sim-state records (ImportSimState) not
+	// yet claimed by a router birth; router() consults it so imported
+	// bucket state materializes lazily, per touched router.
+	simPending []byte
+
 	// Stats counts prober-visible events at this vantage.
 	Stats VantageStats
 }
@@ -340,12 +356,29 @@ func (v *Vantage) Now() time.Duration { return v.clk.Now() }
 func (v *Vantage) Sleep(d time.Duration) { v.clk.Sleep(d) }
 
 // router returns (materializing into this vantage's table if needed) the
-// router for key.
-func (v *Vantage) router(key RouterKey, as *AS) *Router {
+// router for key. now is the virtual instant of the touching probe — the
+// clock's current time on the live path, the replayed instant during
+// priming — so a router born under prime replay opens its bucket at the
+// same instant it would have opened at in the serial history.
+func (v *Vantage) router(key RouterKey, as *AS, now time.Duration) *Router {
 	if r, ok := v.routers[key]; ok {
 		return r
 	}
-	r := v.u.newRouter(key, as, v.clk.Now())
+	if len(v.simPending) > 0 {
+		// Imported sim state (checkpoint resume, campaign group priming)
+		// overrides the birth instant: the router opens with the bucket
+		// exactly where the exporting vantage's was.
+		if tokens, last, ok := v.simLookup(key); ok {
+			r := v.u.newRouter(key, as, last)
+			r.tokens = tokens
+			if r.tokens > r.burst {
+				r.tokens = r.burst
+			}
+			v.routers[key] = r
+			return r
+		}
+	}
+	r := v.u.newRouter(key, as, now)
 	v.routers[key] = r
 	return r
 }
@@ -355,10 +388,10 @@ func (v *Vantage) router(key RouterKey, as *AS) *Router {
 // flow's probes touch the router with a single pointer load instead of a
 // map lookup; the routers map remains the authority, so every plan entry
 // holding the same key resolves to the same (vantage-owned) router.
-func (v *Vantage) stepRouter(plan *planEntry, idx int) *Router {
+func (v *Vantage) stepRouter(plan *planEntry, idx int, now time.Duration) *Router {
 	st := v.stepAt(plan.stepOff + uint32(idx))
 	if st.r == nil {
-		st.r = v.router(st.key, st.as)
+		st.r = v.router(st.key, v.u.ases[st.asIdx], now)
 	}
 	return st.r
 }
@@ -597,6 +630,11 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 	planN := int(plan.n)
 	ttl := int(d.IPv6.HopLimit)
 	now := v.clk.Now()
+	if v.priming {
+		// Prime replay evaluates the probe at its serial-history instant;
+		// the clock itself stays parked at the shard's window start.
+		now = v.primeNow
+	}
 	// The per-packet draw key folds the cached flow hash with the hop
 	// limit (the pktKey of old: h(flowHash(...), 40, hopLimit)).
 	pk := h(plan.fh, 40, uint64(d.IPv6.HopLimit))
@@ -608,7 +646,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			st.lossDropped++
 			return nil
 		}
-		r := v.stepRouter(plan, idx)
+		r := v.stepRouter(plan, idx, now)
 		if r.unresponsive {
 			st.unresponsiveDrops++
 			return nil
@@ -636,7 +674,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			st.lossDropped++
 			return nil
 		}
-		r := v.stepRouter(plan, idx)
+		r := v.stepRouter(plan, idx, now)
 		if r.unresponsive {
 			st.unresponsiveDrops++
 			return nil
@@ -673,6 +711,9 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 			return nil
 		}
 		st.echoRepliesSent++
+		if v.priming {
+			return nil
+		}
 		payload := d.Payload
 		if max := wire.MinMTU - wire.IPv6HeaderLen - wire.ICMPv6HeaderLen; len(payload) > max {
 			// The return path, like the quote path, is MinMTU-bound (the
@@ -687,11 +728,17 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 		v.deliverReply(st, bi, n, now+rtt, pk, now)
 	case plan.exists && d.Proto == wire.ProtoUDP:
 		st.portUnreachSent++
+		if v.priming {
+			return nil
+		}
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.ICMPv6HeaderLen + len(pkt))
 		n := wire.BuildICMPv6Error(v.bufs[bi], wire.ICMPv6DstUnreach, wire.CodePortUnreachable, d.IPv6.Dst, v.addr, pkt, 64)
 		v.deliverReply(st, bi, n, now+rtt, pk, now)
 	case plan.exists && d.Proto == wire.ProtoTCP:
 		st.tcpRstsSent++
+		if v.priming {
+			return nil
+		}
 		bi := v.getBuf(wire.IPv6HeaderLen + wire.TCPHeaderLen)
 		n := wire.BuildTCPRst(v.bufs[bi], d.IPv6.Dst, v.addr, &d.TCP, 64)
 		v.deliverReply(st, bi, n, now+rtt, pk, now)
@@ -699,7 +746,7 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 		// No such host: the gateway's neighbor discovery fails and it
 		// reports address-unreachable some of the time (rate-limited).
 		if hashFloat(h(pk, drawND, uint64(now))) < 0.6 {
-			r := v.stepRouter(plan, int(plan.errorIdx))
+			r := v.stepRouter(plan, int(plan.errorIdx), now)
 			if !r.unresponsive && r.allowICMP(now) {
 				st.errorsSent++
 				v.scheduleError(st, r, wire.ICMPv6DstUnreach, wire.CodeAddrUnreachable, pkt, plan, int(plan.errorIdx), now, pk)
@@ -714,6 +761,11 @@ func (v *Vantage) send1(pkt []byte, st *simDelta) error {
 // scheduleError builds and enqueues an ICMPv6 error from router r quoting
 // the probe, arriving after the round-trip to step idx.
 func (v *Vantage) scheduleError(st *simDelta, r *Router, typ, code uint8, probe []byte, plan *planEntry, idx int, now time.Duration, pk uint64) {
+	if v.priming {
+		// The bucket decision already happened; the reply itself is not
+		// scheduled during prime replay.
+		return
+	}
 	quote := probe
 	if r.truncateQuote && len(quote) > 48 {
 		// Legacy gear quoting IPv4-style: header plus 8 bytes.

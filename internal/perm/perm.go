@@ -63,6 +63,17 @@ func New(key uint64, n uint64) (*Perm, error) {
 	return p, nil
 }
 
+// Derive mixes key with an epoch counter into a fresh permutation key,
+// so multi-epoch runs (adaptive generation) walk each epoch's domain in
+// an independent order while remaining reproducible from the campaign
+// key alone. The mixer is splitmix64, matching round-key derivation.
+func Derive(key uint64, epoch uint64) uint64 {
+	z := key + (epoch+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // MustNew is New, panicking on error; for static configurations.
 func MustNew(key, n uint64) *Perm {
 	p, err := New(key, n)

@@ -77,6 +77,57 @@ type ConnCheckpointer interface {
 	InjectReply(at time.Duration, data []byte)
 }
 
+// Primer is the optional window-priming extension of Conn: a connection
+// that can replay the probe schedule preceding a permutation window so
+// that history-dependent response state (router ICMPv6 token buckets)
+// opens at the levels the serial schedule would have left. netsim.Vantage
+// implements it; a live raw-socket connection probes a network that
+// already carries its own history and simply omits it. Yarrp6 primes a
+// window-sliced run ([PermStart, PermEnd) with PermStart > 0) through
+// this interface, which is what makes N-shard reply counters match the
+// serial run even past ICMPv6 rate-limit saturation.
+type Primer interface {
+	// BeginPrime enters priming mode: Prime calls evaluate probes at
+	// explicit replayed instants, mutating rate-limiter state only — no
+	// replies, no stats, no clock movement.
+	BeginPrime()
+	// Prime replays one probe of the preceding serial schedule at
+	// virtual instant at. Probes must be replayed in schedule order.
+	Prime(pkt []byte, at time.Duration) error
+	// PrimeFlow registers a probe's flow for fast replay, returning a
+	// token for PrimeIdx. A Yarrp6 schedule revisits each flow once per
+	// TTL, so registering the flow once (from any representative probe
+	// of it — flow identity is TTL-independent by construction) and
+	// replaying per-(TTL, instant) through the token skips the per-probe
+	// packet build and decode that dominate Prime. Tokens are valid
+	// until EndPrime.
+	PrimeFlow(pkt []byte) (int, error)
+	// PrimeIdx replays one probe of a registered flow at virtual
+	// instant at, equivalent to Prime on the corresponding packet.
+	PrimeIdx(tok int, ttl uint8, at time.Duration)
+	// EndPrime leaves priming mode.
+	EndPrime()
+}
+
+// SimStateCheckpointer is the optional simulator-state extension of
+// Conn: a connection that can export its history-dependent response
+// state (router token-bucket levels) as an opaque blob and restore it
+// after a resume. netsim.Vantage implements it; live connections omit
+// it. Campaign checkpointing stores the blob in the artifact so a
+// resumed run is byte-exact even when a rate limiter was saturated
+// across the interrupt instant — including bucket drain from fill
+// probes, which priming alone cannot replay.
+type SimStateCheckpointer interface {
+	// ExportSimState appends the state blob to buf and returns the
+	// extended slice.
+	ExportSimState(buf []byte) []byte
+	// ImportSimState restores a blob produced by ExportSimState. It must
+	// be called before the connection routes any probes, and the
+	// implementation may retain data — callers hand the buffer over and
+	// must not modify it afterwards.
+	ImportSimState(data []byte) error
+}
+
 // IsTransient reports whether a send error is retryable — EAGAIN-shaped
 // failures where the packet was not sent but a later attempt may
 // succeed. Fault classification follows the error's own testimony (an

@@ -76,6 +76,30 @@ func (c *Cluster) Density(m Mode) float64 {
 	return float64(c.Seeds) / float64(c.Span(m))
 }
 
+// Mask returns the bitmask of nybble values observed at position i
+// (position 0 is the most significant nybble, bit v set means value v
+// was observed).
+func (c *Cluster) Mask(i int) uint16 { return c.vals[i] }
+
+// Clusters groups the seeds into pattern clusters sorted densest-first —
+// the clustering half of Generate, exported so adaptive generation
+// (internal/gen6prob) can seed its prefix trie from the same density
+// prior that orders 6Gen enumeration.
+func Clusters(seeds []netip.Addr, cfg Config) []*Cluster {
+	if cfg.MaxClusterSpan == 0 {
+		cfg.MaxClusterSpan = 1 << 20
+	}
+	clusters := clusterize(seeds, cfg)
+	sort.SliceStable(clusters, func(i, j int) bool {
+		return clusters[i].Density(cfg.Mode) > clusters[j].Density(cfg.Mode)
+	})
+	return clusters
+}
+
+// Nybbles splits an address into its 32 nybbles, most significant
+// first.
+func Nybbles(a netip.Addr) [32]uint8 { return nybbles(a) }
+
 func popcount16(v uint16) int {
 	n := 0
 	for ; v != 0; v &= v - 1 {
