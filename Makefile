@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover chaos soak
+.PHONY: test race bench bench-check progress-sample fmt vet fuzz-smoke cover chaos soak crashsoak
 
 # chaos runs the fault-injection matrix, checkpoint/resume equivalence,
 # and cancellation tests under the race detector.
@@ -15,7 +15,17 @@ chaos:
 # failover, and the drain -> restart -> drain continuation chain. The
 # wall cap keeps a wedged supervisor from hanging CI.
 soak:
-	$(GO) test -race -count=1 -timeout 5m -run 'Soak|ChaosSoak|Neutrality|Watchdog|Admission|Breaker' ./internal/sched
+	$(GO) test -race -count=1 -timeout 5m -run 'Soak|ChaosSoak|Neutrality|Watchdog|Admission|Breaker|PeriodicCheckpoint' ./internal/sched
+
+# crashsoak is the process-level kill-9 harness plus the durable-store
+# unit suite: real beholderd subprocesses SIGKILLed at randomized
+# instants (mid-run, mid-periodic-checkpoint, mid-drain), restarted on
+# the same state dir, and required to finish every campaign byte-equal
+# to a solo fault-free run — with planted-corruption quarantine,
+# signal-drain, and zero-quarantine-on-clean-run checks riding along.
+# The wall cap keeps a wedged daemon from hanging CI.
+crashsoak:
+	$(GO) test -race -count=1 -timeout 8m ./internal/store ./cmd/beholderd
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
@@ -35,9 +45,10 @@ bench:
 # 4-shard parallel efficiency falls below 0.6, when the fully
 # instrumented campaign (telemetry registry + progress stream) drops
 # below 0.95x the bare campaign's throughput, when a supervised
-# single-tenant campaign drops below 0.95x the bare campaign, or when
-# the adaptive loop's discovery per probe falls below 1.1x an
-# equal-budget static target list.
+# single-tenant campaign drops below 0.95x the bare campaign, when
+# periodic checkpointing costs more than 5% of drain-only supervised
+# throughput (-min-ckpt-ratio), or when the adaptive loop's discovery
+# per probe falls below 1.1x an equal-budget static target list.
 bench-check:
 	$(GO) run ./cmd/bench -benchtime 150ms -check
 
@@ -62,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzParseReply$$' -fuzztime $(FUZZTIME) ./internal/probe
 	$(GO) test -run xxx -fuzz '^FuzzProbeCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/probe
 	$(GO) test -run xxx -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz '^FuzzStoreRecover$$' -fuzztime $(FUZZTIME) ./internal/store
 
 # cover writes the aggregate coverage profile and prints the total; CI
 # fails if the total drops below its recorded baseline.

@@ -10,9 +10,22 @@
 //	                 the same state dir resumes them byte-identically
 //	/metrics, /debug/vars, /debug/pprof/  the telemetry surface
 //
+// All durable state lives in a crash-safe store (internal/store)
+// under -state-dir: campaign specs are persisted at admission with
+// their resolved target sets, running campaigns are checkpointed
+// every -checkpoint-every of wall time, and final result stores are
+// persisted at completion — all through an atomic
+// temp/fsync/rename/dir-fsync protocol journaled in a CRC-framed
+// manifest. A beholderd killed with SIGKILL at any instant restarts
+// on the same state dir, quarantines anything torn into
+// -state-dir/corrupt/, and resumes every campaign from its last
+// snapshot; results remain byte-identical to an uninterrupted run.
+// SIGTERM and SIGINT trigger the same graceful drain as POST /drain.
+//
 // Each campaign's NDJSON result stream (lifecycle events plus
 // incremental graph deltas) is appended to -state-dir as
-// <tenant>__<name>.stream.ndjson while it runs.
+// <tenant>__<name>.stream.ndjson while it runs; streams are
+// append-only logs outside the store's atomicity domain.
 //
 // Example (two tenants, one resumable state dir):
 //
@@ -30,19 +43,37 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"beholder"
+	"beholder/internal/core"
+	"beholder/internal/probe"
+	"beholder/internal/store"
 	"beholder/internal/telemetry"
 )
 
-// campaignReq is the /submit body and the drain sidecar format. Targets
-// come either explicit or from the seed-generation pipeline; on resume
-// the checkpoint artifact supplies them instead.
+// Blob kinds in the durable store, all keyed <tenant>__<name>:
+// the admission-time spec (with resolved targets), the latest
+// checkpoint artifact, the final merged probe store, and the terminal
+// state record.
+const (
+	kindSpec  = "spec"
+	kindCkpt  = "ckpt"
+	kindStore = "store"
+	kindDone  = "done"
+)
+
+// campaignReq is the /submit body and the persisted spec format.
+// Targets come either explicit or from the seed-generation pipeline;
+// the persisted copy always pins the resolved target list so recovery
+// never depends on generation flags.
 type campaignReq struct {
 	Tenant  string   `json:"tenant"`
 	Name    string   `json:"name"`
@@ -64,35 +95,63 @@ type campaignReq struct {
 	DeadlineMS int64   `json:"deadline_ms,omitempty"`
 }
 
-// daemon ties the scheduler to the HTTP surface and the state dir.
+// doneRec is the persisted terminal-state record (kindDone).
+type doneRec struct {
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+}
+
+// retainedLine is a terminal campaign recovered from the store: it is
+// reported in /campaigns but not resubmitted.
+type retainedLine struct {
+	Tenant   string
+	Campaign string
+	Vantage  string
+	State    string
+	Reason   string
+}
+
+// daemon ties the scheduler to the HTTP surface and the durable store.
 type daemon struct {
 	in       *beholder.Internet
 	sch      *beholder.Scheduler
+	st       *store.Store
 	stateDir string
 
 	mu       sync.Mutex
 	vantages map[string]*beholder.Vantage
+	retained []retainedLine
+
+	// streams tracks every live campaign's stream-closer goroutine so
+	// the ordered shutdown can wait for the final events to be
+	// flushed and the files closed.
+	streams sync.WaitGroup
+	// done is closed exactly once when a drain finished and the
+	// process should shut down.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 func main() {
 	var (
-		simSeed  = flag.Int64("sim-seed", 2018, "simulated internetwork seed")
-		small    = flag.Bool("small", false, "use the small universe")
-		addr     = flag.String("addr", "localhost:6464", "HTTP listen address")
-		workers  = flag.Int("workers", 4, "campaigns run concurrently")
-		queue    = flag.Int("queue", 32, "admission queue limit")
-		tenants  = flag.String("tenants", "default", "comma-separated tenants, each name[:rate-budget[:priority]]")
-		stateDir = flag.String("state-dir", "beholderd-state", "directory for result streams and drain checkpoints")
-		stall    = flag.Duration("stall-budget", 2*time.Second, "watchdog stall budget before failover")
-		retries  = flag.Int("retries", 2, "watchdog failover budget per campaign")
+		simSeed   = flag.Int64("sim-seed", 2018, "simulated internetwork seed")
+		small     = flag.Bool("small", false, "use the small universe")
+		addr      = flag.String("addr", "localhost:6464", "HTTP listen address")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers   = flag.Int("workers", 4, "campaigns run concurrently")
+		queue     = flag.Int("queue", 32, "admission queue limit")
+		tenants   = flag.String("tenants", "default", "comma-separated tenants, each name[:rate-budget[:priority]]")
+		stateDir  = flag.String("state-dir", "beholderd-state", "directory for the durable store and result streams")
+		stall     = flag.Duration("stall-budget", 2*time.Second, "watchdog stall budget before failover")
+		retries   = flag.Int("retries", 2, "watchdog failover budget per campaign")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval for running campaigns (0 = drain-only)")
+		sendDelay = flag.Duration("send-delay", 0, "wall-delay every send batch (testing/ops throttle; results unchanged)")
 	)
 	flag.Parse()
 
 	tl, err := parseTenants(*tenants)
 	if err != nil {
-		fatal(err)
-	}
-	if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 		fatal(err)
 	}
 	var in *beholder.Internet
@@ -102,24 +161,75 @@ func main() {
 		in = beholder.NewInternet(*simSeed)
 	}
 	reg := beholder.NewTelemetry()
-	sch, err := in.NewScheduler(beholder.SchedulerOptions{
-		Tenants: tl, Workers: *workers, QueueLimit: *queue,
-		StallBudget: *stall, MaxRetries: *retries, Telemetry: reg,
+
+	st, err := store.Open(store.Config{
+		Dir: *stateDir,
+		Validate: map[string]func([]byte) error{
+			kindSpec: func(b []byte) error {
+				var req campaignReq
+				if err := json.Unmarshal(b, &req); err != nil {
+					return err
+				}
+				if req.Tenant == "" || req.Name == "" {
+					return errors.New("spec missing tenant or name")
+				}
+				return nil
+			},
+			kindCkpt: func(b []byte) error {
+				_, err := core.InspectCheckpoint(b)
+				return err
+			},
+			kindStore: func(b []byte) error {
+				_, err := probe.DecodeStore(b)
+				return err
+			},
+			kindDone: func(b []byte) error {
+				var rec doneRec
+				if err := json.Unmarshal(b, &rec); err != nil {
+					return err
+				}
+				if rec.State == "" {
+					return errors.New("done record missing state")
+				}
+				return nil
+			},
+		},
+		KeepSuffixes: []string{".stream.ndjson"},
+		Telemetry:    reg,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	d := &daemon{in: in, sch: sch, stateDir: *stateDir, vantages: map[string]*beholder.Vantage{}}
+	scrubBanner(st.Report(), *stateDir)
 
-	// A restarted daemon first consumes the previous generation's drain
-	// state: every sidecar (with its artifact, when one exists) is
-	// resubmitted before the HTTP surface opens.
-	resumed, err := d.recoverState()
+	sch, err := in.NewScheduler(beholder.SchedulerOptions{
+		Tenants: tl, Workers: *workers, QueueLimit: *queue,
+		StallBudget: *stall, MaxRetries: *retries,
+		CheckpointEvery: *ckptEvery,
+		CheckpointSink: func(tenant, name string, artifact []byte) error {
+			return st.Put(storeKey(tenant, name), kindCkpt, artifact)
+		},
+		SendDelay: *sendDelay,
+		Telemetry: reg,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if resumed > 0 {
-		fmt.Fprintf(os.Stderr, "beholderd: resumed %d drained campaign(s) from %s\n", resumed, *stateDir)
+	d := &daemon{
+		in: in, sch: sch, st: st, stateDir: *stateDir,
+		vantages: map[string]*beholder.Vantage{},
+		done:     make(chan struct{}),
+	}
+
+	// A restarted daemon first consumes the previous generation's
+	// state: terminal campaigns are retained as records, everything
+	// else is resubmitted (resuming from its last checkpoint when one
+	// exists) before the HTTP surface opens. A bad entry is
+	// quarantined and skipped, never fatal.
+	resumed, retained, failed := d.recoverState()
+	if resumed+retained+failed > 0 {
+		fmt.Fprintf(os.Stderr, "beholderd: recovery from %s: %d resumed, %d already terminal, %d quarantined\n",
+			*stateDir, resumed, retained, failed)
 	}
 
 	mux := http.NewServeMux()
@@ -131,8 +241,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "beholderd: %d tenant(s), %d worker(s), serving on http://%s\n", len(tl), *workers, ln.Addr())
-	fatal((&http.Server{Handler: mux}).Serve(ln))
+
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	// SIGTERM/SIGINT get the same graceful drain as POST /drain, so
+	// orchestrators checkpoint-on-stop for free.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "beholderd: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		saved, err := d.drainToStore(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beholderd: drain: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "beholderd: drained %d campaign(s) to %s\n", len(saved), d.stateDir)
+		d.shutdown()
+	case <-d.done:
+	}
+
+	// Ordered shutdown: every stream file flushed and closed, the
+	// HTTP server drained (which also flushes the in-flight drain
+	// response), then the store's journal closed. Only then exit.
+	d.streams.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.Shutdown(ctx)
+	cancel()
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "beholderd: store close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "beholderd: state flushed; exiting")
 }
 
 func fatal(err error) {
@@ -140,14 +291,68 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// shutdown signals main to run the ordered shutdown; safe to call from
+// any goroutine, any number of times.
+func (d *daemon) shutdown() {
+	d.doneOnce.Do(func() { close(d.done) })
+}
+
+// scrubBanner reports what the store's recovery scrub found.
+func scrubBanner(rep store.ScrubReport, dir string) {
+	if rep.Clean() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "beholderd: store scrub of %s: %d live entries, %d quarantined, %d missing, %d stale removed, %d temp removed, %d journal bytes truncated\n",
+		dir, rep.Entries, len(rep.Quarantined), len(rep.Missing), rep.StaleRemoved, rep.TmpRemoved, rep.JournalTruncated)
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "beholderd:   quarantined %s: %s\n", filepath.Join(dir, "corrupt", q.File), q.Reason)
+	}
+	for _, m := range rep.Missing {
+		fmt.Fprintf(os.Stderr, "beholderd:   missing blob for %s.%s (entry dropped)\n", m.Key, m.Kind)
+	}
+}
+
+// storeKey is the durable-store key for a campaign. Tenant and
+// campaign names are restricted to the store-safe alphabet at
+// admission, so the "__" join is unambiguous enough for display and
+// collision-free on disk.
+func storeKey(tenant, name string) string { return tenant + "__" + name }
+
+// validIdent restricts tenant and campaign names to the durable
+// store's key alphabet.
+func validIdent(s string) error {
+	if s == "" {
+		return errors.New("empty name")
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+		case r == '_':
+		default:
+			return fmt.Errorf("invalid character %q (allowed: letters, digits, _, -)", r)
+		}
+	}
+	return nil
+}
+
 // parseTenants decodes the -tenants flag: name[:rate-budget[:priority]].
+// Duplicate names are rejected — silently registering both would split
+// one tenant's rate budget into two ledgers.
 func parseTenants(s string) ([]beholder.Tenant, error) {
 	var out []beholder.Tenant
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(s, ",") {
 		fields := strings.Split(strings.TrimSpace(part), ":")
 		if fields[0] == "" {
 			return nil, fmt.Errorf("empty tenant name in -tenants %q", s)
 		}
+		if err := validIdent(fields[0]); err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", fields[0], err)
+		}
+		if seen[fields[0]] {
+			return nil, fmt.Errorf("duplicate tenant %q in -tenants %q", fields[0], s)
+		}
+		seen[fields[0]] = true
 		t := beholder.Tenant{Name: fields[0]}
 		if len(fields) > 1 && fields[1] != "" {
 			b, err := strconv.ParseFloat(fields[1], 64)
@@ -169,10 +374,16 @@ func parseTenants(s string) ([]beholder.Tenant, error) {
 }
 
 // submit admits one campaign, streaming its NDJSON events to the state
-// dir; resume, when non-nil, continues from a drain artifact.
-func (d *daemon) submit(req campaignReq, resume []byte) (*beholder.CampaignHandle, error) {
-	if req.Tenant == "" || req.Name == "" {
-		return nil, errors.New("tenant and name are required")
+// dir. resume, when non-nil, continues from a checkpoint artifact.
+// persistSpec records the spec (with resolved targets) in the durable
+// store — true for fresh API submissions, false during recovery where
+// the spec is already durable.
+func (d *daemon) submit(req campaignReq, resume []byte, persistSpec bool) (*beholder.CampaignHandle, error) {
+	if err := validIdent(req.Tenant); err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	if err := validIdent(req.Name); err != nil {
+		return nil, fmt.Errorf("name: %w", err)
 	}
 	vname := req.Vantage
 	if vname == "" {
@@ -237,54 +448,210 @@ func (d *daemon) submit(req campaignReq, resume []byte) (*beholder.CampaignHandl
 		}
 		return nil, err
 	}
-	// The stream file lives as long as the campaign; close it once the
-	// terminal event is written.
+	key := storeKey(req.Tenant, req.Name)
+	if persistSpec {
+		// Pin the resolved target list so recovery never re-runs the
+		// generation pipeline (whose flags may have changed by then).
+		pinned := req
+		pinned.Targets = pinned.Targets[:0:0]
+		for _, a := range targets {
+			pinned.Targets = append(pinned.Targets, a.String())
+		}
+		pinned.Seeds, pinned.ZN, pinned.Synth, pinned.Scale = "", 0, "", 0
+		sc, merr := json.MarshalIndent(pinned, "", "  ")
+		if merr == nil {
+			merr = d.st.Put(key, kindSpec, sc)
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "beholderd: persist spec %s: %v\n", key, merr)
+		}
+		// A fresh run supersedes any previous terminal record under
+		// the same name.
+		d.st.Delete(key, kindDone)
+		d.st.Delete(key, kindStore)
+		d.dropRetained(req.Tenant, req.Name)
+	}
+	// The stream file lives as long as the campaign: once the terminal
+	// event is written, persist the terminal state and flush+close the
+	// stream. The WaitGroup gates the ordered shutdown.
+	d.streams.Add(1)
 	go func() {
+		defer d.streams.Done()
 		<-h.Done()
+		d.persistTerminal(req, h.Result())
+		stream.Sync()
 		stream.Close()
 	}()
 	return h, nil
 }
 
-func (d *daemon) base(tenant, name string) string {
-	return filepath.Join(d.stateDir, tenant+"__"+name)
+// persistTerminal records a campaign's terminal outcome in the store:
+// the final probe store for completed runs, a done record for
+// completed and incomplete ones, and in both cases the now-obsolete
+// checkpoint is dropped. Drained campaigns keep their checkpoint — the
+// drain path just wrote it — and their spec, for the next generation
+// to resume.
+func (d *daemon) persistTerminal(req campaignReq, res *beholder.CampaignResult) {
+	if res == nil {
+		return
+	}
+	key := storeKey(req.Tenant, req.Name)
+	switch res.State {
+	case beholder.CampaignCompleted, beholder.CampaignIncomplete:
+		if res.State == beholder.CampaignCompleted && res.Store != nil {
+			if err := d.st.Put(key, kindStore, res.Store.AppendBinary(nil)); err != nil {
+				fmt.Fprintf(os.Stderr, "beholderd: persist store %s: %v\n", key, err)
+			}
+		}
+		rec, _ := json.Marshal(doneRec{State: res.State.String(), Reason: res.Reason, Retries: res.Retries})
+		if err := d.st.Put(key, kindDone, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "beholderd: persist done %s: %v\n", key, err)
+		}
+		d.st.Delete(key, kindCkpt)
+	}
 }
-func (d *daemon) streamPath(tenant, name string) string {
-	return d.base(tenant, name) + ".stream.ndjson"
-}
-func (d *daemon) sidecarPath(tenant, name string) string  { return d.base(tenant, name) + ".spec.json" }
-func (d *daemon) artifactPath(tenant, name string) string { return d.base(tenant, name) + ".ckpt" }
 
-// recoverState resubmits every campaign the previous generation drained
-// into the state dir, consuming the sidecars and artifacts.
-func (d *daemon) recoverState() (int, error) {
-	sidecars, err := filepath.Glob(filepath.Join(d.stateDir, "*.spec.json"))
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	for _, sc := range sidecars {
-		data, err := os.ReadFile(sc)
-		if err != nil {
-			return n, err
+func (d *daemon) dropRetained(tenant, name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, r := range d.retained {
+		if r.Tenant == tenant && r.Campaign == name {
+			d.retained = append(d.retained[:i], d.retained[i+1:]...)
+			return
 		}
+	}
+}
+
+func (d *daemon) streamPath(tenant, name string) string {
+	return filepath.Join(d.stateDir, storeKey(tenant, name)+".stream.ndjson")
+}
+
+// recoverState replays the durable store: terminal campaigns become
+// retained records, everything else is resubmitted, resuming from the
+// latest checkpoint when one survives. Any entry that fails
+// domain-level validation is quarantined and skipped — one bad blob
+// never blocks the rest.
+func (d *daemon) recoverState() (resumed, retained, failed int) {
+	byKey := make(map[string]map[string]store.Entry)
+	for _, e := range d.st.List() {
+		if byKey[e.Key] == nil {
+			byKey[e.Key] = make(map[string]store.Entry)
+		}
+		byKey[e.Key][e.Kind] = e
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		kinds := byKey[key]
 		var req campaignReq
-		if err := json.Unmarshal(data, &req); err != nil {
-			return n, fmt.Errorf("%s: %w", sc, err)
+		haveSpec := false
+		if _, ok := kinds[kindSpec]; ok {
+			data, err := d.st.Get(key, kindSpec)
+			if err == nil {
+				err = json.Unmarshal(data, &req)
+			}
+			if err != nil {
+				d.quarantine(key, kindSpec, fmt.Sprintf("unusable spec: %v", err))
+				failed++
+			} else {
+				haveSpec = true
+			}
 		}
+
+		if _, ok := kinds[kindDone]; ok {
+			var rec doneRec
+			data, err := d.st.Get(key, kindDone)
+			if err == nil {
+				err = json.Unmarshal(data, &rec)
+			}
+			if err == nil && rec.State != "" {
+				tenant, name := req.Tenant, req.Name
+				if !haveSpec {
+					tenant, name = splitKey(key)
+				}
+				vn := req.Vantage
+				if vn == "" {
+					vn = "US-EDU-1"
+				}
+				d.mu.Lock()
+				d.retained = append(d.retained, retainedLine{
+					Tenant: tenant, Campaign: name, Vantage: vn,
+					State: rec.State, Reason: rec.Reason,
+				})
+				d.mu.Unlock()
+				// A leftover checkpoint under a terminal campaign is
+				// the remnant of a crash between the done record and
+				// the checkpoint delete.
+				d.st.Delete(key, kindCkpt)
+				retained++
+				continue
+			}
+			d.quarantine(key, kindDone, fmt.Sprintf("unusable done record: %v", err))
+			failed++
+		}
+
+		if !haveSpec {
+			// Nothing to resubmit from; put whatever is left aside.
+			for kind := range kinds {
+				if kind != kindSpec && kind != kindDone {
+					d.quarantine(key, kind, "no usable spec for campaign")
+				}
+			}
+			if len(kinds) > 0 {
+				failed++
+			}
+			continue
+		}
+
 		var art []byte
-		ap := d.artifactPath(req.Tenant, req.Name)
-		if b, err := os.ReadFile(ap); err == nil {
-			art = b
+		if _, ok := kinds[kindCkpt]; ok {
+			b, err := d.st.Get(key, kindCkpt)
+			if err != nil {
+				d.quarantine(key, kindCkpt, fmt.Sprintf("unreadable checkpoint: %v", err))
+				failed++
+			} else {
+				art = b
+			}
 		}
-		if _, err := d.submit(req, art); err != nil {
-			return n, fmt.Errorf("resume %s/%s: %w", req.Tenant, req.Name, err)
+		if _, err := d.submit(req, art, false); err != nil {
+			if art != nil {
+				// The artifact may be the bad half; quarantine it and
+				// degrade to a fresh run from the pinned spec — better
+				// a restarted campaign than a lost one.
+				d.quarantine(key, kindCkpt, fmt.Sprintf("resume rejected: %v", err))
+				failed++
+				if _, err2 := d.submit(req, nil, false); err2 == nil {
+					resumed++
+					continue
+				}
+			}
+			d.quarantine(key, kindSpec, fmt.Sprintf("resubmit rejected: %v", err))
+			failed++
+			continue
 		}
-		os.Remove(sc)
-		os.Remove(ap)
-		n++
+		resumed++
 	}
-	return n, nil
+	return resumed, retained, failed
+}
+
+func (d *daemon) quarantine(key, kind, reason string) {
+	fmt.Fprintf(os.Stderr, "beholderd: quarantining %s.%s: %s\n", key, kind, reason)
+	if err := d.st.Quarantine(key, kind, reason); err != nil {
+		fmt.Fprintf(os.Stderr, "beholderd: quarantine %s.%s: %v\n", key, kind, err)
+	}
+}
+
+// splitKey best-effort inverts storeKey for display when no spec
+// survives to say the real names.
+func splitKey(key string) (tenant, name string) {
+	if i := strings.Index(key, "__"); i >= 0 {
+		return key[:i], key[i+2:]
+	}
+	return key, key
 }
 
 func (d *daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -297,7 +664,7 @@ func (d *daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if _, err := d.submit(req, nil); err != nil {
+	if _, err := d.submit(req, nil, true); err != nil {
 		http.Error(w, err.Error(), submitStatus(err))
 		return
 	}
@@ -334,6 +701,15 @@ func (d *daemon) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
 		Breaker  string `json:"breaker"`
 	}
 	var out []line
+	d.mu.Lock()
+	for _, rl := range d.retained {
+		out = append(out, line{
+			Tenant: rl.Tenant, Campaign: rl.Campaign, Vantage: rl.Vantage,
+			State: rl.State, Reason: rl.Reason,
+			Breaker: d.sch.BreakerState(rl.Vantage),
+		})
+	}
+	d.mu.Unlock()
 	for _, cs := range d.sch.Status() {
 		out = append(out, line{
 			Tenant: cs.Tenant, Campaign: cs.Campaign, Vantage: cs.Vantage,
@@ -345,10 +721,33 @@ func (d *daemon) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
-// handleDrain checkpoints every campaign into the state dir, reports
-// what survived, and exits: the drain is terminal for the supervisor,
-// so the process follows it. A restarted beholderd on the same state
-// dir resumes every drained campaign byte-identically.
+// drainToStore checkpoints every running campaign's artifact into the
+// durable store. Queued campaigns need nothing: their specs (with
+// pinned targets) were persisted at admission.
+func (d *daemon) drainToStore(ctx context.Context) ([]string, error) {
+	drained, err := d.sch.Drain(ctx)
+	if err != nil && !errors.Is(err, beholder.ErrDraining) {
+		return nil, err
+	}
+	var saved []string
+	for _, dc := range drained {
+		if dc.Artifact != nil {
+			key := storeKey(dc.Spec.Tenant, dc.Spec.Name)
+			if err := d.st.Put(key, kindCkpt, dc.Artifact); err != nil {
+				return saved, err
+			}
+		}
+		saved = append(saved, dc.Spec.Tenant+"/"+dc.Spec.Name)
+	}
+	return saved, nil
+}
+
+// handleDrain checkpoints every campaign into the durable store,
+// reports what survived, and triggers the ordered shutdown: stream
+// files are flushed and closed, the HTTP server is shut down (which
+// flushes this response), the store journal is closed, and only then
+// does the process exit. A restarted beholderd on the same state dir
+// resumes every drained campaign byte-identically.
 func (d *daemon) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -356,44 +755,13 @@ func (d *daemon) handleDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
 	defer cancel()
-	drained, err := d.sch.Drain(ctx)
-	if err != nil && !errors.Is(err, beholder.ErrDraining) {
+	saved, err := d.drainToStore(ctx)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	var saved []string
-	for _, dc := range drained {
-		req := campaignReq{
-			Tenant: dc.Spec.Tenant, Name: dc.Spec.Name, Vantage: dc.Spec.Vantage,
-			Rate: dc.Spec.Rate, MaxTTL: int(dc.Spec.MaxTTL), Fill: dc.Spec.Fill,
-			Key: dc.Spec.Key, Shards: dc.Spec.Shards, Batch: dc.Spec.Batch,
-			DeadlineMS: dc.Spec.Deadline.Milliseconds(),
-		}
-		if dc.Artifact == nil {
-			// Never started: the sidecar must carry the target set the
-			// artifact would otherwise pin.
-			for _, a := range dc.Spec.Targets {
-				req.Targets = append(req.Targets, a.String())
-			}
-		} else if err := os.WriteFile(d.artifactPath(req.Tenant, req.Name), dc.Artifact, 0o644); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		sc, err := json.MarshalIndent(req, "", "  ")
-		if err == nil {
-			err = os.WriteFile(d.sidecarPath(req.Tenant, req.Name), sc, 0o644)
-		}
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		saved = append(saved, req.Tenant+"/"+req.Name)
-	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"drained": saved, "state_dir": d.stateDir})
-	fmt.Fprintf(os.Stderr, "beholderd: drained %d campaign(s) to %s; exiting\n", len(saved), d.stateDir)
-	go func() {
-		time.Sleep(200 * time.Millisecond) // let the response flush
-		os.Exit(0)
-	}()
+	fmt.Fprintf(os.Stderr, "beholderd: drained %d campaign(s) to %s\n", len(saved), d.stateDir)
+	d.shutdown()
 }

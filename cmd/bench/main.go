@@ -78,13 +78,13 @@ type Result struct {
 // fully deterministic — virtual-time simulation, fixed keys — so the
 // gate measures the generation model, not benchmark noise.
 type AdaptiveYield struct {
-	Budget             int64   `json:"budget_probes"`
-	StaticTargets      int     `json:"static_targets"`
-	StaticProbes       int64   `json:"static_probes"`
-	StaticInterfaces   int     `json:"static_interfaces"`
-	AdaptiveProbes     int64   `json:"adaptive_probes"`
-	AdaptiveInterfaces int     `json:"adaptive_interfaces"`
-	AdaptiveEpochs     int     `json:"adaptive_epochs"`
+	Budget             int64 `json:"budget_probes"`
+	StaticTargets      int   `json:"static_targets"`
+	StaticProbes       int64 `json:"static_probes"`
+	StaticInterfaces   int   `json:"static_interfaces"`
+	AdaptiveProbes     int64 `json:"adaptive_probes"`
+	AdaptiveInterfaces int   `json:"adaptive_interfaces"`
+	AdaptiveEpochs     int   `json:"adaptive_epochs"`
 	// Ratio is adaptive interfaces over static interfaces at the shared
 	// budget — the discovery-per-probe advantage of the feedback loop.
 	Ratio float64 `json:"ratio"`
@@ -190,6 +190,7 @@ func main() {
 		minFaults = flag.Float64("min-faults-ratio", 0.98, "with -check: fail when an armed-but-idle fault plane drops throughput below this fraction of the fault-free campaign")
 		minSched  = flag.Float64("min-sched-ratio", 0.95, "with -check: fail when a supervised single-tenant campaign drops throughput below this fraction of the bare campaign")
 		minAdapt  = flag.Float64("min-adaptive-ratio", 1.1, "with -check: fail when adaptive generation discovers fewer than this multiple of the static pipeline's interfaces at equal probe budget")
+		minCkpt   = flag.Float64("min-ckpt-ratio", 0.95, "with -check: fail when periodic checkpointing drops supervised throughput below this fraction of the drain-only run")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -321,6 +322,68 @@ func main() {
 		return res.Stats.ProbesSent
 	}
 	cur["Yarrp6Bare"], cur["Yarrp6Supervised"] = measureAlternating(campaignFn, schedFn, 5)
+
+	// Periodic-checkpoint overhead pair: the supervised campaign with
+	// drain-only snapshots (Yarrp6DrainOnly) against the same campaign
+	// interrupted, serialized, and resumed on a cadence sized for ~4
+	// snapshot cycles per run (Yarrp6PeriodicCkpt). -check gates the
+	// ratio (-min-ckpt-ratio), so crash-loss bounding stays affordable
+	// enough to leave on in production daemons.
+	supervisedFn := func(every time.Duration, sank *int) func() int64 {
+		return func() int64 {
+			thrIn.Reset()
+			v := thrIn.NewVantage("throughput")
+			key++
+			opt := beholder.SchedulerOptions{
+				Tenants: []beholder.Tenant{{Name: "bench"}}, Workers: 1,
+				StallBudget: time.Minute,
+			}
+			if every > 0 {
+				opt.CheckpointEvery = every
+				opt.CheckpointSink = func(string, string, []byte) error {
+					*sank++
+					return nil
+				}
+			}
+			sch, err := thrIn.NewScheduler(opt)
+			if err != nil {
+				panic(err)
+			}
+			h, err := sch.Submit(v, thrTargets, beholder.SubmitOptions{
+				Tenant: "bench", Name: "campaign", Rate: 10000, MaxTTL: 16, Key: key, Shards: 2,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res, err := h.Wait(context.Background())
+			if err != nil {
+				panic(err)
+			}
+			if res.State != beholder.CampaignCompleted || res.Retries != 0 {
+				panic("bench: checkpointed campaign did not complete cleanly")
+			}
+			if _, err := sch.Drain(context.Background()); err != nil {
+				panic(err)
+			}
+			return res.Stats.ProbesSent
+		}
+	}
+	var snapshots int
+	drainOnlyFn := supervisedFn(0, nil)
+	// Size the cadence from a live drain-only run so the checkpointed
+	// variant snapshots ~4 times regardless of host speed.
+	calStart := time.Now()
+	drainOnlyFn()
+	ckptEvery := time.Since(calStart) / 5
+	if ckptEvery < time.Millisecond {
+		ckptEvery = time.Millisecond
+	}
+	periodicFn := supervisedFn(ckptEvery, &snapshots)
+	cur["Yarrp6DrainOnly"], cur["Yarrp6PeriodicCkpt"] = measureAlternating(drainOnlyFn, periodicFn, 5)
+	if snapshots == 0 {
+		fmt.Fprintln(os.Stderr, "bench: periodic-checkpoint pair took zero snapshots; cadence miscalibrated")
+		os.Exit(1)
+	}
 
 	// The same campaign with the streaming topology-graph observer
 	// attached (mirrors BenchmarkYarrp6GraphObserver): graph ingest must
@@ -553,12 +616,13 @@ func main() {
 	if *check {
 		failed := false
 		for name, r := range cur {
-			if name == "Yarrp6Supervised" {
+			if name == "Yarrp6Supervised" || name == "Yarrp6DrainOnly" || name == "Yarrp6PeriodicCkpt" {
 				// The supervisor builds the campaign's terminal topology
 				// graph (graph.FromStore) as part of its result — a
-				// once-per-campaign artifact, not per-probe work — so its
-				// allocs/probe is judged by the throughput ratio gate
-				// below, not the flat per-probe bound.
+				// once-per-campaign artifact, not per-probe work — and
+				// the checkpointed variant serializes snapshots on top.
+				// Their allocs/probe are judged by the throughput ratio
+				// gates below, not the flat per-probe bound.
 				continue
 			}
 			if r.AllocsPerProbe > *maxAllocs {
@@ -595,6 +659,12 @@ func main() {
 		if bare, sup := cur["Yarrp6Bare"], cur["Yarrp6Supervised"]; bare.ProbesPerSec > 0 {
 			if ratio := sup.ProbesPerSec / bare.ProbesPerSec; ratio < *minSched {
 				fmt.Fprintf(os.Stderr, "bench: supervised campaign throughput ratio %.3f below bound %.3f\n", ratio, *minSched)
+				failed = true
+			}
+		}
+		if off, on := cur["Yarrp6DrainOnly"], cur["Yarrp6PeriodicCkpt"]; off.ProbesPerSec > 0 {
+			if ratio := on.ProbesPerSec / off.ProbesPerSec; ratio < *minCkpt {
+				fmt.Fprintf(os.Stderr, "bench: periodic-checkpoint throughput ratio %.3f below bound %.3f\n", ratio, *minCkpt)
 				failed = true
 			}
 		}

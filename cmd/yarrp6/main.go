@@ -88,11 +88,11 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "file for the resume artifact of an interrupted campaign (required with -interrupt-at)")
 		resume    = flag.String("resume", "", "resume a campaign from this checkpoint artifact; the artifact pins the campaign configuration, and explicitly-set target or tuning flags that contradict it are an error")
 
-		adaptive  = flag.Bool("adaptive", false, "closed-loop probabilistic generation: the -input/-seeds addresses become seed observations for a density-weighted prefix trie that generates targets epoch by epoch from discovery feedback")
-		adBudget  = flag.Int64("adaptive-budget", 0, "total probe budget across adaptation epochs (0 = bounded by -adaptive-epochs alone)")
-		adPerEp   = flag.Int("adaptive-epoch-targets", 0, "targets generated per adaptation epoch (0 = engine default)")
-		adEpochs  = flag.Int("adaptive-epochs", 0, "maximum adaptation epochs (0 = engine default)")
-		adAPD     = flag.Int("adaptive-apd", 1, "fully-responsive targets per /64 that nominate it for boundary alias detection (negative disables APD pruning)")
+		adaptive = flag.Bool("adaptive", false, "closed-loop probabilistic generation: the -input/-seeds addresses become seed observations for a density-weighted prefix trie that generates targets epoch by epoch from discovery feedback")
+		adBudget = flag.Int64("adaptive-budget", 0, "total probe budget across adaptation epochs (0 = bounded by -adaptive-epochs alone)")
+		adPerEp  = flag.Int("adaptive-epoch-targets", 0, "targets generated per adaptation epoch (0 = engine default)")
+		adEpochs = flag.Int("adaptive-epochs", 0, "maximum adaptation epochs (0 = engine default)")
+		adAPD    = flag.Int("adaptive-apd", 1, "fully-responsive targets per /64 that nominate it for boundary alias detection (negative disables APD pruning)")
 	)
 	flag.Parse()
 	if *interrupt > 0 && *ckptPath == "" {

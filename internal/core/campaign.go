@@ -101,6 +101,15 @@ type CampaignConfig struct {
 	// results, and Checkpoint serializes the complete state so Resume
 	// continues the run as if it had never stopped.
 	InterruptAt time.Duration
+	// DeferMerge skips the partial-store fold on interrupted runs:
+	// RunContext returns a nil store with ErrInterrupted, and
+	// MergedStore folds the shard stores on demand. Supervisors that
+	// interrupt only to checkpoint-and-continue (periodic snapshots)
+	// discard the partial merge, so deferring it keeps each snapshot
+	// cycle from paying two full passes over the result set (the
+	// checkpoint-preserving clones plus the tree merge) for nothing.
+	// Completed runs always merge inline.
+	DeferMerge bool
 }
 
 // ProgressConfig parameterizes the campaign progress stream.
@@ -173,7 +182,9 @@ type Campaign struct {
 	beat        atomic.Int64
 	keep        bool // per-shard state preserved (interruptible run)
 	quarantined bool
-	res         *resumeState // non-nil when built by Resume
+	res         *resumeState  // non-nil when built by Resume or Rewind
+	deferred    []*shardState // interrupted run's unmerged shards (DeferMerge)
+	tmpl        *probe.TmplStore
 }
 
 // shardState is one prober's slot in the campaign: its permutation
@@ -391,9 +402,12 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 	// only by instance byte, which templates hold variable, so each
 	// target's probe template is built once instead of once per shard.
 	var tmpl *probe.TmplStore
-	if cfg.Shards > 1 {
+	if c.res != nil && c.res.tmpl != nil {
+		tmpl = c.res.tmpl
+	} else if cfg.Shards > 1 {
 		tmpl = probe.NewTmplStore(tmplCacheSize(len(cfg.Targets)))
 	}
+	c.tmpl = tmpl
 	// Per-shard interface first-seen tracking feeds the global
 	// discovery-curve merge and the progress interface counts;
 	// single-shard runs without progress skip the bookkeeping.
@@ -450,8 +464,15 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 			start = rsh.rs.now - c.res.epoch
 		}
 		// The factory runs serially: connection construction may mutate
-		// shared vantage state (clock-group registration).
-		conn := c.connOf(s, start)
+		// shared vantage state (clock-group registration). A live rewind
+		// hands back the interrupted shard's own connection — already at
+		// the captured instant, caches warm, in-flight replies queued.
+		var conn probe.Conn
+		if rsh != nil && rsh.conn != nil {
+			conn = rsh.conn
+		} else {
+			conn = c.connOf(s, start)
+		}
 		if s == 0 && c.res == nil {
 			// Shard 0's window opens at offset zero, so its connection's
 			// current instant is the campaign epoch in absolute virtual
@@ -559,28 +580,16 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 			end = t
 		}
 	}
-	// Fold the shard stores with a parallel tree merge: pairwise
-	// probe.Store.Merge on worker goroutines, halving the list each
-	// level, so merge latency is O(log N) pairwise merges instead of a
-	// serial O(N) fold. Merge is commutative and associative (property
-	// tests in internal/probe pin this), and shards own disjoint
-	// permutation slices, so the tree shape cannot change the result;
-	// pairing adjacent shards additionally keeps the fold in
-	// virtual-time order, preserving the documented first-answer rule
-	// even for overlapping ad-hoc inputs. A checkpointable run merges
-	// clones so Checkpoint can still serialize the per-shard stores.
-	stores := make([]*probe.Store, len(all))
-	for i, ss := range all {
-		stores[i] = ss.store
+	// Fold the shard stores — unless the caller deferred the interrupt
+	// merge, in which case the shards are parked for MergedStore and
+	// the partial fold (clones plus tree merge, two full passes over
+	// the result set) is skipped entirely.
+	var merged *probe.Store
+	if interrupted && cfg.DeferMerge {
+		c.deferred = all
+	} else {
+		merged = c.mergeShards(all)
 	}
-	if c.keep {
-		for i := range stores {
-			clone := probe.NewStore(cfg.RecordPaths)
-			clone.Merge(stores[i])
-			stores[i] = clone
-		}
-	}
-	merged := mergeStoreTree(stores)
 	// Elapsed spans the whole virtual schedule: from the campaign epoch
 	// to the last shard's drain deadline (or the interrupt instant).
 	out.Elapsed = end
@@ -625,6 +634,43 @@ func (c *Campaign) RunContext(ctx context.Context) (*probe.Store, CampaignStats,
 		return merged, out, ErrInterrupted
 	}
 	return merged, out, nil
+}
+
+// mergeShards folds the given shard stores with a parallel tree merge:
+// pairwise probe.Store.Merge on worker goroutines, halving the list
+// each level, so merge latency is O(log N) pairwise merges instead of a
+// serial O(N) fold. Merge is commutative and associative (property
+// tests in internal/probe pin this), and shards own disjoint
+// permutation slices, so the tree shape cannot change the result;
+// pairing adjacent shards additionally keeps the fold in virtual-time
+// order, preserving the documented first-answer rule even for
+// overlapping ad-hoc inputs. A checkpointable run merges clones so
+// Checkpoint can still serialize the per-shard stores.
+func (c *Campaign) mergeShards(all []*shardState) *probe.Store {
+	stores := make([]*probe.Store, len(all))
+	for i, ss := range all {
+		stores[i] = ss.store
+	}
+	if c.keep {
+		for i := range stores {
+			clone := probe.NewStore(c.cfg.RecordPaths)
+			clone.Merge(stores[i])
+			stores[i] = clone
+		}
+	}
+	return mergeStoreTree(stores)
+}
+
+// MergedStore folds an interrupted DeferMerge run's partial results on
+// demand — the store RunContext would have returned inline. It returns
+// nil when no deferred merge is pending (the run completed, or
+// DeferMerge was off). The campaign stays checkpointable: the fold
+// works on clones, exactly as the inline merge does.
+func (c *Campaign) MergedStore() *probe.Store {
+	if c.deferred == nil {
+		return nil
+	}
+	return c.mergeShards(c.deferred)
 }
 
 // runShards drives the given probers concurrently, one goroutine per

@@ -91,6 +91,11 @@ type resumeShard struct {
 	samples   []telemetry.Sample
 	firstSeen map[netip.Addr]time.Duration
 	store     *probe.Store
+	// conn, when non-nil, is the live connection the shard state was
+	// captured from (Campaign.Rewind): the resumed shard reuses it
+	// instead of opening a fresh clone, keeping the simulator's flow-plan
+	// and template caches warm across a periodic checkpoint.
+	conn probe.Conn
 }
 
 // resumeState is a decoded artifact: the campaign shape plus every
@@ -98,6 +103,10 @@ type resumeShard struct {
 type resumeState struct {
 	epoch  time.Duration
 	shards []*resumeShard
+	// tmpl carries the campaign's shared probe-template store across an
+	// in-process Rewind so rebuilt shard codecs skip re-deriving every
+	// target's template. Nil for artifact-decoded resumes.
+	tmpl *probe.TmplStore
 }
 
 // Checkpoint serializes the campaign's complete state after an
@@ -119,6 +128,60 @@ func (c *Campaign) Checkpoint() ([]byte, error) {
 		buf = appendSection(buf, sectShard, c.appendShard(nil, ss))
 	}
 	return buf, nil
+}
+
+// Rewind returns a fresh campaign that continues this interrupted run
+// in-process — the same continuation Resume(Checkpoint(), ...) builds,
+// without the serialize/decode round trip. The receiver hands its live
+// shard state (stores, permutation cursors, in-flight replies,
+// simulator blobs) to the returned campaign and must not be run,
+// checkpointed, or rewound again. Periodic checkpointing wants this
+// path: each snapshot cycle pays one serialization for the durable
+// artifact, not a second full decode just to keep running. The
+// continuation is byte-identical to the artifact round trip — both
+// feed RunContext the state captured at the same probe boundary.
+func (c *Campaign) Rewind(rc ResumeConfig, connOf ConnFactory) (*Campaign, error) {
+	if !c.keep || len(c.shards) == 0 {
+		return nil, ErrNotCheckpointable
+	}
+	if c.quarantined {
+		return nil, fmt.Errorf("%w: shards were quarantined", ErrNotCheckpointable)
+	}
+	state := &resumeState{epoch: c.epoch, shards: make([]*resumeShard, 0, len(c.shards))}
+	for _, ss := range c.shards {
+		sh := &resumeShard{done: ss.done, stats: ss.stats, store: ss.store}
+		if ss.track != nil {
+			sh.firstSeen = ss.track.first
+		}
+		if ss.done {
+			if ss.prog != nil {
+				sh.samples = ss.prog.Samples()
+			}
+		} else {
+			rs := ss.rs
+			if rs == nil {
+				return nil, ErrNotCheckpointable
+			}
+			// Mirror decodeShard: the capture's stats double as the
+			// restored run state for a live shard.
+			rs.stats = ss.stats
+			rs.notMine = ss.stats.NotMine
+			rs.live = true
+			sh.samples = rs.samples
+			sh.rs = rs
+			sh.conn = ss.conn
+		}
+		state.shards = append(state.shards, sh)
+	}
+	state.tmpl = c.tmpl
+	cfg := c.cfg
+	cfg.NewObserver = rc.NewObserver
+	cfg.Telemetry = rc.Telemetry
+	cfg.InterruptAt = rc.InterruptAt
+	if cfg.Progress != nil {
+		cfg.Progress = &ProgressConfig{Writer: rc.ProgressWriter, SampleEvery: c.slots, PerShard: rc.ProgressPerShard}
+	}
+	return &Campaign{cfg: cfg, connOf: connOf, epoch: c.epoch, res: state}, nil
 }
 
 func appendSection(buf []byte, typ byte, payload []byte) []byte {

@@ -225,6 +225,69 @@ func TestCampaignCheckpointChain(t *testing.T) {
 	assertRunsEqual(t, "chained resume", got, ref)
 }
 
+// TestCampaignRewindChain drives the in-process continuation path the
+// scheduler's periodic checkpointing takes: DeferMerge skips the
+// partial-store fold on each interrupted run, Checkpoint serializes the
+// durable artifact, and Rewind continues on the live connections —
+// no decode round trip, no fresh clones. The final results must be
+// byte-identical to the uninterrupted reference.
+func TestCampaignRewindChain(t *testing.T) {
+	const seed = 7171
+	targets := campaignTargets(t, seed, 61)
+	ref := ckptReference(t, seed, targets, 2, 64)
+
+	v := ckptVantage(seed)
+	cfg := campaignCfg(targets)
+	cfg.Batch = 64
+	var progress bytes.Buffer
+	connOf := func(_ int, start time.Duration) probe.Conn { return v.Clone(start) }
+	cuts := []time.Duration{400 * time.Millisecond, 900 * time.Millisecond, 1400 * time.Millisecond}
+	camp := NewCampaign(CampaignConfig{
+		Config: cfg, Shards: 2, RecordPaths: true,
+		Telemetry:  telemetry.NewRegistry(),
+		Progress:   &ProgressConfig{Writer: &progress},
+		DeferMerge: true, InterruptAt: cuts[0],
+	}, connOf)
+	for i := 0; ; i++ {
+		store, stats, err := camp.Run()
+		if err == nil {
+			got := ckptRun{store: store, graph: graphNDJSON(t, store), progress: progress.Bytes(), stats: stats}
+			assertRunsEqual(t, "rewound", got, ref)
+			break
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("cut %d: %v", i, err)
+		}
+		if store != nil {
+			t.Fatalf("cut %d: DeferMerge run returned a merged store", i)
+		}
+		if camp.MergedStore() == nil {
+			t.Fatalf("cut %d: MergedStore returned nil after deferred interrupt", i)
+		}
+		// The durable artifact is still cut here on the periodic path;
+		// it must stay decodable even though the continuation is live.
+		art, err := camp.Checkpoint()
+		if err != nil {
+			t.Fatalf("cut %d: checkpoint: %v", i, err)
+		}
+		if _, err := InspectCheckpoint(art); err != nil {
+			t.Fatalf("cut %d: artifact invalid: %v", i, err)
+		}
+		next := time.Duration(0)
+		if i+1 < len(cuts) {
+			next = cuts[i+1]
+		}
+		camp, err = camp.Rewind(ResumeConfig{
+			Telemetry:      telemetry.NewRegistry(),
+			ProgressWriter: &progress,
+			InterruptAt:    next,
+		}, connOf)
+		if err != nil {
+			t.Fatalf("cut %d: rewind: %v", i, err)
+		}
+	}
+}
+
 // TestCampaignCancelBeforeRun: a pre-cancelled context stops every
 // shard before its first probe; the checkpoint resumes into the full
 // campaign.

@@ -235,6 +235,12 @@ type shardResume struct {
 	// without checkpoint support. Restoring it makes a resumed run exact
 	// even when a rate limiter was saturated across the interrupt.
 	simState []byte
+	// live marks an in-process continuation on the very connection the
+	// state was captured from (Campaign.Rewind): the pending replies are
+	// still queued and the simulator state is still current, so the
+	// restore skips re-injection and import — both would be redundant,
+	// and injecting would duplicate the in-flight replies.
+	live bool
 }
 
 // CurvePoint samples discovery progress (Figure 7): after Probes probes,
@@ -588,16 +594,17 @@ func (y *Yarrp6) Run(store *probe.Store) (Stats, error) {
 			y.prog.Restore(rs.samples)
 			y.nextSample = y.prog.NextThreshold(y.conn.Now())
 		}
-		if ck, ok := y.conn.(probe.ConnCheckpointer); ok {
+		if ck, ok := y.conn.(probe.ConnCheckpointer); ok && !rs.live {
 			for _, pr := range rs.pending {
 				ck.InjectReply(pr.at, pr.data)
 			}
 		}
 		// Restore the rate-limiter state captured at the interrupt, or —
 		// for artifacts predating the sim-state blob — reconstruct it by
-		// replaying the serial schedule up to the captured cursor.
-		restored := false
-		if len(rs.simState) > 0 {
+		// replaying the serial schedule up to the captured cursor. A live
+		// continuation needs neither: the connection still holds both.
+		restored := rs.live
+		if !restored && len(rs.simState) > 0 {
 			if sk, ok := y.conn.(probe.SimStateCheckpointer); ok {
 				if err := sk.ImportSimState(rs.simState); err != nil {
 					return Stats{}, fmt.Errorf("yarrp6: sim state: %w", err)

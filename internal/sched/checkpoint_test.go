@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beholder/internal/core"
+	"beholder/internal/netsim"
+	"beholder/internal/probe"
+	"beholder/internal/telemetry"
+	"beholder/internal/testutil"
+)
+
+// TestPeriodicCheckpoint pins the periodic-checkpoint cycle: a
+// wall-slowed campaign under CheckpointEvery is interrupted,
+// snapshotted to the sink, and resumed several times, completes with
+// zero retries consumed, and its store is byte-identical to the solo
+// uninterrupted run. Every sink artifact must be a structurally valid
+// checkpoint, and the snapshots must surface in telemetry and the
+// tenant stream.
+func TestPeriodicCheckpoint(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+	const seed = 1310
+	env := newTestEnv(seed, nil)
+	// Slow sends so the campaign spans many checkpoint intervals;
+	// virtual time (and so every result byte) is untouched.
+	op := func(spec *CampaignSpec) (core.ConnFactory, error) {
+		inner, err := env.opener(spec)
+		if err != nil {
+			return nil, err
+		}
+		return func(shard int, start time.Duration) probe.Conn {
+			return &slowConn{Vantage: inner(shard, start).(*netsim.Vantage), delay: time.Millisecond}
+		}, nil
+	}
+
+	var mu sync.Mutex
+	var artifacts [][]byte
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{
+		Opener:  op,
+		Tenants: []Tenant{{Name: "acme"}},
+		Workers: 1,
+		// The watchdog must never fire here: only the checkpoint
+		// timer may interrupt.
+		StallBudget:     30 * time.Second,
+		CheckpointEvery: 25 * time.Millisecond,
+		CheckpointSink: func(spec *CampaignSpec, art []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			artifacts = append(artifacts, append([]byte(nil), art...))
+			return nil
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	spec := testSpec("acme", "periodic", schedTargets(seed, 48))
+	spec.Shards = 2
+	spec.Batch = 1
+	spec.Stream = &stream
+	h, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateCompleted {
+		t.Fatalf("state = %v (%s), want completed", res.State, res.Reason)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("periodic checkpoints consumed %d retries", res.Retries)
+	}
+	drainAll(t, s)
+
+	mu.Lock()
+	n := len(artifacts)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("no periodic checkpoint reached the sink")
+	}
+	for i, art := range artifacts {
+		if _, err := core.InspectCheckpoint(art); err != nil {
+			t.Fatalf("sink artifact %d invalid: %v", i, err)
+		}
+	}
+	if got := counterVal(t, reg.Snapshot(), "sched_checkpoints_total"); got != int64(n) {
+		t.Fatalf("sched_checkpoints_total = %d, sink saw %d", got, n)
+	}
+	if !strings.Contains(stream.String(), `"checkpoint"`) {
+		t.Fatal("no checkpoint event on the tenant stream")
+	}
+
+	solo, _, err := soloRun(t, seed, nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Store.AppendBinary(nil), solo.AppendBinary(nil)) {
+		t.Fatalf("store after %d periodic checkpoint cycles differs from solo run", n)
+	}
+}
+
+// TestPeriodicCheckpointDisabled pins the zero-value behavior: without
+// CheckpointEvery the sink is never called and no checkpoint metric
+// moves.
+func TestPeriodicCheckpointDisabled(t *testing.T) {
+	testutil.NoGoroutineLeaks(t)
+	const seed = 1311
+	env := newTestEnv(seed, nil)
+	reg := telemetry.NewRegistry()
+	called := false
+	s, err := New(Config{
+		Opener:  env.opener,
+		Tenants: []Tenant{{Name: "acme"}},
+		Workers: 1,
+		CheckpointSink: func(*CampaignSpec, []byte) error {
+			called = true
+			return nil
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Submit(testSpec("acme", "plain", schedTargets(seed, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil || res.State != StateCompleted {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	drainAll(t, s)
+	if called {
+		t.Fatal("sink called with CheckpointEvery unset")
+	}
+	if got := counterVal(t, reg.Snapshot(), "sched_checkpoints_total"); got != 0 {
+		t.Fatalf("sched_checkpoints_total = %d, want 0", got)
+	}
+}

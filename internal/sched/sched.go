@@ -98,6 +98,21 @@ type Config struct {
 	// open before admitting a half-open trial. Defaults 3 and 1s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// CheckpointEvery, when positive, periodically snapshots each
+	// running campaign: after that much wall time the attempt is
+	// interrupted at a probe boundary, its checkpoint artifact is
+	// handed to CheckpointSink, and the campaign resumes from the
+	// artifact on fresh connections — the same interrupt/resume cycle
+	// the watchdog uses, so results stay byte-identical to an
+	// uninterrupted run. A process killed between snapshots loses at
+	// most one interval of virtual progress. Zero disables periodic
+	// checkpointing (drain-only snapshots, the previous behavior).
+	CheckpointEvery time.Duration
+	// CheckpointSink receives each periodic checkpoint artifact. A
+	// sink error is counted (sched_checkpoint_sink_errors_total) and
+	// the campaign keeps running — losing a snapshot degrades crash
+	// durability, not the run.
+	CheckpointSink func(spec *CampaignSpec, artifact []byte) error
 	// Telemetry, when non-nil, receives the sched_* metrics and every
 	// campaign's hot-path yarrp_* metrics.
 	Telemetry *telemetry.Registry
@@ -347,6 +362,7 @@ type job struct {
 type schedMetrics struct {
 	submitted, rejected, completed, incomplete *telemetry.Counter
 	drained, retries, watchdog, breakerOpened  *telemetry.Counter
+	checkpoints, ckptSinkErrors                *telemetry.Counter
 	queueDepth, running                        *telemetry.Gauge
 }
 
@@ -397,16 +413,18 @@ func New(cfg Config) (*Supervisor, error) {
 	}
 	if r := cfg.Telemetry; r != nil {
 		s.met = schedMetrics{
-			submitted:     r.Counter("sched_submitted_total"),
-			rejected:      r.Counter("sched_rejected_total"),
-			completed:     r.Counter("sched_completed_total"),
-			incomplete:    r.Counter("sched_incomplete_total"),
-			drained:       r.Counter("sched_drained_total"),
-			retries:       r.Counter("sched_retries_total"),
-			watchdog:      r.Counter("sched_watchdog_interrupts_total"),
-			breakerOpened: r.Counter("sched_breaker_open_total"),
-			queueDepth:    r.Gauge("sched_queue_depth"),
-			running:       r.Gauge("sched_running"),
+			submitted:      r.Counter("sched_submitted_total"),
+			rejected:       r.Counter("sched_rejected_total"),
+			completed:      r.Counter("sched_completed_total"),
+			incomplete:     r.Counter("sched_incomplete_total"),
+			drained:        r.Counter("sched_drained_total"),
+			retries:        r.Counter("sched_retries_total"),
+			watchdog:       r.Counter("sched_watchdog_interrupts_total"),
+			breakerOpened:  r.Counter("sched_breaker_open_total"),
+			checkpoints:    r.Counter("sched_checkpoints_total"),
+			ckptSinkErrors: r.Counter("sched_checkpoint_sink_errors_total"),
+			queueDepth:     r.Gauge("sched_queue_depth"),
+			running:        r.Gauge("sched_running"),
 		}
 	}
 	s.wg.Add(cfg.Workers)
@@ -606,6 +624,11 @@ func (s *Supervisor) campaignConfig(j *job) core.CampaignConfig {
 		Telemetry:   s.tel,
 		NewObserver: s.observerFactory(j),
 		InterruptAt: sp.Deadline,
+		// Interrupted partial stores are folded lazily (MergedStore) on
+		// the terminal paths that actually publish them; the periodic
+		// checkpoint-and-continue path never asks, so snapshot cycles
+		// skip the fold.
+		DeferMerge: true,
 	}
 }
 
@@ -631,28 +654,35 @@ func (s *Supervisor) runJob(j *job) {
 		return
 	}
 	artifact := j.spec.Resume
+	var rewound *core.Campaign
 	attempt := 0
 	for {
 		attempt++
-		factory, err := s.cfg.Opener(&j.spec)
-		if err != nil {
-			s.breakerFailure(j)
-			s.finalize(j, &Result{State: StateIncomplete, Reason: "open-failed", Err: err})
-			return
-		}
 		var camp *core.Campaign
-		if artifact == nil {
-			camp = core.NewCampaign(s.campaignConfig(j), factory)
+		if rewound != nil {
+			// Periodic-checkpoint continuation handed over in-process; the
+			// durable artifact was persisted but needs no decoding.
+			camp, rewound = rewound, nil
 		} else {
-			camp, err = core.Resume(artifact, core.ResumeConfig{
-				NewObserver: s.observerFactory(j),
-				Telemetry:   s.tel,
-				InterruptAt: j.spec.Deadline,
-			}, factory)
+			factory, err := s.cfg.Opener(&j.spec)
 			if err != nil {
 				s.breakerFailure(j)
-				s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Err: err})
+				s.finalize(j, &Result{State: StateIncomplete, Reason: "open-failed", Err: err})
 				return
+			}
+			if artifact == nil {
+				camp = core.NewCampaign(s.campaignConfig(j), factory)
+			} else {
+				camp, err = core.Resume(artifact, core.ResumeConfig{
+					NewObserver: s.observerFactory(j),
+					Telemetry:   s.tel,
+					InterruptAt: j.spec.Deadline,
+				}, factory)
+				if err != nil {
+					s.breakerFailure(j)
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Err: err})
+					return
+				}
 			}
 		}
 		j.camp.Store(camp)
@@ -664,7 +694,7 @@ func (s *Supervisor) runJob(j *job) {
 		}
 		j.st.event(Event{Event: "started", Tenant: j.spec.Tenant, Campaign: j.spec.Name, Attempt: attempt})
 
-		store, stats, runErr, fired := s.runAttempt(camp)
+		store, stats, runErr, fired, ckptReq := s.runAttempt(camp)
 		switch {
 		case runErr == nil:
 			res := &Result{State: StateCompleted, Store: store, Stats: stats}
@@ -679,16 +709,19 @@ func (s *Supervisor) runJob(j *job) {
 			return
 
 		case errors.Is(runErr, core.ErrInterrupted):
+			// The campaign ran with DeferMerge, so the interrupted store
+			// arrives nil; terminal paths fold it on demand, and the
+			// periodic continuation below skips the fold entirely.
 			art, ckErr := camp.Checkpoint()
 			switch {
 			case s.isDraining():
 				if ckErr != nil {
 					// Quarantine-degraded mid-drain: nothing resumable to
 					// hand over; keep the partial results.
-					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: store, Stats: stats, Err: ckErr})
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: camp.MergedStore(), Stats: stats, Err: ckErr})
 					return
 				}
-				s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: store, Stats: stats, Artifact: art})
+				s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: camp.MergedStore(), Stats: stats, Artifact: art})
 				return
 			case fired:
 				if s.met.watchdog != nil {
@@ -696,12 +729,12 @@ func (s *Supervisor) runJob(j *job) {
 				}
 				if ckErr != nil {
 					s.breakerFailure(j)
-					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: store, Stats: stats, Err: ckErr})
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: camp.MergedStore(), Stats: stats, Err: ckErr})
 					return
 				}
 				if j.retries >= s.cfg.MaxRetries {
 					s.breakerFailure(j)
-					s.finalize(j, &Result{State: StateIncomplete, Reason: "watchdog-exhausted", Store: store, Stats: stats})
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "watchdog-exhausted", Store: camp.MergedStore(), Stats: stats})
 					return
 				}
 				j.retries++
@@ -712,14 +745,57 @@ func (s *Supervisor) runJob(j *job) {
 				if s.backoff(j.retries) {
 					// Drain began during the backoff; the checkpoint in
 					// hand is the drain artifact.
-					s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: store, Stats: stats, Artifact: art})
+					s.finalize(j, &Result{State: StateDrained, Reason: "drained", Store: camp.MergedStore(), Stats: stats, Artifact: art})
 					return
+				}
+				artifact = art
+				continue
+			case ckptReq:
+				// Periodic snapshot: persist the artifact and resume the
+				// same attempt loop. This is not a failover — no retry is
+				// consumed and no backoff is taken; the continuation picks
+				// up from the exact probe boundary, so the final result
+				// stays byte-identical to an uninterrupted run.
+				if ckErr != nil {
+					// The interrupt landed on a quarantine-degraded run
+					// that cannot serialize; without an artifact the run
+					// cannot continue. Degrade like the watchdog's fatal
+					// path.
+					s.breakerFailure(j)
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "fatal", Store: camp.MergedStore(), Stats: stats, Err: ckErr})
+					return
+				}
+				if s.met.checkpoints != nil {
+					s.met.checkpoints.Inc()
+				}
+				if s.cfg.CheckpointSink != nil {
+					if err := s.cfg.CheckpointSink(&j.spec, art); err != nil && s.met.ckptSinkErrors != nil {
+						s.met.ckptSinkErrors.Inc()
+					}
+				}
+				j.st.event(Event{Event: "checkpoint", Tenant: j.spec.Tenant, Campaign: j.spec.Name, Attempt: attempt})
+				// Continue in-process: the artifact already hit the sink,
+				// so the continuation skips the decode round trip. Rewind
+				// can only refuse what Checkpoint would also have refused,
+				// but fall back to the artifact path on principle.
+				factory, ferr := s.cfg.Opener(&j.spec)
+				if ferr != nil {
+					s.breakerFailure(j)
+					s.finalize(j, &Result{State: StateIncomplete, Reason: "open-failed", Err: ferr})
+					return
+				}
+				if next, rwErr := camp.Rewind(core.ResumeConfig{
+					NewObserver: s.observerFactory(j),
+					Telemetry:   s.tel,
+					InterruptAt: j.spec.Deadline,
+				}, factory); rwErr == nil {
+					rewound = next
 				}
 				artifact = art
 				continue
 			default:
 				// The campaign's own virtual deadline fired.
-				s.finalize(j, &Result{State: StateIncomplete, Reason: "deadline", Store: store, Stats: stats})
+				s.finalize(j, &Result{State: StateIncomplete, Reason: "deadline", Store: camp.MergedStore(), Stats: stats})
 				return
 			}
 
@@ -732,8 +808,11 @@ func (s *Supervisor) runJob(j *job) {
 }
 
 // runAttempt runs the campaign while the watchdog samples its
-// heartbeat; fired reports whether the watchdog interrupted it.
-func (s *Supervisor) runAttempt(camp *core.Campaign) (store *probe.Store, stats core.CampaignStats, err error, fired bool) {
+// heartbeat; fired reports whether the watchdog interrupted it, and
+// ckptReq that the periodic-checkpoint timer did. At most one of the
+// two interrupt sources claims an attempt: the checkpoint timer
+// defers to a watchdog that has already fired, and vice versa.
+func (s *Supervisor) runAttempt(camp *core.Campaign) (store *probe.Store, stats core.CampaignStats, err error, fired, ckptReq bool) {
 	type runOut struct {
 		store *probe.Store
 		stats core.CampaignStats
@@ -746,16 +825,31 @@ func (s *Supervisor) runAttempt(camp *core.Campaign) (store *probe.Store, stats 
 	}()
 	timer := time.NewTimer(s.cfg.WatchdogPoll)
 	defer timer.Stop()
+	var ckptCh <-chan time.Time
+	if s.cfg.CheckpointEvery > 0 {
+		ckptTimer := time.NewTimer(s.cfg.CheckpointEvery)
+		defer ckptTimer.Stop()
+		ckptCh = ckptTimer.C
+	}
 	lastBeat := camp.Beat()
 	lastMove := time.Now()
 	for {
 		select {
 		case out := <-done:
-			return out.store, out.stats, out.err, fired
+			return out.store, out.stats, out.err, fired, ckptReq
+		case <-ckptCh:
+			// Periodic snapshot: interrupt at the next probe boundary;
+			// runJob checkpoints and resumes. One snapshot per attempt —
+			// the resumed attempt restarts the interval. A draining or
+			// already-stalled attempt is left to its own path.
+			if !fired && !ckptReq && !s.isDraining() {
+				ckptReq = true
+				camp.Interrupt()
+			}
 		case <-timer.C:
 			if b := camp.Beat(); b != lastBeat {
 				lastBeat, lastMove = b, time.Now()
-			} else if !fired && time.Since(lastMove) >= s.cfg.StallBudget {
+			} else if !fired && !ckptReq && time.Since(lastMove) >= s.cfg.StallBudget {
 				// No stop poll within the budget: the campaign is wedged
 				// (or its connections are wall-blocked). Interrupt takes
 				// effect at the next boundary the prober reaches; until

@@ -82,6 +82,22 @@ type SchedulerOptions struct {
 	// circuit breaker.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// CheckpointEvery, when positive, periodically interrupts each
+	// running campaign at a probe boundary, hands its checkpoint
+	// artifact to CheckpointSink, and resumes it — bounding what a
+	// process crash can lose to one interval of virtual progress.
+	// Results stay byte-identical to an uninterrupted run. Zero means
+	// drain-only snapshots.
+	CheckpointEvery time.Duration
+	// CheckpointSink receives each periodic checkpoint artifact. Sink
+	// errors are counted in telemetry and do not stop the campaign.
+	CheckpointSink func(tenant, name string, artifact []byte) error
+	// SendDelay, when positive, wall-delays every connection send
+	// batch by that much. Virtual time — and therefore every result
+	// byte — is untouched; the knob only stretches a campaign's
+	// wall-clock footprint so crash/kill harnesses (and cautious
+	// operators) get a window to interrupt it mid-flight.
+	SendDelay time.Duration
 	// Telemetry, when non-nil, receives sched_* supervisor metrics and
 	// the campaigns' hot-path yarrp_* metrics.
 	Telemetry *TelemetryRegistry
@@ -125,6 +141,10 @@ type Scheduler struct {
 	in  *Internet
 	sup *sched.Supervisor
 
+	// sendDelay is SchedulerOptions.SendDelay: a wall-only throttle
+	// wrapped around every shard connection.
+	sendDelay time.Duration
+
 	// mu serializes all shared-vantage mutation: concurrent campaigns'
 	// connection factories interleave arbitrarily (initial shards,
 	// recovery shards, failover resumes), and each clone bumps parent
@@ -135,7 +155,14 @@ type Scheduler struct {
 
 // NewScheduler starts a campaign supervisor over this internetwork.
 func (in *Internet) NewScheduler(opt SchedulerOptions) (*Scheduler, error) {
-	s := &Scheduler{in: in, vantages: make(map[string]*netsim.Vantage)}
+	s := &Scheduler{in: in, vantages: make(map[string]*netsim.Vantage), sendDelay: opt.SendDelay}
+	var sink func(spec *sched.CampaignSpec, artifact []byte) error
+	if opt.CheckpointSink != nil {
+		userSink := opt.CheckpointSink
+		sink = func(spec *sched.CampaignSpec, artifact []byte) error {
+			return userSink(spec.Tenant, spec.Name, artifact)
+		}
+	}
 	sup, err := sched.New(sched.Config{
 		Opener:           s.open,
 		Tenants:          opt.Tenants,
@@ -146,6 +173,8 @@ func (in *Internet) NewScheduler(opt SchedulerOptions) (*Scheduler, error) {
 		MaxRetries:       opt.MaxRetries,
 		BreakerThreshold: opt.BreakerThreshold,
 		BreakerCooldown:  opt.BreakerCooldown,
+		CheckpointEvery:  opt.CheckpointEvery,
+		CheckpointSink:   sink,
 		Telemetry:        opt.Telemetry,
 	})
 	if err != nil {
@@ -153,6 +182,25 @@ func (in *Internet) NewScheduler(opt SchedulerOptions) (*Scheduler, error) {
 	}
 	s.sup = sup
 	return s, nil
+}
+
+// throttledConn wall-delays sends while leaving virtual time — and so
+// every result byte — untouched. The embedded vantage keeps the
+// optional conn capabilities (priming, reply injection, sim-state
+// checkpointing) visible to the prober's interface assertions.
+type throttledConn struct {
+	*netsim.Vantage
+	delay time.Duration
+}
+
+func (c *throttledConn) Send(pkt []byte) error {
+	time.Sleep(c.delay)
+	return c.Vantage.Send(pkt)
+}
+
+func (c *throttledConn) SendBatch(pkts [][]byte, gap time.Duration) (int, bool, error) {
+	time.Sleep(c.delay)
+	return c.Vantage.SendBatch(pkts, gap)
 }
 
 // open is the supervisor's per-attempt connection factory builder. It
@@ -176,7 +224,11 @@ func (s *Scheduler) open(spec *sched.CampaignSpec) (core.ConnFactory, error) {
 	return func(_ int, start time.Duration) probe.Conn {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return p.Clone(start)
+		c := p.Clone(start)
+		if s.sendDelay > 0 {
+			return &throttledConn{Vantage: c, delay: s.sendDelay}
+		}
+		return c
 	}, nil
 }
 
